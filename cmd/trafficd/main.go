@@ -1,0 +1,322 @@
+// Command trafficd runs the full traffic-management pipeline of the paper:
+// it loads an XML topology description plus rule declarations (§3.2), reads
+// a trace CSV (see cmd/trafficgen), bootstraps the dynamic thresholds with a
+// MapReduce batch run over the enriched history, partitions the rules'
+// locations over the configured Esper engines (Algorithm 1), and replays the
+// feed at full speed through the Storm-like runtime, reporting per-bolt
+// throughput and latency like the paper's monitor thread.
+//
+// Usage:
+//
+//	trafficgen -out traces.csv -minutes 30 -buses 200 -lines 20
+//	trafficd -traces traces.csv -topology topology.xml -nodes 7
+package main
+
+import (
+	_ "embed"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"trafficcep/internal/busdata"
+	"trafficcep/internal/cep"
+	"trafficcep/internal/core"
+	"trafficcep/internal/dfs"
+	"trafficcep/internal/geo"
+	"trafficcep/internal/quadtree"
+	"trafficcep/internal/sqlstore"
+	"trafficcep/internal/storm"
+)
+
+//go:embed topology.xml
+var defaultTopologyXML []byte
+
+func main() {
+	tracesPath := flag.String("traces", "", "trace CSV (required; produce one with trafficgen)")
+	topoPath := flag.String("topology", "", "topology XML (defaults to the embedded Figure 8 topology)")
+	nodes := flag.Int("nodes", 3, "simulated cluster nodes")
+	monitorSec := flag.Int("monitor", 40, "monitor window in seconds (0 = only final totals)")
+	sensitivity := flag.Float64("s", 1, "threshold sensitivity s (threshold = mean + s*stdv)")
+	flag.Parse()
+
+	if *tracesPath == "" {
+		fmt.Fprintln(os.Stderr, "trafficd: -traces is required")
+		os.Exit(2)
+	}
+	if err := run(*tracesPath, *topoPath, *nodes, *monitorSec, *sensitivity); err != nil {
+		fmt.Fprintln(os.Stderr, "trafficd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tracesPath, topoPath string, nodes, monitorSec int, s float64) error {
+	f, err := os.Open(tracesPath)
+	if err != nil {
+		return err
+	}
+	traces, err := busdata.ReadCSV(f)
+	closeErr := f.Close()
+	if err != nil {
+		return err
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	if len(traces) == 0 {
+		return fmt.Errorf("no traces in %s", tracesPath)
+	}
+	fmt.Printf("loaded %d traces\n", len(traces))
+
+	xmlBytes := defaultTopologyXML
+	if topoPath != "" {
+		xmlBytes, err = os.ReadFile(topoPath)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Off-line computation (§4.1): quadtree over the observed positions.
+	tree, err := buildTree(traces)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("quadtree: %d nodes, depth %d, %d leaves\n",
+		tree.NodeCount(), tree.Depth(), len(tree.Leaves()))
+
+	// Storage + batch layer.
+	db := sqlstore.NewDB()
+	store, err := sqlstore.NewThresholdStore(db)
+	if err != nil {
+		return err
+	}
+	fs := dfs.New(dfs.Options{})
+	manager := &core.DynamicManager{FS: fs, Store: store}
+
+	// Bootstrap thresholds: enrich the feed once (outside the topology)
+	// into history, then run the statistics job.
+	if err := bootstrapHistory(manager, tree, traces); err != nil {
+		return err
+	}
+	nStats, err := manager.RunOnce()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("batch layer: %d statistics rows computed\n", nStats)
+
+	// Rules and routing.
+	deps := &core.Deps{Config: core.TrafficConfig{
+		Traces: traces, Tree: tree, DB: db, Manager: manager,
+	}}
+	reg := storm.NewRegistry()
+	core.RegisterComponents(reg, deps)
+
+	// First parse to learn the Esper parallelism, then wire routing and
+	// engine setup before the final load (factories capture deps.Config).
+	parsed, err := storm.ParseXML(xmlBytes)
+	if err != nil {
+		return err
+	}
+	engines := 1
+	for _, b := range parsed.Bolts {
+		if b.Type == "esper" && b.Tasks > 0 {
+			engines = b.Tasks
+		}
+	}
+
+	var rules []core.Rule
+	for i, xr := range parsed.Rules {
+		name := xr.Name
+		if name == "" {
+			name = fmt.Sprintf("rule-%d", i+1)
+		}
+		r, err := core.RuleFromDef(storm.RuleDef{
+			Name: name, Attribute: xr.Attribute, Location: xr.Location,
+			Window: xr.Window, Sensitivity: xr.Sensitivity,
+		})
+		if err != nil {
+			return err
+		}
+		if r.Sensitivity == 0 {
+			r.Sensitivity = s
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return fmt.Errorf("topology XML declares no template rules")
+	}
+	fmt.Printf("rules: %d template instances on %d engines\n", len(rules), engines)
+
+	routing, engineLocs, err := buildRouting(tree, traces, rules, engines)
+	if err != nil {
+		return err
+	}
+	deps.Config.Routing = routing
+	deps.Config.EngineSetup = func(task int, eng *cep.Engine) ([]*core.InstalledRule, error) {
+		var installs []*core.InstalledRule
+		for _, r := range rules {
+			locs := engineLocs[r.Name][task]
+			if len(locs) == 0 {
+				continue
+			}
+			inst, err := core.InstallRule(eng, r, core.InstallOptions{
+				Strategy: core.StrategyStream, Store: store, Locations: locs,
+			})
+			if err != nil {
+				return nil, err
+			}
+			installs = append(installs, inst)
+		}
+		return installs, nil
+	}
+
+	// Load the topology with the routing and engine setup in place
+	// (component factories read deps.Config).
+	topo, _, err := storm.LoadXML(xmlBytes, reg)
+	if err != nil {
+		return err
+	}
+
+	rt, err := storm.NewRuntime(topo, storm.Config{
+		Nodes:           nodes,
+		MonitorInterval: time.Duration(monitorSec) * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	rt.Monitor().Subscribe(func(rep storm.Report) {
+		cs := rep.Components[core.CompEsper]
+		fmt.Printf("[monitor] window %.0fs: EsperBolt %d tuples (%.0f/s), avg latency %v\n",
+			rep.Window.Seconds(), cs.Executed, cs.Throughput, cs.AvgLatency)
+	})
+
+	start := time.Now()
+	if err := rt.Run(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("\nprocessed %d traces in %v (%.0f tuples/s end-to-end)\n",
+		len(traces), elapsed.Round(time.Millisecond), float64(len(traces))/elapsed.Seconds())
+	for _, tot := range rt.Monitor().TotalsByComponent() {
+		fmt.Printf("  %-16s executed=%-8d emitted=%-8d errors=%-4d avg latency=%v\n",
+			tot.Component, tot.Executed, tot.Emitted, tot.Errors, tot.AvgLatency)
+	}
+	fmt.Printf("detected events stored: %d\n", db.Count(core.EventsTable))
+	return nil
+}
+
+// buildTree seeds the quadtree with a sample of observed positions ("the
+// quadtree was created by adding important coordinates of the Dublin city",
+// §4.1.1).
+func buildTree(traces []busdata.Trace) (*quadtree.Tree, error) {
+	var seeds []geo.Point
+	step := len(traces)/512 + 1
+	for i := 0; i < len(traces); i += step {
+		seeds = append(seeds, traces[i].Pos)
+	}
+	return quadtree.Build(geo.Dublin, seeds, quadtree.Options{MaxPoints: 8, MaxDepth: 8})
+}
+
+// bootstrapHistory enriches the raw feed into batch-layer history records.
+func bootstrapHistory(m *core.DynamicManager, tree *quadtree.Tree, traces []busdata.Trace) error {
+	pre := busdata.NewPreprocessor()
+	for _, tr := range traces {
+		e := pre.Process(tr)
+		path := tree.Path(tr.Pos)
+		areas := make([]string, len(path))
+		for i, n := range path {
+			areas[i] = string(n.ID)
+		}
+		rec := core.HistoryRecord{
+			Hour: tr.Hour(), Day: busdata.DayTypeOf(tr.Timestamp),
+			StopID: tr.BusStop, Areas: areas,
+			Delay: tr.Delay, ActualDelay: e.ActualDelay, Speed: e.SpeedKmh,
+			Congestion: tr.Congestion,
+		}
+		if err := m.AppendHistory(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildRouting partitions every rule's locations over the engines
+// (Algorithm 1, rates estimated from the feed itself) and produces the
+// splitter routing table plus per-engine location sets.
+func buildRouting(tree *quadtree.Tree, traces []busdata.Trace, rules []core.Rule, engines int) (*core.RoutingTable, map[string][]map[string]bool, error) {
+	// Estimate location rates per granularity from the feed.
+	est := map[string]*core.RateEstimator{}
+	fieldOf := map[string]string{}
+	for _, r := range rules {
+		fieldOf[r.Name] = r.LocationField()
+		if _, ok := est[r.LocationField()]; !ok {
+			est[r.LocationField()] = core.NewRateEstimator(nil, 1)
+		}
+	}
+	for _, tr := range traces {
+		path := tree.Path(tr.Pos)
+		for field, e := range est {
+			switch {
+			case field == "stopId":
+				e.Observe(tr.BusStop)
+			case field == "leafArea":
+				if len(path) > 0 {
+					e.Observe(string(path[len(path)-1].ID))
+				}
+			default: // layerNArea
+				var layer int
+				if _, err := fmt.Sscanf(field, "layer%dArea", &layer); err == nil && layer < len(path) {
+					e.Observe(string(path[layer].ID))
+				}
+			}
+		}
+	}
+
+	routing := core.NewRoutingTable(core.RouteByLocation, engines)
+	engineLocs := make(map[string][]map[string]bool, len(rules))
+	allTasks := make([]int, engines)
+	for i := range allTasks {
+		allTasks[i] = i
+	}
+	partitions := map[string]*core.Partition{}
+	for _, r := range rules {
+		field := fieldOf[r.Name]
+		part, ok := partitions[field]
+		if !ok {
+			rates := est[field].Snapshot()
+			if len(rates) == 0 {
+				return nil, nil, fmt.Errorf("no observed locations for field %s", field)
+			}
+			var err error
+			part, err = core.PartitionRegions(rates, engines)
+			if err != nil {
+				return nil, nil, err
+			}
+			partitions[field] = part
+			if err := routing.AddPartition(field, part, allTasks); err != nil {
+				return nil, nil, err
+			}
+		}
+		perEngine := make([]map[string]bool, engines)
+		for e := 0; e < engines; e++ {
+			perEngine[e] = make(map[string]bool)
+			for _, reg := range part.Engines[e] {
+				perEngine[e][reg.Location] = true
+			}
+		}
+		engineLocs[r.Name] = perEngine
+	}
+	// Deterministic iteration for logs.
+	fields := make([]string, 0, len(partitions))
+	for f := range partitions {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+	for _, f := range fields {
+		fmt.Printf("partition %s: %d locations over %d engines (imbalance %.2f)\n",
+			f, len(partitions[f].ByLocation), engines, partitions[f].Imbalance())
+	}
+	return routing, engineLocs, nil
+}

@@ -1,0 +1,113 @@
+// Capacity planning with the latency model and Algorithm 2.
+//
+// Given a rule portfolio over several spatial layers and a cluster size,
+// this example runs the paper's start-up optimization (§4.2): it estimates
+// per-engine latencies with the regression model (Functions 1+2), allocates
+// engines to layer groupings with the greedy Algorithm 2, partitions each
+// grouping's regions with Algorithm 1, and prints the deployment plan plus
+// the modelled throughput — comparing the proposed allocation against the
+// round-robin baseline the way Figure 11 does.
+//
+//	go run ./examples/allocation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trafficcep/internal/busdata"
+	"trafficcep/internal/cluster"
+	"trafficcep/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		vms     = 7
+		engines = 12
+	)
+	model := core.DefaultLatencyModel()
+	spec := cluster.SyntheticSpatial(60000) // the paper's 60k traces/s feed
+
+	// The rule portfolio: Table 6 attributes at two quadtree layers and
+	// the bus stops, mixed window lengths.
+	groups := []core.LayerGroup{
+		{
+			Name:    "layer2",
+			Rules:   cluster.TemplateRules("l2", []string{busdata.AttrDelay, busdata.AttrSpeed}, []int{10, 100}, core.QuadtreeLayer, 2),
+			Regions: spec.Layer2,
+		},
+		{
+			Name:    "layer3",
+			Rules:   cluster.TemplateRules("l3", []string{busdata.AttrDelay}, []int{100}, core.QuadtreeLayer, 3),
+			Regions: spec.Layer3,
+		},
+		{
+			Name:    "stops",
+			Rules:   cluster.TemplateRules("st", []string{busdata.AttrDelay, busdata.AttrActualDelay}, []int{10}, core.BusStops, 0),
+			Regions: spec.Stops,
+		},
+	}
+
+	fmt.Printf("planning %d rules over %d engines on %d single-core VMs\n\n",
+		len(groups[0].Rules)+len(groups[1].Rules)+len(groups[2].Rules), engines, vms)
+
+	// Option A: keep the per-layer groupings (retransmissions between
+	// layer engines) with Algorithm 2 deciding the split.
+	perLayer, err := core.AllocateEngines(groups, engines, model)
+	if err != nil {
+		return err
+	}
+	// Option B: merge the quadtree layers (partition on layer 2, no
+	// retransmission between them), stops separate.
+	layersMerged, err := core.MergeGroups("layers", groups[0], groups[1])
+	if err != nil {
+		return err
+	}
+	merged, err := core.AllocateEngines([]core.LayerGroup{layersMerged, groups[2]}, engines, model)
+	if err != nil {
+		return err
+	}
+	// Baseline: round-robin over the per-layer groupings.
+	rr, err := core.RoundRobinAllocation(groups, engines, model)
+	if err != nil {
+		return err
+	}
+
+	cfg := cluster.Config{VMs: vms, Model: model, FullSpeed: true}
+	for _, cand := range []struct {
+		name  string
+		alloc *core.Allocation
+	}{
+		{"Algorithm 2, per-layer groupings", perLayer},
+		{"Algorithm 2, layers merged", merged},
+		{"round-robin baseline", rr},
+	} {
+		res, err := cluster.Evaluate(cfg, cluster.LoadsFromAllocation(cand.alloc))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s:\n", cand.name)
+		for _, name := range cand.alloc.SortedGroupNames() {
+			fmt.Printf("  %-8s -> %d engines\n", name, cand.alloc.EnginesOf[name])
+		}
+		fmt.Printf("  modelled pipeline throughput: %.0f tuples/s, mean latency %.2f ms\n\n",
+			res.UsefulThroughput, res.AvgLatencyMs)
+	}
+
+	// Show the Algorithm 1 partition of the winning plan's biggest
+	// grouping.
+	plan := merged.Groupings[0]
+	fmt.Printf("Algorithm 1 split of %q over %d engines (imbalance %.2f):\n",
+		plan.Name, plan.UsedEngines, plan.Partition.Imbalance())
+	for e := 0; e < plan.UsedEngines; e++ {
+		fmt.Printf("  engine %d: %2d regions, %6.0f tuples/s, est. latency %.3f ms\n",
+			e, len(plan.Partition.Engines[e]), plan.Partition.Rate[e], plan.EngineLatencyMs[e])
+	}
+	return nil
+}

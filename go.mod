@@ -1,0 +1,3 @@
+module trafficcep
+
+go 1.22

@@ -1,0 +1,233 @@
+package cep
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"trafficcep/internal/epl"
+)
+
+// Engine is one CEP engine instance: a registry of standing statements plus
+// the serial event-processing loop of §2.1.2 ("new arriving data are
+// processed serially and the Esper engine responds in real time"). Multiple
+// engines run concurrently inside different EsperBolt tasks; each engine
+// serializes its own event stream with a mutex.
+type Engine struct {
+	mu       sync.Mutex
+	stmts    map[string]*Statement
+	byStream map[string][]*Statement
+	funcs    map[string]ScalarFunc
+
+	eventsIn  uint64
+	procTime  time.Duration
+	lastError error
+
+	// disableIndexJoins turns off equi-join hash indexing for statements
+	// compiled after the call; joins then run as filtered nested loops.
+	// Kept for the join-strategy ablation benchmark.
+	disableIndexJoins bool
+}
+
+// NewEngine creates an empty engine.
+func NewEngine() *Engine {
+	return &Engine{
+		stmts:    make(map[string]*Statement),
+		byStream: make(map[string][]*Statement),
+		funcs:    make(map[string]ScalarFunc),
+	}
+}
+
+// RegisterFunction makes a scalar function available to EPL expressions in
+// this engine under the given (case-insensitive) name. Registering a name
+// twice replaces the previous function.
+func (e *Engine) RegisterFunction(name string, fn ScalarFunc) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.funcs[lower(name)] = fn
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// DisableIndexJoins turns off equi-join hash indexing for statements added
+// afterwards; their joins run as filtered nested loops. Intended for the
+// join-strategy ablation — production engines keep indexing on.
+func (e *Engine) DisableIndexJoins() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.disableIndexJoins = true
+}
+
+// AddStatement parses, compiles and registers an EPL statement under a
+// unique name. The statement starts receiving events immediately.
+func (e *Engine) AddStatement(name, src string) (*Statement, error) {
+	q, err := epl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.AddQuery(name, q)
+}
+
+// AddQuery registers an already-parsed query.
+func (e *Engine) AddQuery(name string, q *epl.Query) (*Statement, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.stmts[name]; dup {
+		return nil, fmt.Errorf("cep: statement %q already exists", name)
+	}
+	st, err := compile(name, q, e)
+	if err != nil {
+		return nil, err
+	}
+	e.stmts[name] = st
+	for stream := range st.itemsByStream {
+		e.byStream[stream] = append(e.byStream[stream], st)
+	}
+	return st, nil
+}
+
+// RemoveStatement deregisters a statement and drops its window state.
+func (e *Engine) RemoveStatement(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.stmts[name]
+	if !ok {
+		return false
+	}
+	delete(e.stmts, name)
+	for stream := range st.itemsByStream {
+		list := e.byStream[stream]
+		for i, s := range list {
+			if s == st {
+				e.byStream[stream] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+		if len(e.byStream[stream]) == 0 {
+			delete(e.byStream, stream)
+		}
+	}
+	return true
+}
+
+// Statement returns a registered statement by name.
+func (e *Engine) Statement(name string) (*Statement, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.stmts[name]
+	return st, ok
+}
+
+// StatementNames lists registered statements in sorted order.
+func (e *Engine) StatementNames() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, 0, len(e.stmts))
+	for n := range e.stmts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// StatementCount returns the number of registered statements.
+func (e *Engine) StatementCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.stmts)
+}
+
+// SendEvent delivers an event with the current wall-clock timestamp.
+func (e *Engine) SendEvent(stream string, fields map[string]Value) error {
+	return e.SendEventAt(stream, time.Now(), fields)
+}
+
+// maxDerivedEvents bounds the INSERT INTO cascade one external event may
+// trigger, so a self-feeding statement cycle cannot loop forever.
+const maxDerivedEvents = 10000
+
+// SendEventAt delivers an event with an explicit timestamp (event time).
+// All statements subscribed to the stream process the event serially, in
+// statement registration order; events produced by INSERT INTO statements
+// are processed breadth-first afterwards, in the same serial turn. The
+// first evaluation error is returned, but every statement still sees the
+// event.
+func (e *Engine) SendEventAt(stream string, ts time.Time, fields map[string]Value) error {
+	ev := NewEvent(stream, ts, fields)
+	start := time.Now()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.eventsIn++
+	var firstErr error
+	queue := []*Event{ev}
+	derived := 0
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, st := range e.byStream[cur.Stream] {
+			err := st.process(cur, func(d *Event) {
+				derived++
+				if derived <= maxDerivedEvents {
+					queue = append(queue, d)
+				}
+			})
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("cep: statement %q: %w", st.Name, err)
+			}
+		}
+		if derived > maxDerivedEvents && firstErr == nil {
+			firstErr = fmt.Errorf("cep: INSERT INTO cascade exceeded %d derived events (cycle?)", maxDerivedEvents)
+			break
+		}
+	}
+	e.procTime += time.Since(start)
+	if firstErr != nil {
+		e.lastError = firstErr
+	}
+	return firstErr
+}
+
+// EngineMetrics is a snapshot of engine-level counters.
+type EngineMetrics struct {
+	EventsIn  uint64
+	ProcTime  time.Duration
+	LastError error
+}
+
+// Metrics returns a snapshot of the engine counters.
+func (e *Engine) Metrics() EngineMetrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return EngineMetrics{EventsIn: e.eventsIn, ProcTime: e.procTime, LastError: e.lastError}
+}
+
+// AvgLatency returns the mean per-event processing latency observed so far,
+// or 0 if no events have been processed. This is the quantity the paper's
+// regression model (Functions 1-3) estimates.
+func (e *Engine) AvgLatency() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.eventsIn == 0 {
+		return 0
+	}
+	return e.procTime / time.Duration(e.eventsIn)
+}
+
+// ResetMetrics zeroes the engine counters (statement counters are kept).
+func (e *Engine) ResetMetrics() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.eventsIn = 0
+	e.procTime = 0
+	e.lastError = nil
+}

@@ -1,0 +1,52 @@
+package cep
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Event is one unit of streaming data: a named stream plus a flat set of
+// fields. Events are immutable once sent to an engine.
+type Event struct {
+	Stream string
+	Ts     time.Time
+	Fields map[string]Value
+}
+
+// NewEvent builds an event. The fields map is used as-is; callers must not
+// mutate it after the call.
+func NewEvent(stream string, ts time.Time, fields map[string]Value) *Event {
+	return &Event{Stream: stream, Ts: ts, Fields: fields}
+}
+
+// Get returns a field value; missing fields read as nil.
+func (e *Event) Get(field string) Value { return e.Fields[field] }
+
+// String implements fmt.Stringer with deterministic field order.
+func (e *Event) String() string {
+	keys := make([]string, 0, len(e.Fields))
+	for k := range e.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := e.Stream + "{"
+	for i, k := range keys {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s=%v", k, e.Fields[k])
+	}
+	return s + "}"
+}
+
+// Output is one rule firing: the projected fields of a match, plus the
+// underlying join row (alias → event) for listeners that need raw access.
+type Output struct {
+	Fields map[string]Value
+	Row    map[string]*Event
+}
+
+// Listener receives the outputs produced by one evaluation of a statement —
+// the "actions to be taken when the rule is activated" of §2.1.2.
+type Listener func(stmt *Statement, outputs []Output)

@@ -1,0 +1,54 @@
+package cep_test
+
+import (
+	"fmt"
+
+	"trafficcep/internal/cep"
+)
+
+// ExampleEngine shows the basic Esper-style workflow: register a standing
+// statement, attach a listener, stream events.
+func ExampleEngine() {
+	engine := cep.NewEngine()
+	stmt, err := engine.AddStatement("speeding",
+		`SELECT avg(w.speed) AS avgSpeed
+		 FROM cars.win:length(3) AS w
+		 HAVING avg(w.speed) > 100`)
+	if err != nil {
+		fmt.Println("add:", err)
+		return
+	}
+	stmt.AddListener(func(_ *cep.Statement, outs []cep.Output) {
+		for _, o := range outs {
+			fmt.Printf("alert: avg speed %.1f\n", o.Fields["avgSpeed"])
+		}
+	})
+	for _, speed := range []float64{90, 110, 140} {
+		if err := engine.SendEvent("cars", map[string]cep.Value{"speed": speed}); err != nil {
+			fmt.Println("send:", err)
+			return
+		}
+	}
+	// Output:
+	// alert: avg speed 113.3
+}
+
+// ExampleEngine_join demonstrates a two-stream equi-join with a keep-all
+// reference stream — the pattern behind the paper's threshold stream.
+func ExampleEngine_join() {
+	engine := cep.NewEngine()
+	stmt, _ := engine.AddStatement("enrich", `
+		SELECT o.item AS item, p.price AS price
+		FROM orders.std:lastevent() AS o UNIDIRECTIONAL,
+		     prices.win:keepall() AS p
+		WHERE o.item = p.item`)
+	stmt.AddListener(func(_ *cep.Statement, outs []cep.Output) {
+		for _, o := range outs {
+			fmt.Printf("%v costs %v\n", o.Fields["item"], o.Fields["price"])
+		}
+	})
+	_ = engine.SendEvent("prices", map[string]cep.Value{"item": "tea", "price": 2.5})
+	_ = engine.SendEvent("orders", map[string]cep.Value{"item": "tea"})
+	// Output:
+	// tea costs 2.5
+}

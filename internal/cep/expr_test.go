@@ -1,0 +1,279 @@
+package cep
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"trafficcep/internal/epl"
+)
+
+// evalStr parses and evaluates a standalone expression against a row.
+func evalStr(t *testing.T, src string, row map[string]Value) (Value, error) {
+	t.Helper()
+	e, err := parseExprString(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return EvalScalar(e, "r", row, nil)
+}
+
+// parseExprString wraps the expression into a query to reuse the parser.
+func parseExprString(src string) (epl.Expr, error) {
+	q, err := epl.Parse("SELECT " + src + " AS x FROM s AS r")
+	if err != nil {
+		return nil, err
+	}
+	return q.Select[0].Expr, nil
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	row := map[string]Value{"a": 6.0, "b": 3.0, "s": "hi"}
+	cases := map[string]Value{
+		"a + b":           9.0,
+		"a - b":           3.0,
+		"a * b":           18.0,
+		"a / b":           2.0,
+		"a + b * 2":       12.0,
+		"(a + b) * 2":     18.0,
+		"-a + 1":          -5.0,
+		"a > b":           true,
+		"a < b":           false,
+		"a >= 6":          true,
+		"a <= 5.9":        false,
+		"a = 6":           true,
+		"a != 6":          false,
+		"s = 'hi'":        true,
+		"s != 'bye'":      true,
+		"s + 'x'":         "hix",
+		"a > 1 AND b > 1": true,
+		"a > 10 OR b > 1": true,
+		"NOT (a > 10)":    true,
+		"true":            true,
+		"false":           false,
+	}
+	for src, want := range cases {
+		got, err := evalStr(t, src, row)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if !valueEq(got, want) {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	row := map[string]Value{"a": 1.0, "s": "x"}
+	cases := []string{
+		"a / 0",
+		"s * 2",
+		"-s",
+		"NOT a",     // number is not boolean
+		"s < 1",     // string vs number comparison
+		"nosuch(a)", // unknown function
+		"avg(a)",    // aggregate outside aggregation context
+	}
+	for _, src := range cases {
+		if _, err := evalStr(t, src, row); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestEvalMissingFieldIsNil(t *testing.T) {
+	// Qualified access to a missing field yields nil (SQL NULL-ish);
+	// comparing nil with = works, ordering does not.
+	v, err := evalStr(t, "r.missing = 1", map[string]Value{"a": 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != false {
+		t.Fatalf("nil = 1 should be false, got %v", v)
+	}
+	if _, err := evalStr(t, "r.missing > 1", map[string]Value{"a": 1.0}); err == nil {
+		t.Fatal("ordering against nil must error")
+	}
+}
+
+func TestEvalUnqualifiedMissingFieldErrors(t *testing.T) {
+	if _, err := evalStr(t, "missing + 1", map[string]Value{"a": 1.0}); err == nil {
+		t.Fatal("unqualified missing field must error")
+	}
+}
+
+func TestValueEqCoercion(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{1, 1.0, true},
+		{int64(2), 2, true},
+		{float32(1.5), 1.5, true},
+		{true, 1.0, true}, // booleans are numeric 0/1
+		{false, 0, true},
+		{"a", "a", true},
+		{"a", "b", false},
+		{"1", 1.0, false}, // no string→number coercion
+		{nil, nil, true},
+		{nil, 0.0, false},
+	}
+	for _, c := range cases {
+		if got := valueEq(c.a, c.b); got != c.want {
+			t.Errorf("valueEq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueKeyConsistentWithEq(t *testing.T) {
+	f := func(a, b int32) bool {
+		va, vb := Value(int(a)), Value(float64(b))
+		if valueEq(va, vb) {
+			return valueKey(va) == valueKey(vb)
+		}
+		return valueKey(va) != valueKey(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueKeyStringsVsNumbers(t *testing.T) {
+	if valueKey("1") == valueKey(1.0) {
+		t.Fatal("string '1' must not collide with number 1")
+	}
+	if valueKey(nil) == valueKey(0.0) {
+		t.Fatal("nil must not collide with 0")
+	}
+}
+
+func TestCompositeKeySeparation(t *testing.T) {
+	// ("ab", "c") must differ from ("a", "bc").
+	a := compositeKey([]Value{"ab", "c"})
+	b := compositeKey([]Value{"a", "bc"})
+	if a == b {
+		t.Fatal("composite keys collide across boundaries")
+	}
+	if compositeKey(nil) != "" {
+		t.Fatal("empty composite key")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	if c, err := valueCompare(1.0, 2); err != nil || c != -1 {
+		t.Fatalf("1 vs 2 = %d, %v", c, err)
+	}
+	if c, err := valueCompare("b", "a"); err != nil || c != 1 {
+		t.Fatalf("b vs a = %d, %v", c, err)
+	}
+	if c, err := valueCompare("a", "a"); err != nil || c != 0 {
+		t.Fatalf("a vs a = %d, %v", c, err)
+	}
+	if _, err := valueCompare([]int{1}, 1); err == nil {
+		t.Fatal("uncomparable types must error")
+	}
+}
+
+func TestAggregateNullHandling(t *testing.T) {
+	e := NewEngine()
+	st, err := e.AddStatement("r", `SELECT avg(w.x) AS m, sum(w.x) AS s, min(w.x) AS lo FROM s.win:keepall() AS w`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last []Output
+	st.AddListener(func(_ *Statement, outs []Output) { last = outs })
+	// First event has no x at all: aggregates over zero non-null values
+	// are nil (SQL semantics).
+	if err := e.SendEvent("s", map[string]Value{"y": 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	if last[0].Fields["m"] != nil || last[0].Fields["s"] != nil || last[0].Fields["lo"] != nil {
+		t.Fatalf("aggregates over empty set should be nil: %v", last[0].Fields)
+	}
+	if err := e.SendEvent("s", map[string]Value{"x": 4.0}); err != nil {
+		t.Fatal(err)
+	}
+	if last[0].Fields["m"] != 4.0 {
+		t.Fatalf("avg = %v", last[0].Fields["m"])
+	}
+}
+
+func TestStddevRequiresTwoValues(t *testing.T) {
+	e := NewEngine()
+	st, err := e.AddStatement("r", `SELECT stddev(w.x) AS sd FROM s.win:keepall() AS w`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last []Output
+	st.AddListener(func(_ *Statement, outs []Output) { last = outs })
+	if err := e.SendEvent("s", map[string]Value{"x": 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	if last[0].Fields["sd"] != nil {
+		t.Fatalf("stddev of one value should be nil, got %v", last[0].Fields["sd"])
+	}
+}
+
+func TestAggregateOverNonNumericErrors(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.AddStatement("r", `SELECT avg(w.x) AS m FROM s.win:keepall() AS w`); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SendEvent("s", map[string]Value{"x": "oops"}); err == nil ||
+		!strings.Contains(err.Error(), "non-numeric") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEvalScalarBool(t *testing.T) {
+	e, err := parseExprString("a > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := EvalScalarBool(e, "r", map[string]Value{"a": 2.0}, nil)
+	if err != nil || !ok {
+		t.Fatalf("got %v, %v", ok, err)
+	}
+	e2, err := parseExprString("a + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvalScalarBool(e2, "r", map[string]Value{"a": 2.0}, nil); err == nil {
+		t.Fatal("non-boolean must error")
+	}
+}
+
+func TestNumericExported(t *testing.T) {
+	if v, ok := Numeric(int64(3)); !ok || v != 3 {
+		t.Fatalf("Numeric(int64) = %v, %v", v, ok)
+	}
+	if _, ok := Numeric("x"); ok {
+		t.Fatal("string is not numeric")
+	}
+}
+
+func TestDurationLitEvaluatesToSeconds(t *testing.T) {
+	v, err := evalStr(t, "90 sec / 2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := numeric(v); math.Abs(n-45) > 1e-9 {
+		t.Fatalf("90 sec / 2 = %v", v)
+	}
+}
+
+func TestShortCircuitEvaluation(t *testing.T) {
+	// The right side of AND/OR must not be evaluated when the left side
+	// decides — an erroring right side proves it.
+	row := map[string]Value{"a": 1.0, "s": "x"}
+	v, err := evalStr(t, "a > 5 AND s < 1", row) // s<1 would error
+	if err != nil || v != false {
+		t.Fatalf("AND short circuit: %v, %v", v, err)
+	}
+	v, err = evalStr(t, "a > 0 OR s < 1", row)
+	if err != nil || v != true {
+		t.Fatalf("OR short circuit: %v, %v", v, err)
+	}
+}

@@ -1,0 +1,128 @@
+package cep
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestInsertIntoFeedsDownstreamRule covers §2.1.2's composition: "The
+// triggered events can be pushed further into the Esper engine feeding
+// other rules."
+func TestInsertIntoFeedsDownstreamRule(t *testing.T) {
+	e := NewEngine()
+	// Stage 1: raw readings above 10 become "spikes".
+	if _, err := e.AddStatement("detect", `
+		INSERT INTO spikes
+		SELECT r.sensor AS sensor, r.v AS v FROM readings.std:lastevent() AS r WHERE r.v > 10`); err != nil {
+		t.Fatal(err)
+	}
+	// Stage 2: three spikes from one sensor within the window = alarm.
+	alarm, err := e.AddStatement("alarm", `
+		SELECT s.sensor AS sensor, count(*) AS n
+		FROM spikes.std:groupwin(sensor).win:length(3) AS s
+		GROUP BY s.sensor
+		HAVING count(*) >= 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(alarm)
+
+	feed := func(sensor string, v float64) {
+		if err := e.SendEvent("readings", map[string]Value{"sensor": sensor, "v": v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feed("a", 20)
+	feed("a", 5) // below threshold: no spike
+	feed("a", 30)
+	feed("b", 40)
+	if len(*got) != 0 {
+		t.Fatalf("premature alarm: %v", *got)
+	}
+	feed("a", 50) // third spike for sensor a
+	if len(*got) != 1 {
+		t.Fatalf("alarms = %d, want 1", len(*got))
+	}
+	o := (*got)[0]
+	if o.Fields["sensor"] != "a" || o.Fields["n"] != 3.0 {
+		t.Fatalf("alarm fields = %v", o.Fields)
+	}
+}
+
+func TestInsertIntoChainOfThree(t *testing.T) {
+	e := NewEngine()
+	mk := func(name, from, to string) {
+		t.Helper()
+		if _, err := e.AddStatement(name,
+			`INSERT INTO `+to+` SELECT x.v + 1 AS v FROM `+from+`.std:lastevent() AS x`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("s1", "a", "b")
+	mk("s2", "b", "c")
+	final, err := e.AddStatement("s3", `SELECT x.v AS v FROM c.std:lastevent() AS x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(final)
+	if err := e.SendEvent("a", map[string]Value{"v": 0.0}); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 || (*got)[0].Fields["v"] != 2.0 {
+		t.Fatalf("chain output = %v", *got)
+	}
+	// The cascade runs within a single serial turn: one external event in.
+	if m := e.Metrics(); m.EventsIn != 1 {
+		t.Fatalf("external events = %d", m.EventsIn)
+	}
+}
+
+func TestInsertIntoCycleIsBounded(t *testing.T) {
+	e := NewEngine()
+	// loop: every event on "loop" produces another event on "loop".
+	if _, err := e.AddStatement("cycle",
+		`INSERT INTO loop SELECT x.v AS v FROM loop.std:lastevent() AS x`); err != nil {
+		t.Fatal(err)
+	}
+	err := e.SendEvent("loop", map[string]Value{"v": 1.0})
+	if err == nil || !strings.Contains(err.Error(), "cascade") {
+		t.Fatalf("err = %v, want cascade error", err)
+	}
+	// The engine survives and still processes normal traffic.
+	if _, err := e.AddStatement("other", `SELECT * FROM s.std:lastevent() AS w`); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SendEvent("s", map[string]Value{"x": 1.0}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertIntoListenersStillFire(t *testing.T) {
+	e := NewEngine()
+	st, err := e.AddStatement("detect",
+		`INSERT INTO out SELECT r.v AS v FROM in.std:lastevent() AS r`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(st)
+	if err := e.SendEvent("in", map[string]Value{"v": 7.0}); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 {
+		t.Fatalf("listener outputs = %d", len(*got))
+	}
+}
+
+func TestInsertIntoParseAndRender(t *testing.T) {
+	e := NewEngine()
+	st, err := e.AddStatement("r", `insert into derived SELECT w.x AS x FROM s.std:lastevent() AS w`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Query.InsertInto != "derived" {
+		t.Fatalf("InsertInto = %q", st.Query.InsertInto)
+	}
+	if !strings.HasPrefix(st.Query.String(), "INSERT INTO derived SELECT") {
+		t.Fatalf("render = %q", st.Query.String())
+	}
+}

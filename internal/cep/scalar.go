@@ -1,0 +1,38 @@
+package cep
+
+import (
+	"trafficcep/internal/epl"
+)
+
+// EvalScalar evaluates a single expression against one row of named values,
+// outside any statement. Unqualified field references resolve against the
+// row directly; references qualified with alias also resolve against the
+// row. Aggregate functions are rejected. This is the evaluation primitive
+// the sqlstore SELECT engine shares with the CEP engine.
+func EvalScalar(e epl.Expr, alias string, row map[string]Value, funcs map[string]ScalarFunc) (Value, error) {
+	ev := &Event{Stream: alias, Fields: row}
+	ctx := &evalContext{
+		row:        map[string]*Event{alias: ev},
+		aliasOrder: []string{alias},
+		funcs:      funcs,
+	}
+	return eval(e, ctx)
+}
+
+// EvalScalarBool evaluates a boolean expression against one row.
+func EvalScalarBool(e epl.Expr, alias string, row map[string]Value, funcs map[string]ScalarFunc) (bool, error) {
+	v, err := EvalScalar(e, alias, row, funcs)
+	if err != nil {
+		return false, err
+	}
+	return truthy(v)
+}
+
+// ValueKey renders a value into a deterministic hash-key string; numerically
+// equal values of different Go types map to the same key. Exposed for
+// packages that need grouping semantics consistent with the engine
+// (sqlstore's DISTINCT, the splitter's routing).
+func ValueKey(v Value) string { return valueKey(v) }
+
+// Numeric converts a value to float64 when possible.
+func Numeric(v Value) (float64, bool) { return numeric(v) }

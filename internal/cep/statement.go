@@ -1,0 +1,576 @@
+package cep
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"trafficcep/internal/epl"
+)
+
+// Statement is one standing query registered in an engine. It owns the
+// runtime window state of its FROM items, a compiled join plan, and the
+// listeners to notify on matches.
+type Statement struct {
+	Name  string
+	Query *epl.Query
+
+	engine *Engine
+	items  []*fromItemState
+	// itemsByStream maps a stream name to the indexes of FROM items fed
+	// by it (one stream can back several items, as in Listing 1 where
+	// both bd and bd2 read from "bus").
+	itemsByStream map[string][]int
+	aliasOrder    []string
+
+	// filters[i] holds the WHERE conjuncts evaluable once items 0..i are
+	// bound (and not already consumed as join-index probes).
+	filters [][]epl.Expr
+
+	aggCalls  []*epl.CallExpr
+	hasAgg    bool
+	listeners []Listener
+
+	// unidirectional is true when any FROM item carries UNIDIRECTIONAL;
+	// then only arrivals on such items trigger evaluation.
+	unidirectional bool
+
+	metrics StatementMetrics
+}
+
+// StatementMetrics counts a statement's work. Latencies accumulate wall
+// time spent inside process().
+type StatementMetrics struct {
+	EventsIn    uint64
+	Evaluations uint64
+	Firings     uint64
+	Errors      uint64
+	ProcTime    time.Duration
+}
+
+// fromItemState is the runtime state of one FROM item.
+type fromItemState struct {
+	spec epl.FromItem
+	win  window
+
+	// Join indexing: when probeExprs is non-empty, the item's window is
+	// additionally indexed on indexFields; candidates are found by
+	// evaluating probeExprs against the already-bound row.
+	indexFields []string
+	probeExprs  []epl.Expr
+	index       map[string][]*Event
+}
+
+// compile builds a Statement from a parsed query.
+func compile(name string, q *epl.Query, eng *Engine) (*Statement, error) {
+	if len(q.From) == 0 {
+		return nil, fmt.Errorf("cep: query has no FROM items")
+	}
+	st := &Statement{
+		Name:          name,
+		Query:         q,
+		engine:        eng,
+		itemsByStream: make(map[string][]int),
+	}
+	aliasToIdx := make(map[string]int, len(q.From))
+	for i, f := range q.From {
+		win, err := buildWindow(f.Views)
+		if err != nil {
+			return nil, fmt.Errorf("cep: statement %q item %q: %w", name, f.Alias, err)
+		}
+		st.items = append(st.items, &fromItemState{spec: f, win: win})
+		st.itemsByStream[f.Stream] = append(st.itemsByStream[f.Stream], i)
+		st.aliasOrder = append(st.aliasOrder, f.Alias)
+		aliasToIdx[f.Alias] = i
+		if f.Unidirectional {
+			st.unidirectional = true
+		}
+	}
+
+	// Decompose WHERE into conjuncts and plan the join.
+	conjuncts := splitConjuncts(q.Where)
+	st.filters = make([][]epl.Expr, len(q.From))
+	for _, c := range conjuncts {
+		if !eng.disableIndexJoins && st.tryIndexConjunct(c, aliasToIdx) {
+			continue
+		}
+		pos, err := bindingPosition(c, aliasToIdx, len(q.From))
+		if err != nil {
+			return nil, fmt.Errorf("cep: statement %q: %w", name, err)
+		}
+		st.filters[pos] = append(st.filters[pos], c)
+	}
+	for _, it := range st.items {
+		if len(it.indexFields) > 0 {
+			it.index = make(map[string][]*Event)
+		}
+	}
+
+	// Collect aggregate calls from SELECT, HAVING and ORDER BY.
+	for _, s := range q.Select {
+		if !s.Star {
+			collectAggregates(s.Expr, &st.aggCalls)
+		}
+	}
+	collectAggregates(q.Having, &st.aggCalls)
+	for _, o := range q.OrderBy {
+		collectAggregates(o.Expr, &st.aggCalls)
+	}
+	st.hasAgg = len(st.aggCalls) > 0
+	return st, nil
+}
+
+// splitConjuncts flattens a WHERE tree into AND-connected conjuncts.
+func splitConjuncts(e epl.Expr) []epl.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*epl.BinaryExpr); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.Left), splitConjuncts(b.Right)...)
+	}
+	return []epl.Expr{e}
+}
+
+// tryIndexConjunct turns "a.x = b.y" conjuncts into join-index probes when
+// one side belongs to a later FROM item than the other. Returns true when
+// the conjunct was consumed.
+func (st *Statement) tryIndexConjunct(c epl.Expr, aliasToIdx map[string]int) bool {
+	b, ok := c.(*epl.BinaryExpr)
+	if !ok || b.Op != "=" {
+		return false
+	}
+	lr, lok := b.Left.(*epl.FieldRef)
+	rr, rok := b.Right.(*epl.FieldRef)
+	if !lok || !rok || lr.Alias == "" || rr.Alias == "" || lr.Alias == rr.Alias {
+		return false
+	}
+	li, ri := aliasToIdx[lr.Alias], aliasToIdx[rr.Alias]
+	// Index the later item on its own field; probe with the earlier side.
+	inner, outer := lr, rr
+	innerIdx := li
+	if ri > li {
+		inner, outer = rr, lr
+		innerIdx = ri
+	}
+	it := st.items[innerIdx]
+	it.indexFields = append(it.indexFields, inner.Field)
+	it.probeExprs = append(it.probeExprs, outer)
+	return true
+}
+
+// bindingPosition returns the earliest join level at which every alias the
+// conjunct references is bound. Conjuncts with unqualified field references
+// bind at the last level.
+func bindingPosition(c epl.Expr, aliasToIdx map[string]int, nItems int) (int, error) {
+	pos := 0
+	for _, r := range epl.FieldRefs(c) {
+		if r.Alias == "" {
+			return nItems - 1, nil
+		}
+		idx, ok := aliasToIdx[r.Alias]
+		if !ok {
+			return 0, fmt.Errorf("unknown alias %q in WHERE", r.Alias)
+		}
+		if idx > pos {
+			pos = idx
+		}
+	}
+	return pos, nil
+}
+
+// AddListener registers a callback for this statement's firings.
+// Not safe to call concurrently with event delivery.
+func (st *Statement) AddListener(l Listener) { st.listeners = append(st.listeners, l) }
+
+// Metrics returns a copy of the statement's counters.
+func (st *Statement) Metrics() StatementMetrics { return st.metrics }
+
+// WindowSizes reports the current size of each FROM item's window, keyed by
+// alias (used by tests and the latency-model calibration).
+func (st *Statement) WindowSizes() map[string]int {
+	out := make(map[string]int, len(st.items))
+	for _, it := range st.items {
+		out[it.spec.Alias] = it.win.size()
+	}
+	return out
+}
+
+// process delivers one event to the statement: window updates, optional
+// evaluation, listener dispatch. Outputs of INSERT INTO statements are
+// handed to derive as fresh events. Called with the engine lock held.
+func (st *Statement) process(ev *Event, derive func(*Event)) error {
+	start := time.Now()
+	st.metrics.EventsIn++
+
+	triggered := false
+	for _, idx := range st.itemsByStream[ev.Stream] {
+		it := st.items[idx]
+		added, removed := it.win.insert(ev)
+		if it.index != nil {
+			for _, r := range removed {
+				it.indexRemove(r)
+			}
+			for _, a := range added {
+				it.indexAdd(a)
+			}
+		}
+		if !st.unidirectional || it.spec.Unidirectional {
+			triggered = true
+		}
+	}
+
+	var err error
+	if triggered {
+		st.metrics.Evaluations++
+		var outputs []Output
+		outputs, err = st.evaluate()
+		if err != nil {
+			st.metrics.Errors++
+		} else if len(outputs) > 0 {
+			st.metrics.Firings += uint64(len(outputs))
+			for _, l := range st.listeners {
+				l(st, outputs)
+			}
+			if st.Query.InsertInto != "" && derive != nil {
+				for _, o := range outputs {
+					derive(NewEvent(st.Query.InsertInto, ev.Ts, o.Fields))
+				}
+			}
+		}
+	}
+	st.metrics.ProcTime += time.Since(start)
+	return err
+}
+
+func (it *fromItemState) indexKeyOf(ev *Event) string {
+	vals := make([]Value, len(it.indexFields))
+	for i, f := range it.indexFields {
+		vals[i] = ev.Get(f)
+	}
+	return compositeKey(vals)
+}
+
+func (it *fromItemState) indexAdd(ev *Event) {
+	k := it.indexKeyOf(ev)
+	it.index[k] = append(it.index[k], ev)
+}
+
+func (it *fromItemState) indexRemove(ev *Event) {
+	k := it.indexKeyOf(ev)
+	bucket := it.index[k]
+	for i, e := range bucket {
+		if e == ev {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(it.index, k)
+	} else {
+		it.index[k] = bucket
+	}
+}
+
+// evaluate computes the join over the current window contents and produces
+// the statement's outputs.
+func (st *Statement) evaluate() ([]Output, error) {
+	rows, err := st.joinRows()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	base := &evalContext{aliasOrder: st.aliasOrder, funcs: st.engine.funcs}
+
+	var outputs []Output
+	if st.hasAgg || len(st.Query.GroupBy) > 0 {
+		outputs, err = st.evaluateGrouped(rows, base)
+	} else {
+		outputs, err = st.evaluateRows(rows, base)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if st.Query.Distinct {
+		outputs = distinctOutputs(outputs)
+	}
+	if len(st.Query.OrderBy) > 0 {
+		if err := st.orderOutputs(outputs, base); err != nil {
+			return nil, err
+		}
+	}
+	return outputs, nil
+}
+
+// joinRows enumerates the join of all FROM items' windows, applying filters
+// as early as their aliases allow and using hash indexes for equi-joins.
+func (st *Statement) joinRows() ([]map[string]*Event, error) {
+	var rows []map[string]*Event
+	row := make(map[string]*Event, len(st.items))
+	probeCtx := &evalContext{row: row, aliasOrder: st.aliasOrder, funcs: st.engine.funcs}
+
+	var rec func(level int) error
+	rec = func(level int) error {
+		if level == len(st.items) {
+			cp := make(map[string]*Event, len(row))
+			for k, v := range row {
+				cp[k] = v
+			}
+			rows = append(rows, cp)
+			return nil
+		}
+		it := st.items[level]
+		var candidates []*Event
+		if it.index != nil {
+			vals := make([]Value, len(it.probeExprs))
+			for i, pe := range it.probeExprs {
+				v, err := eval(pe, probeCtx)
+				if err != nil {
+					return err
+				}
+				vals[i] = v
+			}
+			candidates = it.index[compositeKey(vals)]
+		} else {
+			candidates = it.win.contents()
+		}
+		for _, ev := range candidates {
+			row[it.spec.Alias] = ev
+			ok := true
+			for _, f := range st.filters[level] {
+				pass, err := evalBool(f, probeCtx)
+				if err != nil {
+					delete(row, it.spec.Alias)
+					return err
+				}
+				if !pass {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if err := rec(level + 1); err != nil {
+					delete(row, it.spec.Alias)
+					return err
+				}
+			}
+		}
+		delete(row, it.spec.Alias)
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// evaluateGrouped handles queries with GROUP BY and/or aggregates.
+func (st *Statement) evaluateGrouped(rows []map[string]*Event, base *evalContext) ([]Output, error) {
+	type group struct {
+		rows []map[string]*Event
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, row := range rows {
+		key := ""
+		if len(st.Query.GroupBy) > 0 {
+			ctx := &evalContext{row: row, aliasOrder: st.aliasOrder, funcs: st.engine.funcs}
+			vals := make([]Value, len(st.Query.GroupBy))
+			for i, g := range st.Query.GroupBy {
+				v, err := eval(g, ctx)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
+			}
+			key = compositeKey(vals)
+		}
+		grp, ok := groups[key]
+		if !ok {
+			grp = &group{}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		grp.rows = append(grp.rows, row)
+	}
+
+	var outputs []Output
+	for _, key := range order {
+		grp := groups[key]
+		aggs, err := computeAggregates(st.aggCalls, grp.rows, base)
+		if err != nil {
+			return nil, err
+		}
+		// The representative row for non-aggregated expressions is the
+		// most recent row of the group.
+		repr := grp.rows[len(grp.rows)-1]
+		ctx := &evalContext{row: repr, aliasOrder: st.aliasOrder, aggs: aggs, funcs: st.engine.funcs}
+		if st.Query.Having != nil {
+			pass, err := evalBool(st.Query.Having, ctx)
+			if err != nil {
+				return nil, err
+			}
+			if !pass {
+				continue
+			}
+		}
+		out, err := st.project(ctx, repr)
+		if err != nil {
+			return nil, err
+		}
+		outputs = append(outputs, out)
+	}
+	return outputs, nil
+}
+
+// evaluateRows handles aggregate-free queries: one output per join row.
+func (st *Statement) evaluateRows(rows []map[string]*Event, base *evalContext) ([]Output, error) {
+	var outputs []Output
+	for _, row := range rows {
+		ctx := &evalContext{row: row, aliasOrder: st.aliasOrder, funcs: st.engine.funcs}
+		if st.Query.Having != nil {
+			pass, err := evalBool(st.Query.Having, ctx)
+			if err != nil {
+				return nil, err
+			}
+			if !pass {
+				continue
+			}
+		}
+		out, err := st.project(ctx, row)
+		if err != nil {
+			return nil, err
+		}
+		outputs = append(outputs, out)
+	}
+	return outputs, nil
+}
+
+// project builds one output from the SELECT clause.
+func (st *Statement) project(ctx *evalContext, row map[string]*Event) (Output, error) {
+	fields := make(map[string]Value)
+	for _, s := range st.Query.Select {
+		if s.Star {
+			st.projectStar(fields, row)
+			continue
+		}
+		v, err := eval(s.Expr, ctx)
+		if err != nil {
+			return Output{}, err
+		}
+		name := s.Alias
+		if name == "" {
+			name = s.Expr.String()
+		}
+		fields[name] = v
+	}
+	return Output{Fields: fields, Row: row}, nil
+}
+
+// projectStar copies event fields into the output. With a single FROM item
+// the fields appear unqualified; with a join they are prefixed alias.field
+// to avoid collisions.
+func (st *Statement) projectStar(into map[string]Value, row map[string]*Event) {
+	if len(st.items) == 1 {
+		if ev := row[st.items[0].spec.Alias]; ev != nil {
+			for k, v := range ev.Fields {
+				into[k] = v
+			}
+		}
+		return
+	}
+	for _, it := range st.items {
+		ev := row[it.spec.Alias]
+		if ev == nil {
+			continue
+		}
+		for k, v := range ev.Fields {
+			into[it.spec.Alias+"."+k] = v
+		}
+	}
+}
+
+// distinctOutputs removes duplicate outputs by field content.
+func distinctOutputs(outputs []Output) []Output {
+	seen := make(map[string]bool, len(outputs))
+	var out []Output
+	for _, o := range outputs {
+		keys := make([]string, 0, len(o.Fields))
+		for k := range o.Fields {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sig := ""
+		for _, k := range keys {
+			sig += k + "=" + valueKey(o.Fields[k]) + ";"
+		}
+		if !seen[sig] {
+			seen[sig] = true
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// orderOutputs sorts outputs by the ORDER BY keys. Order keys are evaluated
+// against each output's underlying row; aggregate order keys use values
+// already projected into the output.
+func (st *Statement) orderOutputs(outputs []Output, base *evalContext) error {
+	type keyed struct {
+		keys []Value
+	}
+	keysOf := make([]keyed, len(outputs))
+	for i, o := range outputs {
+		ctx := &evalContext{row: o.Row, aliasOrder: st.aliasOrder, funcs: st.engine.funcs, aggs: outputAggs(o)}
+		for _, item := range st.Query.OrderBy {
+			v, err := eval(item.Expr, ctx)
+			if err != nil {
+				return err
+			}
+			keysOf[i].keys = append(keysOf[i].keys, v)
+		}
+	}
+	idx := make([]int, len(outputs))
+	for i := range idx {
+		idx[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(idx, func(a, b int) bool {
+		for k, item := range st.Query.OrderBy {
+			c, err := valueCompare(keysOf[idx[a]].keys[k], keysOf[idx[b]].keys[k])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c == 0 {
+				continue
+			}
+			if item.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	sorted := make([]Output, len(outputs))
+	for i, j := range idx {
+		sorted[i] = outputs[j]
+	}
+	copy(outputs, sorted)
+	return nil
+}
+
+// outputAggs exposes an output's already-computed fields as aggregate
+// values for ORDER BY evaluation (e.g. ORDER BY avg(x) after SELECT avg(x)).
+func outputAggs(o Output) map[string]Value {
+	aggs := make(map[string]Value, len(o.Fields))
+	for k, v := range o.Fields {
+		aggs[k] = v
+	}
+	return aggs
+}

@@ -1,0 +1,134 @@
+// Package cep implements an Esper-like Complex Event Processing engine: the
+// execution back-end for the EPL subset in internal/epl. An Engine holds a
+// set of standing statements (rules); events sent to the engine update the
+// statements' stream views and trigger rule evaluation, pushing matches to
+// listeners — the processing model described in §2.1.2 of the paper.
+package cep
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Value is the dynamic type of event fields and expression results. The
+// engine understands float64, int, int64, string, bool and nil; integers are
+// coerced to float64 for arithmetic.
+type Value = any
+
+// numeric converts v to a float64 if possible.
+func numeric(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case float32:
+		return float64(x), true
+	case bool:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+// truthy interprets a value as a boolean condition.
+func truthy(v Value) (bool, error) {
+	switch x := v.(type) {
+	case bool:
+		return x, nil
+	case nil:
+		return false, nil
+	default:
+		return false, fmt.Errorf("cep: value %v (%T) is not a boolean", v, v)
+	}
+}
+
+// valueEq compares two values for equality with numeric coercion.
+func valueEq(a, b Value) bool {
+	if an, ok := numeric(a); ok {
+		if bn, ok := numeric(b); ok {
+			return an == bn
+		}
+		return false
+	}
+	switch av := a.(type) {
+	case string:
+		bv, ok := b.(string)
+		return ok && av == bv
+	case nil:
+		return b == nil
+	default:
+		return a == b
+	}
+}
+
+// valueCompare returns -1, 0, +1 for ordered values; an error if the values
+// are not comparable.
+func valueCompare(a, b Value) (int, error) {
+	if an, ok := numeric(a); ok {
+		if bn, ok := numeric(b); ok {
+			switch {
+			case an < bn:
+				return -1, nil
+			case an > bn:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+	}
+	as, aok := a.(string)
+	bs, bok := b.(string)
+	if aok && bok {
+		switch {
+		case as < bs:
+			return -1, nil
+		case as > bs:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	return 0, fmt.Errorf("cep: cannot compare %T with %T", a, b)
+}
+
+// valueKey renders a value into a string usable as a hash key component.
+// Numeric values with the same magnitude map to the same key regardless of
+// Go type, matching valueEq.
+func valueKey(v Value) string {
+	if n, ok := numeric(v); ok {
+		if n == math.Trunc(n) && math.Abs(n) < 1e15 {
+			return "n" + strconv.FormatInt(int64(n), 10)
+		}
+		return "f" + strconv.FormatFloat(n, 'g', -1, 64)
+	}
+	switch x := v.(type) {
+	case string:
+		return "s" + x
+	case nil:
+		return "_"
+	default:
+		return "o" + fmt.Sprint(x)
+	}
+}
+
+// compositeKey joins multiple value keys into a single hash key.
+func compositeKey(vals []Value) string {
+	switch len(vals) {
+	case 0:
+		return ""
+	case 1:
+		return valueKey(vals[0])
+	}
+	out := valueKey(vals[0])
+	for _, v := range vals[1:] {
+		out += "\x1f" + valueKey(v)
+	}
+	return out
+}

@@ -1,0 +1,357 @@
+package cep
+
+import (
+	"fmt"
+	"time"
+
+	"trafficcep/internal/epl"
+)
+
+// window is the runtime state behind one FROM item: the set of events the
+// item's view chain currently retains. insert returns the events added to
+// and removed from the retained set so that join indexes can be maintained
+// incrementally.
+type window interface {
+	insert(ev *Event) (added, removed []*Event)
+	contents() []*Event
+	size() int
+}
+
+// buildWindow compiles a view chain into a window. Supported chains are the
+// ones the paper's rules use: nothing (defaults to win:keepall), a single
+// view, or std:groupwin(fields...) followed by at most one window view.
+func buildWindow(views []epl.ViewSpec) (window, error) {
+	if len(views) == 0 {
+		return &keepAllWin{}, nil
+	}
+	if views[0].Namespace == "std" && views[0].Name == "groupwin" {
+		fields := make([]string, len(views[0].Args))
+		for i, a := range views[0].Args {
+			ref, ok := a.(*epl.FieldRef)
+			if !ok {
+				return nil, fmt.Errorf("cep: std:groupwin argument %v is not a field", a)
+			}
+			fields[i] = ref.Field
+		}
+		rest := views[1:]
+		if len(rest) > 1 {
+			return nil, fmt.Errorf("cep: unsupported view chain of %d views after groupwin", len(rest))
+		}
+		factory := func() (window, error) { return buildWindow(rest) }
+		// Validate the sub-chain once, eagerly.
+		if _, err := factory(); err != nil {
+			return nil, err
+		}
+		return newGroupWin(fields, factory), nil
+	}
+	if len(views) > 1 {
+		return nil, fmt.Errorf("cep: unsupported view chain of %d views", len(views))
+	}
+	return buildSimpleWindow(views[0])
+}
+
+func buildSimpleWindow(v epl.ViewSpec) (window, error) {
+	key := v.Namespace + ":" + v.Name
+	switch key {
+	case "std:lastevent":
+		return &lastEventWin{}, nil
+	case "win:keepall":
+		return &keepAllWin{}, nil
+	case "win:length":
+		n, err := intArg(v, 0)
+		if err != nil {
+			return nil, err
+		}
+		return newLengthWin(n), nil
+	case "win:length_batch":
+		n, err := intArg(v, 0)
+		if err != nil {
+			return nil, err
+		}
+		return &lengthBatchWin{n: n}, nil
+	case "win:time":
+		d, err := durationArg(v, 0)
+		if err != nil {
+			return nil, err
+		}
+		return &timeWin{d: d}, nil
+	case "win:time_batch":
+		d, err := durationArg(v, 0)
+		if err != nil {
+			return nil, err
+		}
+		return &timeBatchWin{d: d}, nil
+	case "std:unique":
+		fields := make([]string, len(v.Args))
+		for i, a := range v.Args {
+			ref, ok := a.(*epl.FieldRef)
+			if !ok {
+				return nil, fmt.Errorf("cep: std:unique argument %v is not a field", a)
+			}
+			fields[i] = ref.Field
+		}
+		return newUniqueWin(fields), nil
+	}
+	return nil, fmt.Errorf("cep: unknown view %s", key)
+}
+
+func intArg(v epl.ViewSpec, i int) (int, error) {
+	num, ok := v.Args[i].(*epl.NumberLit)
+	if !ok {
+		return 0, fmt.Errorf("cep: view %s:%s argument %d must be a number literal, got %v",
+			v.Namespace, v.Name, i, v.Args[i])
+	}
+	n := int(num.Value)
+	if float64(n) != num.Value || n <= 0 {
+		return 0, fmt.Errorf("cep: view %s:%s argument %d must be a positive integer, got %v",
+			v.Namespace, v.Name, i, num.Value)
+	}
+	return n, nil
+}
+
+func durationArg(v epl.ViewSpec, i int) (time.Duration, error) {
+	switch a := v.Args[i].(type) {
+	case *epl.DurationLit:
+		if a.Value <= 0 {
+			return 0, fmt.Errorf("cep: view %s:%s duration must be positive", v.Namespace, v.Name)
+		}
+		return a.Value, nil
+	case *epl.NumberLit:
+		// A bare number means seconds, as in Esper.
+		if a.Value <= 0 {
+			return 0, fmt.Errorf("cep: view %s:%s duration must be positive", v.Namespace, v.Name)
+		}
+		return time.Duration(a.Value * float64(time.Second)), nil
+	}
+	return 0, fmt.Errorf("cep: view %s:%s argument %d must be a duration, got %v",
+		v.Namespace, v.Name, i, v.Args[i])
+}
+
+// lastEventWin retains only the most recent event (std:lastevent).
+type lastEventWin struct {
+	ev *Event
+}
+
+func (w *lastEventWin) insert(ev *Event) (added, removed []*Event) {
+	if w.ev != nil {
+		removed = []*Event{w.ev}
+	}
+	w.ev = ev
+	return []*Event{ev}, removed
+}
+
+func (w *lastEventWin) contents() []*Event {
+	if w.ev == nil {
+		return nil
+	}
+	return []*Event{w.ev}
+}
+
+func (w *lastEventWin) size() int {
+	if w.ev == nil {
+		return 0
+	}
+	return 1
+}
+
+// keepAllWin retains every event (win:keepall).
+type keepAllWin struct {
+	evs []*Event
+}
+
+func (w *keepAllWin) insert(ev *Event) (added, removed []*Event) {
+	w.evs = append(w.evs, ev)
+	return []*Event{ev}, nil
+}
+
+func (w *keepAllWin) contents() []*Event { return w.evs }
+func (w *keepAllWin) size() int          { return len(w.evs) }
+
+// lengthWin is a sliding window over the last n events (win:length).
+type lengthWin struct {
+	n     int
+	buf   []*Event // ring buffer, capacity n
+	start int
+	count int
+}
+
+func newLengthWin(n int) *lengthWin {
+	return &lengthWin{n: n, buf: make([]*Event, n)}
+}
+
+func (w *lengthWin) insert(ev *Event) (added, removed []*Event) {
+	if w.count == w.n {
+		removed = []*Event{w.buf[w.start]}
+		w.buf[w.start] = ev
+		w.start = (w.start + 1) % w.n
+	} else {
+		w.buf[(w.start+w.count)%w.n] = ev
+		w.count++
+	}
+	return []*Event{ev}, removed
+}
+
+func (w *lengthWin) contents() []*Event {
+	out := make([]*Event, 0, w.count)
+	for i := 0; i < w.count; i++ {
+		out = append(out, w.buf[(w.start+i)%w.n])
+	}
+	return out
+}
+
+func (w *lengthWin) size() int { return w.count }
+
+// lengthBatchWin is a tumbling window of n events (win:length_batch): the
+// window fills to n events; the insert after a full batch evicts the whole
+// batch and starts a new one.
+type lengthBatchWin struct {
+	n   int
+	buf []*Event
+}
+
+func (w *lengthBatchWin) insert(ev *Event) (added, removed []*Event) {
+	if len(w.buf) >= w.n {
+		removed = w.buf
+		w.buf = nil
+	}
+	w.buf = append(w.buf, ev)
+	return []*Event{ev}, removed
+}
+
+func (w *lengthBatchWin) contents() []*Event { return w.buf }
+func (w *lengthBatchWin) size() int          { return len(w.buf) }
+
+// timeWin retains events within a duration of the most recent event's
+// timestamp (win:time). The engine is event-time driven: time advances with
+// the timestamps of arriving events, so replays behave identically to live
+// runs.
+type timeWin struct {
+	d   time.Duration
+	buf []*Event
+}
+
+func (w *timeWin) insert(ev *Event) (added, removed []*Event) {
+	cutoff := ev.Ts.Add(-w.d)
+	idx := 0
+	for idx < len(w.buf) && w.buf[idx].Ts.Before(cutoff) {
+		idx++
+	}
+	if idx > 0 {
+		removed = append(removed, w.buf[:idx]...)
+		w.buf = append([]*Event(nil), w.buf[idx:]...)
+	}
+	w.buf = append(w.buf, ev)
+	return []*Event{ev}, removed
+}
+
+func (w *timeWin) contents() []*Event { return w.buf }
+func (w *timeWin) size() int          { return len(w.buf) }
+
+// timeBatchWin is a tumbling time window (win:time_batch): events accumulate
+// for the duration d measured from the batch's first event; the first insert
+// after the batch period evicts the whole batch and starts a new one. Like
+// win:time it is event-time driven.
+type timeBatchWin struct {
+	d     time.Duration
+	start time.Time
+	buf   []*Event
+}
+
+func (w *timeBatchWin) insert(ev *Event) (added, removed []*Event) {
+	if len(w.buf) > 0 && ev.Ts.Sub(w.start) >= w.d {
+		removed = w.buf
+		w.buf = nil
+	}
+	if len(w.buf) == 0 {
+		w.start = ev.Ts
+	}
+	w.buf = append(w.buf, ev)
+	return []*Event{ev}, removed
+}
+
+func (w *timeBatchWin) contents() []*Event { return w.buf }
+func (w *timeBatchWin) size() int          { return len(w.buf) }
+
+// uniqueWin retains the most recent event per distinct key (std:unique):
+// a new event with an already-seen key replaces the previous holder.
+type uniqueWin struct {
+	fields []string
+	byKey  map[string]*Event
+	order  []string // key creation order for deterministic contents
+}
+
+func newUniqueWin(fields []string) *uniqueWin {
+	return &uniqueWin{fields: fields, byKey: make(map[string]*Event)}
+}
+
+func (w *uniqueWin) keyOf(ev *Event) string {
+	vals := make([]Value, len(w.fields))
+	for i, f := range w.fields {
+		vals[i] = ev.Get(f)
+	}
+	return compositeKey(vals)
+}
+
+func (w *uniqueWin) insert(ev *Event) (added, removed []*Event) {
+	k := w.keyOf(ev)
+	if prev, ok := w.byKey[k]; ok {
+		removed = []*Event{prev}
+	} else {
+		w.order = append(w.order, k)
+	}
+	w.byKey[k] = ev
+	return []*Event{ev}, removed
+}
+
+func (w *uniqueWin) contents() []*Event {
+	out := make([]*Event, 0, len(w.byKey))
+	for _, k := range w.order {
+		out = append(out, w.byKey[k])
+	}
+	return out
+}
+
+func (w *uniqueWin) size() int { return len(w.byKey) }
+
+// groupWin partitions events by the values of its key fields and delegates
+// to a per-group sub-window (std:groupwin(...).<view>). Group iteration
+// order is group creation order, keeping evaluation deterministic.
+type groupWin struct {
+	fields  []string
+	factory func() (window, error)
+	groups  map[string]window
+	order   []string
+	total   int
+}
+
+func newGroupWin(fields []string, factory func() (window, error)) *groupWin {
+	return &groupWin{fields: fields, factory: factory, groups: make(map[string]window)}
+}
+
+func (w *groupWin) insert(ev *Event) (added, removed []*Event) {
+	vals := make([]Value, len(w.fields))
+	for i, f := range w.fields {
+		vals[i] = ev.Get(f)
+	}
+	key := compositeKey(vals)
+	sub, ok := w.groups[key]
+	if !ok {
+		// The factory was validated at build time; it cannot fail here.
+		sub, _ = w.factory()
+		w.groups[key] = sub
+		w.order = append(w.order, key)
+	}
+	added, removed = sub.insert(ev)
+	w.total += len(added) - len(removed)
+	return added, removed
+}
+
+func (w *groupWin) contents() []*Event {
+	out := make([]*Event, 0, w.total)
+	for _, key := range w.order {
+		out = append(out, w.groups[key].contents()...)
+	}
+	return out
+}
+
+func (w *groupWin) size() int { return w.total }

@@ -1,0 +1,343 @@
+// Package cluster is the deterministic cluster performance model used to
+// regenerate the paper's engine-count and VM-count sweeps (Figures 11–17).
+// Hardware we do not have — a 7-VM cluster with one CPU per VM — is modelled
+// by composing the calibrated latency model of internal/core:
+//
+//   - engines are placed on VMs round-robin, exactly like the runtime's
+//     scheduler (and the paper's equal-engines-per-node policy, §3.2);
+//   - co-located engines contend for the VM's core through Function 3,
+//     solved to a fixed point weighted by each engine's utilization;
+//   - an engine's observed latency follows an M/M/1-style queueing factor,
+//     reproducing the overload knees of Figures 14 and 16;
+//   - a "grouping" is a set of engines that collectively see every tuple
+//     exactly once; tuples must pass through every grouping, so the
+//     system's useful throughput is the minimum grouping throughput —
+//     this is what makes re-transmission-heavy plans lose.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"trafficcep/internal/core"
+)
+
+// Config describes the simulated cluster.
+type Config struct {
+	// VMs is the node count (the paper uses 3, 5, 7; 1 CPU each).
+	VMs int
+	// CoresPerVM is the CPU count per node. Defaults to 1.
+	CoresPerVM int
+	// Model provides Functions 1–3. Defaults to core.DefaultLatencyModel.
+	Model *core.LatencyModel
+	// MaxIterations bounds the contention fixed-point solve. Defaults 50.
+	MaxIterations int
+	// FullSpeed reproduces the paper's methodology (§5): traces are fed
+	// "without any delay between the tuples inter-arrivals", so every
+	// engine runs saturated. OfferedRate then only fixes each engine's
+	// share of the stream mix; throughput is the drain rate the slowest
+	// engine allows and latency is pure processing time (the paper's
+	// "average latency to process a single input tuple").
+	FullSpeed bool
+}
+
+func (c *Config) fill() error {
+	if c.VMs <= 0 {
+		return fmt.Errorf("cluster: VMs must be positive")
+	}
+	if c.CoresPerVM <= 0 {
+		c.CoresPerVM = 1
+	}
+	if c.Model == nil {
+		c.Model = core.DefaultLatencyModel()
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 50
+	}
+	return nil
+}
+
+// EngineLoad describes one Esper engine to place.
+type EngineLoad struct {
+	// Grouping names the engine's grouping (tuples reach exactly one
+	// engine per grouping).
+	Grouping string
+	// OfferedRate is the tuple rate routed to this engine (tuples/s).
+	OfferedRate float64
+	// BaseLatencyMs is the engine's uncontended per-tuple latency
+	// (Functions 1+2 of the latency model).
+	BaseLatencyMs float64
+}
+
+// EngineResult is the steady-state solution for one engine.
+type EngineResult struct {
+	EngineLoad
+	VM                int
+	EffLatencyMs      float64 // after Function 3 contention
+	ObservedLatencyMs float64 // including queueing delay
+	Utilization       float64 // 0..1
+	AchievedRate      float64 // tuples/s actually processed
+}
+
+// Result is the cluster model's steady state.
+type Result struct {
+	Engines []EngineResult
+	// GroupingThroughput sums each grouping's achieved rates.
+	GroupingThroughput map[string]float64
+	// UsefulThroughput is the end-to-end unique-tuple completion rate:
+	// the minimum over groupings (every grouping must see every tuple).
+	UsefulThroughput float64
+	// AvgLatencyMs is the tuple-weighted mean observed latency.
+	AvgLatencyMs float64
+}
+
+// maxUtilization caps the queueing factor so overload produces a large but
+// finite latency (the paper's "huge increase", Figure 16).
+const maxUtilization = 0.98
+
+// Evaluate solves the cluster model for a set of engines.
+func Evaluate(cfg Config, engines []EngineLoad) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("cluster: no engines")
+	}
+	for i, e := range engines {
+		if e.BaseLatencyMs < 0 || e.OfferedRate < 0 {
+			return nil, fmt.Errorf("cluster: engine %d has negative load", i)
+		}
+	}
+
+	res := &Result{GroupingThroughput: make(map[string]float64)}
+	res.Engines = make([]EngineResult, len(engines))
+	vmOf := make([]int, len(engines))
+	for i := range engines {
+		vmOf[i] = i % cfg.VMs
+		res.Engines[i] = EngineResult{EngineLoad: engines[i], VM: vmOf[i]}
+	}
+	if cfg.FullSpeed {
+		return evaluateFullSpeed(cfg, engines, vmOf, res)
+	}
+
+	// Fixed point: contention depends on co-located engines' utilization,
+	// which depends on their effective latency, which depends on
+	// contention. Damped iteration converges quickly in practice.
+	util := make([]float64, len(engines))
+	eff := make([]float64, len(engines))
+	for i := range engines {
+		eff[i] = engines[i].BaseLatencyMs
+		util[i] = utilizationOf(engines[i].OfferedRate, eff[i])
+	}
+	for it := 0; it < cfg.MaxIterations; it++ {
+		maxDelta := 0.0
+		for i := range engines {
+			// Work of co-located engines, weighted by how busy they
+			// are, divided across the VM's cores. An engine alone on
+			// a multi-core VM sees no contention.
+			others := 0.0
+			for j := range engines {
+				if j != i && vmOf[j] == vmOf[i] {
+					others += engines[j].BaseLatencyMs * util[j]
+				}
+			}
+			others /= float64(cfg.CoresPerVM)
+			newEff := cfg.Model.EffectiveLatencyMs(engines[i].BaseLatencyMs, []float64{others})
+			if newEff < engines[i].BaseLatencyMs {
+				newEff = engines[i].BaseLatencyMs
+			}
+			delta := math.Abs(newEff - eff[i])
+			if delta > maxDelta {
+				maxDelta = delta
+			}
+			eff[i] = 0.5*eff[i] + 0.5*newEff
+			util[i] = utilizationOf(engines[i].OfferedRate, eff[i])
+		}
+		if maxDelta < 1e-9 {
+			break
+		}
+	}
+
+	var latNumerator, totalAchieved float64
+	for i := range engines {
+		er := &res.Engines[i]
+		er.EffLatencyMs = eff[i]
+		er.Utilization = util[i]
+		er.AchievedRate = achievedRate(engines[i].OfferedRate, eff[i])
+		er.ObservedLatencyMs = eff[i] / (1 - math.Min(util[i], maxUtilization))
+		res.GroupingThroughput[er.Grouping] += er.AchievedRate
+		latNumerator += er.ObservedLatencyMs * er.AchievedRate
+		totalAchieved += er.AchievedRate
+	}
+	res.UsefulThroughput = math.Inf(1)
+	for _, tput := range res.GroupingThroughput {
+		if tput < res.UsefulThroughput {
+			res.UsefulThroughput = tput
+		}
+	}
+	if math.IsInf(res.UsefulThroughput, 1) {
+		res.UsefulThroughput = 0
+	}
+	if totalAchieved > 0 {
+		res.AvgLatencyMs = latNumerator / totalAchieved
+	}
+	return res, nil
+}
+
+// evaluateFullSpeed solves the saturated regime: the system drains the
+// stream at the highest rate at which no engine's share exceeds its
+// capacity. Contention and drain are mutually dependent — a co-located
+// engine only steals CPU in proportion to how busy the achievable drain
+// keeps it — so the solution is a damped fixed point.
+func evaluateFullSpeed(cfg Config, engines []EngineLoad, vmOf []int, res *Result) (*Result, error) {
+	n := len(engines)
+	groupRate := make(map[string]float64)
+	for i := range engines {
+		groupRate[engines[i].Grouping] += engines[i].OfferedRate
+	}
+	frac := make([]float64, n)
+	for i := range engines {
+		if gr := groupRate[engines[i].Grouping]; gr > 0 {
+			frac[i] = engines[i].OfferedRate / gr
+		}
+	}
+
+	eff := make([]float64, n)
+	util := make([]float64, n)
+	for i := range engines {
+		eff[i] = engines[i].BaseLatencyMs
+		util[i] = 1
+		if engines[i].OfferedRate <= 0 {
+			util[i] = 0
+		}
+	}
+	var groupDrain map[string]float64
+	solveDrain := func() map[string]float64 {
+		drains := make(map[string]float64)
+		for i := range engines {
+			g := engines[i].Grouping
+			cap := math.Inf(1)
+			if eff[i] > 0 {
+				cap = 1000 / eff[i]
+			}
+			drain := math.Inf(1)
+			if frac[i] > 0 {
+				drain = cap / frac[i]
+			}
+			// The grouping cannot drain faster than its stream arrives.
+			if drain > groupRate[g] {
+				drain = groupRate[g]
+			}
+			if cur, ok := drains[g]; !ok || drain < cur {
+				drains[g] = drain
+			}
+		}
+		return drains
+	}
+	for it := 0; it < cfg.MaxIterations; it++ {
+		for i := range engines {
+			others := 0.0
+			for j := range engines {
+				if j != i && vmOf[j] == vmOf[i] {
+					others += engines[j].BaseLatencyMs * util[j]
+				}
+			}
+			others /= float64(cfg.CoresPerVM)
+			e := cfg.Model.EffectiveLatencyMs(engines[i].BaseLatencyMs, []float64{others})
+			if e < engines[i].BaseLatencyMs {
+				e = engines[i].BaseLatencyMs
+			}
+			eff[i] = e
+		}
+		groupDrain = solveDrain()
+		maxDelta := 0.0
+		for i := range engines {
+			newU := 0.0
+			if engines[i].OfferedRate > 0 {
+				newU = math.Min(1, groupDrain[engines[i].Grouping]*frac[i]*eff[i]/1000)
+			}
+			d := math.Abs(newU - util[i])
+			if d > maxDelta {
+				maxDelta = d
+			}
+			util[i] = 0.5*util[i] + 0.5*newU
+		}
+		if maxDelta < 1e-9 {
+			break
+		}
+	}
+	groupDrain = solveDrain()
+
+	useful := math.Inf(1)
+	for _, d := range groupDrain {
+		if d < useful {
+			useful = d
+		}
+	}
+	if math.IsInf(useful, 1) {
+		useful = 0
+	}
+
+	var latNum, latDen float64
+	for i := range engines {
+		er := &res.Engines[i]
+		g := engines[i].Grouping
+		er.EffLatencyMs = eff[i]
+		er.ObservedLatencyMs = eff[i]
+		er.AchievedRate = groupDrain[g] * frac[i]
+		if eff[i] > 0 {
+			er.Utilization = math.Min(1, er.AchievedRate*eff[i]/1000)
+		}
+		res.GroupingThroughput[g] += er.AchievedRate
+		latNum += eff[i] * er.AchievedRate
+		latDen += er.AchievedRate
+	}
+	res.UsefulThroughput = useful
+	if latDen > 0 {
+		res.AvgLatencyMs = latNum / latDen
+	}
+	return res, nil
+}
+
+// utilizationOf is offered work per unit time, capped at full busy.
+func utilizationOf(rate, latencyMs float64) float64 {
+	if latencyMs <= 0 {
+		return 0
+	}
+	u := rate * latencyMs / 1000
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// achievedRate is the sustainable processing rate.
+func achievedRate(rate, latencyMs float64) float64 {
+	if latencyMs <= 0 {
+		return rate
+	}
+	service := 1000 / latencyMs
+	return math.Min(rate, service)
+}
+
+// LoadsFromAllocation converts an Algorithm 2 allocation into engine loads:
+// one engine per allocated slot, offered the partition's per-engine rate at
+// the plan's estimated latency.
+func LoadsFromAllocation(alloc *core.Allocation) []EngineLoad {
+	var out []EngineLoad
+	for _, plan := range alloc.Groupings {
+		for e := 0; e < plan.UsedEngines; e++ {
+			out = append(out, EngineLoad{
+				Grouping:      plan.Name,
+				OfferedRate:   plan.Partition.Rate[e],
+				BaseLatencyMs: plan.EngineLatencyMs[e],
+			})
+		}
+		// Granted-but-idle engines still occupy slots (and would add
+		// contention if they were busy; they are not).
+		for e := plan.UsedEngines; e < plan.Engines; e++ {
+			out = append(out, EngineLoad{Grouping: plan.Name, OfferedRate: 0, BaseLatencyMs: 0})
+		}
+	}
+	return out
+}

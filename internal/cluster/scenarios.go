@@ -1,0 +1,360 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"trafficcep/internal/busdata"
+	"trafficcep/internal/core"
+)
+
+// This file builds the concrete workload scenarios of the paper's
+// evaluation (§5.3–§5.6) on top of the cluster model, so that the benchmark
+// harness and cmd/experiments regenerate each figure from one shared
+// definition.
+
+// SpatialSpec holds the per-granularity region rates of the monitored city.
+// Every tuple belongs to exactly one region of each granularity, so all
+// granularities carry the same total rate.
+type SpatialSpec struct {
+	Layer2 []core.RegionRate
+	Layer3 []core.RegionRate
+	Leaves []core.RegionRate
+	Stops  []core.RegionRate
+}
+
+// SyntheticSpatial builds a deterministic, centre-skewed region catalogue:
+// 16 layer-2 areas, 64 layer-3 areas, 256 leaves and 300 bus stops, whose
+// rates sum to totalRate at every granularity (mirroring the unbalanced
+// quadtree of Figure 6).
+func SyntheticSpatial(totalRate float64) SpatialSpec {
+	spec := SpatialSpec{}
+	// Leaves: exponential decay over a shuffled-deterministic order, so a
+	// few central leaves dominate.
+	const nLeaves = 256
+	weights := make([]float64, nLeaves)
+	sum := 0.0
+	for i := 0; i < nLeaves; i++ {
+		w := math.Exp(-float64((i*37)%nLeaves) / 60)
+		weights[i] = w
+		sum += w
+	}
+	for i := 0; i < nLeaves; i++ {
+		spec.Leaves = append(spec.Leaves, core.RegionRate{
+			Location: fmt.Sprintf("leaf%03d", i),
+			Rate:     totalRate * weights[i] / sum,
+		})
+	}
+	// Layer 3: 4 leaves per area; layer 2: 4 layer-3 areas per area.
+	for i := 0; i < 64; i++ {
+		rate := 0.0
+		for j := 0; j < 4; j++ {
+			rate += spec.Leaves[i*4+j].Rate
+		}
+		spec.Layer3 = append(spec.Layer3, core.RegionRate{
+			Location: fmt.Sprintf("l3-%02d", i), Rate: rate,
+		})
+	}
+	for i := 0; i < 16; i++ {
+		rate := 0.0
+		for j := 0; j < 4; j++ {
+			rate += spec.Layer3[i*4+j].Rate
+		}
+		spec.Layer2 = append(spec.Layer2, core.RegionRate{
+			Location: fmt.Sprintf("l2-%02d", i), Rate: rate,
+		})
+	}
+	// Stops: Zipf-like skew.
+	const nStops = 300
+	sum = 0
+	sw := make([]float64, nStops)
+	for i := 0; i < nStops; i++ {
+		sw[i] = 1 / math.Pow(float64(i+1), 0.8)
+		sum += sw[i]
+	}
+	for i := 0; i < nStops; i++ {
+		spec.Stops = append(spec.Stops, core.RegionRate{
+			Location: fmt.Sprintf("stop%03d", i),
+			Rate:     totalRate * sw[i] / sum,
+		})
+	}
+	return spec
+}
+
+// TemplateRules expands Table 6 style parameter grids into rules: one rule
+// per (attribute, window).
+func TemplateRules(prefix string, attrs []string, windows []int, kind core.LocationKind, layer int) []core.Rule {
+	var out []core.Rule
+	for _, w := range windows {
+		for _, a := range attrs {
+			out = append(out, core.Rule{
+				Name:      fmt.Sprintf("%s-%s-w%d", prefix, a, w),
+				Attribute: a,
+				Kind:      kind,
+				Layer:     layer,
+				Window:    w,
+			})
+		}
+	}
+	return out
+}
+
+// FiveAttributes are the five attribute configurations of Table 6 (the
+// combined "Delay and Congestion" and "All" configurations are modelled as
+// the heavier single attributes here).
+var FiveAttributes = []string{
+	busdata.AttrDelay, busdata.AttrActualDelay, busdata.AttrSpeed,
+	busdata.AttrCongestion, busdata.AttrDelay, // "delay and congestion" proxy
+}
+
+// SweepPoint is one x/y pair of a figure series.
+type SweepPoint struct {
+	Engines    int
+	Throughput float64 // useful tuples/s
+	LatencyMs  float64 // mean observed latency
+}
+
+// evaluateAllocation runs Algorithm 2 (or a provided allocation) through
+// the cluster model.
+func evaluateAllocation(cfg Config, alloc *core.Allocation) (SweepPoint, error) {
+	res, err := Evaluate(cfg, LoadsFromAllocation(alloc))
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	return SweepPoint{Throughput: res.UsefulThroughput, LatencyMs: res.AvgLatencyMs}, nil
+}
+
+// AllocationScenario is the Figure 11 configuration: rules over quadtree
+// layers 2 and 3 plus the bus stops.
+type AllocationScenario struct {
+	Spec    SpatialSpec
+	Windows []int // the workload's window lengths
+	Model   *core.LatencyModel
+	VMs     int
+}
+
+// groups returns the per-layer groupings (round-robin baseline's view).
+func (s *AllocationScenario) groups() []core.LayerGroup {
+	return []core.LayerGroup{
+		{Name: "layer2", Rules: TemplateRules("l2", FiveAttributes, s.Windows, core.QuadtreeLayer, 2), Regions: s.Spec.Layer2},
+		{Name: "layer3", Rules: TemplateRules("l3", FiveAttributes, s.Windows, core.QuadtreeLayer, 3), Regions: s.Spec.Layer3},
+		{Name: "stops", Rules: TemplateRules("st", FiveAttributes, s.Windows, core.BusStops, 0), Regions: s.Spec.Stops},
+	}
+}
+
+// groupingOptions enumerates the candidate layer-groupings the start-up
+// optimizer considers (§4.2.2): everything merged; layers merged with stops
+// separate; all separate.
+func (s *AllocationScenario) groupingOptions() ([][]core.LayerGroup, error) {
+	per := s.groups()
+	all, err := core.MergeGroups("all", per...)
+	if err != nil {
+		return nil, err
+	}
+	layers, err := core.MergeGroups("layers", per[0], per[1])
+	if err != nil {
+		return nil, err
+	}
+	return [][]core.LayerGroup{
+		{all},
+		{layers, per[2]},
+		per,
+	}, nil
+}
+
+// Proposed runs Algorithm 2 over every grouping option feasible at the
+// engine count, estimates each option through the full model — Functions
+// 1+2 for engine latencies, Function 3 for node co-location, exactly the
+// Figure 7 composition — and returns the best option's evaluation.
+func (s *AllocationScenario) Proposed(engines int) (SweepPoint, *core.Allocation, error) {
+	options, err := s.groupingOptions()
+	if err != nil {
+		return SweepPoint{}, nil, err
+	}
+	var (
+		best    *core.Allocation
+		bestPt  SweepPoint
+		haveOne bool
+	)
+	cfg := Config{VMs: s.VMs, Model: s.Model, FullSpeed: true}
+	for _, opt := range options {
+		// The optimizer may also leave engines unused when co-location
+		// contention would make an extra engine counter-productive.
+		for granted := len(opt); granted <= engines; granted++ {
+			alloc, err := core.AllocateEngines(opt, granted, s.Model)
+			if err != nil {
+				return SweepPoint{}, nil, err
+			}
+			pt, err := evaluateAllocation(cfg, alloc)
+			if err != nil {
+				return SweepPoint{}, nil, err
+			}
+			if !haveOne || pt.Throughput > bestPt.Throughput {
+				best, bestPt, haveOne = alloc, pt, true
+			}
+		}
+	}
+	if !haveOne {
+		return SweepPoint{}, nil, fmt.Errorf("cluster: no grouping option feasible with %d engines", engines)
+	}
+	bestPt.Engines = engines
+	return bestPt, best, nil
+}
+
+// RoundRobin evaluates the per-layer round-robin baseline.
+func (s *AllocationScenario) RoundRobin(engines int) (SweepPoint, error) {
+	per := s.groups()
+	if engines < len(per) {
+		return SweepPoint{Engines: engines}, fmt.Errorf("cluster: round-robin needs >= %d engines", len(per))
+	}
+	alloc, err := core.RoundRobinAllocation(per, engines, s.Model)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	pt, err := evaluateAllocation(Config{VMs: s.VMs, Model: s.Model, FullSpeed: true}, alloc)
+	pt.Engines = engines
+	return pt, err
+}
+
+// PartitioningScenario is the Figure 12/13 configuration: ten rules (five
+// attributes over bus stops, five over quadtree leaves), window length 100.
+type PartitioningScenario struct {
+	Spec  SpatialSpec
+	Model *core.LatencyModel
+	VMs   int
+	// ThresholdsPerLocation defaults to 48 (24 h × 2 day types).
+	ThresholdsPerLocation float64
+}
+
+func (s *PartitioningScenario) thresholdsPerLoc() float64 {
+	if s.ThresholdsPerLocation <= 0 {
+		return 48
+	}
+	return s.ThresholdsPerLocation
+}
+
+func (s *PartitioningScenario) rules() []core.Rule {
+	stops := TemplateRules("st", FiveAttributes, []int{100}, core.BusStops, 0)
+	leaves := TemplateRules("lv", FiveAttributes, []int{100}, core.QuadtreeLeaves, 0)
+	return append(stops, leaves...)
+}
+
+func (s *PartitioningScenario) totalLocations() float64 {
+	return float64(len(s.Spec.Stops) + len(s.Spec.Leaves))
+}
+
+func (s *PartitioningScenario) totalRate() float64 {
+	t := 0.0
+	for _, r := range s.Spec.Leaves {
+		t += r.Rate
+	}
+	return t
+}
+
+// engineLatency estimates one engine running all ten rules with the given
+// number of locations resident.
+func (s *PartitioningScenario) engineLatency(locations float64) float64 {
+	var lats []float64
+	for _, r := range s.rules() {
+		lats = append(lats, s.Model.RuleLatencyMs(float64(r.Window), locations*s.thresholdsPerLoc()))
+	}
+	return s.Model.CombinedLatencyMs(lats)
+}
+
+// Ours evaluates the paper's partitioning: locations split across engines
+// (Algorithm 1) and tuples routed to exactly one engine.
+func (s *PartitioningScenario) Ours(engines int) (SweepPoint, error) {
+	part, err := core.PartitionRegions(s.Spec.Leaves, engines)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	lat := s.engineLatency(s.totalLocations() / float64(engines))
+	loads := make([]EngineLoad, engines)
+	for e := 0; e < engines; e++ {
+		loads[e] = EngineLoad{Grouping: "all", OfferedRate: part.Rate[e], BaseLatencyMs: lat}
+	}
+	res, err := Evaluate(Config{VMs: s.VMs, Model: s.Model, FullSpeed: true}, loads)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	return SweepPoint{Engines: engines, Throughput: res.UsefulThroughput, LatencyMs: res.AvgLatencyMs}, nil
+}
+
+// AllGrouping evaluates the baseline where locations are partitioned but
+// every tuple is broadcast to every engine: each engine must keep up with
+// the full stream.
+func (s *PartitioningScenario) AllGrouping(engines int) (SweepPoint, error) {
+	lat := s.engineLatency(s.totalLocations() / float64(engines))
+	loads := make([]EngineLoad, engines)
+	for e := 0; e < engines; e++ {
+		// Each engine is its own grouping: the tuple is complete only
+		// once every engine processed it.
+		loads[e] = EngineLoad{
+			Grouping:      fmt.Sprintf("bcast%d", e),
+			OfferedRate:   s.totalRate(),
+			BaseLatencyMs: lat,
+		}
+	}
+	res, err := Evaluate(Config{VMs: s.VMs, Model: s.Model, FullSpeed: true}, loads)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	return SweepPoint{Engines: engines, Throughput: res.UsefulThroughput, LatencyMs: res.AvgLatencyMs}, nil
+}
+
+// AllRules evaluates the baseline where every engine holds every location's
+// rules (full threshold load) while tuples are still routed by partition.
+func (s *PartitioningScenario) AllRules(engines int) (SweepPoint, error) {
+	part, err := core.PartitionRegions(s.Spec.Leaves, engines)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	lat := s.engineLatency(s.totalLocations())
+	loads := make([]EngineLoad, engines)
+	for e := 0; e < engines; e++ {
+		loads[e] = EngineLoad{Grouping: "all", OfferedRate: part.Rate[e], BaseLatencyMs: lat}
+	}
+	res, err := Evaluate(Config{VMs: s.VMs, Model: s.Model, FullSpeed: true}, loads)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	return SweepPoint{Engines: engines, Throughput: res.UsefulThroughput, LatencyMs: res.AvgLatencyMs}, nil
+}
+
+// WorkloadScenario is the Figure 14/15 (and 16/17) configuration: ten rules
+// per window length (five attributes × bus stops, five × leaves), run under
+// the proposed partitioning.
+type WorkloadScenario struct {
+	Spec    SpatialSpec
+	Model   *core.LatencyModel
+	VMs     int
+	Windows []int // e.g. {1}, {10}, {100}, {1,10}, {1,100}, {10,100}, {1,10,100}
+}
+
+// Evaluate runs the workload on the given engine count.
+func (s *WorkloadScenario) Evaluate(engines int) (SweepPoint, error) {
+	part, err := core.PartitionRegions(s.Spec.Leaves, engines)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	locsPerEngine := float64(len(s.Spec.Stops)+len(s.Spec.Leaves)) / float64(engines)
+	var lats []float64
+	for _, w := range s.Windows {
+		for range FiveAttributes {
+			// stops rule + leaves rule per attribute.
+			lats = append(lats,
+				s.Model.RuleLatencyMs(float64(w), locsPerEngine*48),
+				s.Model.RuleLatencyMs(float64(w), locsPerEngine*48))
+		}
+	}
+	lat := s.Model.CombinedLatencyMs(lats)
+	loads := make([]EngineLoad, engines)
+	for e := 0; e < engines; e++ {
+		loads[e] = EngineLoad{Grouping: "all", OfferedRate: part.Rate[e], BaseLatencyMs: lat}
+	}
+	res, err := Evaluate(Config{VMs: s.VMs, Model: s.Model, FullSpeed: true}, loads)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	return SweepPoint{Engines: engines, Throughput: res.UsefulThroughput, LatencyMs: res.AvgLatencyMs}, nil
+}

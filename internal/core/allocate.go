@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LayerGroup is one "grouping" in the sense of §4.2.2: a set of rules whose
+// spatial layers are partitioned together on the grouping's highest layer,
+// so that a tuple is transmitted to the grouping's engines once instead of
+// once per layer.
+type LayerGroup struct {
+	Name  string
+	Rules []Rule
+	// Regions are the partitionable locations of the grouping's highest
+	// layer with their input rates (Algorithm 1 operates on these).
+	Regions []RegionRate
+	// ThresholdsPerLocation is how many threshold rows each location
+	// contributes to a rule's threshold stream (hour-of-day × day-type;
+	// the statistics tables hold 24×2 = 48 per location). Defaults to 48.
+	ThresholdsPerLocation int
+}
+
+func (g *LayerGroup) thresholdsPerLocation() float64 {
+	if g.ThresholdsPerLocation <= 0 {
+		return 48
+	}
+	return float64(g.ThresholdsPerLocation)
+}
+
+// TotalRate is the grouping's aggregate input rate (tuples/second).
+func (g *LayerGroup) TotalRate() float64 {
+	t := 0.0
+	for _, r := range g.Regions {
+		t += r.Rate
+	}
+	return t
+}
+
+// GroupingPlan is the allocation decision for one grouping.
+type GroupingPlan struct {
+	Name    string
+	Engines int // engines granted to the grouping
+	// UsedEngines is how many granted engines actually receive regions;
+	// when extra engines would only unbalance the partition (more
+	// engines than regions, or a split that worsens the bottleneck),
+	// they are left idle.
+	UsedEngines int
+	// Partition is the Algorithm 1 split of the grouping's regions over
+	// the used engines.
+	Partition *Partition
+	// EngineLatencyMs[i] is the model-estimated per-tuple latency of
+	// engine i running all the grouping's rules over its region share.
+	EngineLatencyMs []float64
+	// ThroughputTps is the grouping's estimated achievable throughput.
+	ThroughputTps float64
+	// Score is the grouping's weighted score contribution (Equation 2).
+	Score float64
+}
+
+// Allocation is the output of Algorithm 2.
+type Allocation struct {
+	Groupings []GroupingPlan
+	// EnginesOf maps grouping name → engine count.
+	EnginesOf map[string]int
+	// Score is the total achieved score (Equation 2, summed over
+	// groupings) — the quantity the greedy loop maximizes.
+	Score float64
+	// PipelineTps is the end-to-end throughput estimate: every tuple must
+	// traverse every grouping, so the pipeline is bound by the slowest
+	// grouping. Use this to compare alternative grouping choices.
+	PipelineTps float64
+}
+
+// scoreGrouping evaluates one grouping granted k engines: for each usable
+// engine count k' <= k, Algorithm 1 splits the regions, Functions 1+2
+// estimate each engine's latency, and Equation 1 turns rates and latencies
+// into processing times; the plan keeps the k' that sustains the highest
+// throughput (extra engines that would only unbalance the split are left
+// idle). The grouping's score is the weighted throughput (Equation 2).
+func scoreGrouping(g *LayerGroup, k int, model *LatencyModel) (GroupingPlan, error) {
+	best := GroupingPlan{Name: g.Name, Engines: k, ThroughputTps: -1}
+	maxUseful := k
+	if n := len(g.Regions); maxUseful > n {
+		maxUseful = n
+	}
+	for kUsed := 1; kUsed <= maxUseful; kUsed++ {
+		part, err := PartitionRegions(g.Regions, kUsed)
+		if err != nil {
+			return GroupingPlan{}, err
+		}
+		plan := GroupingPlan{Name: g.Name, Engines: k, UsedEngines: kUsed, Partition: part}
+		total := part.TotalRate()
+		drain := math.Inf(1)
+		for e := 0; e < kUsed; e++ {
+			nLocs := float64(len(part.Engines[e]))
+			lats := make([]float64, 0, len(g.Rules))
+			for _, r := range g.Rules {
+				t := nLocs * g.thresholdsPerLocation()
+				lats = append(lats, model.RuleLatencyMs(float64(r.Window), t))
+			}
+			engineLat := model.CombinedLatencyMs(lats)
+			plan.EngineLatencyMs = append(plan.EngineLatencyMs, engineLat)
+
+			// Equation 1: time = inputRate × latency. Engine e handles
+			// the fraction f_e of the grouping's stream, so the
+			// grouping drains at min_e service_e / f_e — the bottleneck
+			// engine limits how fast the whole tuple set is processed
+			// ("the minimum time required to process its set of
+			// tuples", §4.2.2).
+			if total <= 0 || part.Rate[e] <= 0 {
+				continue
+			}
+			frac := part.Rate[e] / total
+			service := math.Inf(1)
+			if engineLat > 0 {
+				service = 1000 / engineLat // tuples per second
+			}
+			if d := service / frac; d < drain {
+				drain = d
+			}
+		}
+		if math.IsInf(drain, 1) {
+			drain = 0
+		}
+		// The grouping cannot usefully process more than arrives.
+		plan.ThroughputTps = math.Min(drain, total)
+		if plan.ThroughputTps > best.ThroughputTps {
+			best = plan
+		}
+	}
+	// Equation 2: weighted sum over the grouping's rules.
+	wsum := 0.0
+	for _, r := range g.Rules {
+		wsum += r.weight()
+	}
+	best.Score = wsum * best.ThroughputTps
+	return best, nil
+}
+
+// AllocateEngines implements Algorithm 2 (Rules Allocation): every grouping
+// first receives one engine; each remaining engine is granted greedily to
+// the grouping whose score improves the most, re-estimating scores with the
+// latency model at every step.
+func AllocateEngines(groups []LayerGroup, nEngines int, model *LatencyModel) (*Allocation, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("core: no groupings to allocate")
+	}
+	if nEngines < len(groups) {
+		return nil, fmt.Errorf("core: %d engines cannot cover %d groupings", nEngines, len(groups))
+	}
+	if model == nil {
+		model = DefaultLatencyModel()
+	}
+	for i := range groups {
+		if len(groups[i].Regions) == 0 {
+			return nil, fmt.Errorf("core: grouping %q has no regions", groups[i].Name)
+		}
+		if len(groups[i].Rules) == 0 {
+			return nil, fmt.Errorf("core: grouping %q has no rules", groups[i].Name)
+		}
+	}
+
+	engines := make([]int, len(groups))
+	plans := make([]GroupingPlan, len(groups))
+	for i := range groups {
+		engines[i] = 1
+		p, err := scoreGrouping(&groups[i], 1, model)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = p
+	}
+
+	for extra := nEngines - len(groups); extra > 0; extra-- {
+		best := -1
+		var bestPlan GroupingPlan
+		bestGain := math.Inf(-1)
+		for i := range groups {
+			cand, err := scoreGrouping(&groups[i], engines[i]+1, model)
+			if err != nil {
+				return nil, err
+			}
+			gain := cand.Score - plans[i].Score
+			if gain > bestGain {
+				bestGain = gain
+				best = i
+				bestPlan = cand
+			}
+		}
+		engines[best]++
+		plans[best] = bestPlan
+	}
+
+	alloc := &Allocation{EnginesOf: make(map[string]int, len(groups))}
+	alloc.PipelineTps = math.Inf(1)
+	for i := range groups {
+		alloc.Groupings = append(alloc.Groupings, plans[i])
+		alloc.EnginesOf[groups[i].Name] = engines[i]
+		alloc.Score += plans[i].Score
+		if plans[i].ThroughputTps < alloc.PipelineTps {
+			alloc.PipelineTps = plans[i].ThroughputTps
+		}
+	}
+	return alloc, nil
+}
+
+// RoundRobinAllocation is the Figure 11 baseline: "a simple round-robin
+// approach that considers the rules based on the layer of the quadtree they
+// belong [to]. The algorithm assigns the engines to these layers via a
+// round-robin fashion." Each grouping is one layer; engines are dealt out
+// one at a time in layer order.
+func RoundRobinAllocation(groups []LayerGroup, nEngines int, model *LatencyModel) (*Allocation, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("core: no groupings to allocate")
+	}
+	if nEngines < len(groups) {
+		return nil, fmt.Errorf("core: %d engines cannot cover %d groupings", nEngines, len(groups))
+	}
+	if model == nil {
+		model = DefaultLatencyModel()
+	}
+	engines := make([]int, len(groups))
+	for e := 0; e < nEngines; e++ {
+		engines[e%len(groups)]++
+	}
+	alloc := &Allocation{EnginesOf: make(map[string]int, len(groups))}
+	alloc.PipelineTps = math.Inf(1)
+	for i := range groups {
+		p, err := scoreGrouping(&groups[i], engines[i], model)
+		if err != nil {
+			return nil, err
+		}
+		alloc.Groupings = append(alloc.Groupings, p)
+		alloc.EnginesOf[groups[i].Name] = engines[i]
+		alloc.Score += p.Score
+		if p.ThroughputTps < alloc.PipelineTps {
+			alloc.PipelineTps = p.ThroughputTps
+		}
+	}
+	return alloc, nil
+}
+
+// MergeGroups combines several groupings into one that partitions on the
+// first grouping's regions (the highest layer), concatenating rules. This
+// models §4.2.2's "put all rules examining the second and third quadtree
+// layers in the same grouping".
+func MergeGroups(name string, groups ...LayerGroup) (LayerGroup, error) {
+	if len(groups) == 0 {
+		return LayerGroup{}, fmt.Errorf("core: nothing to merge")
+	}
+	out := LayerGroup{
+		Name:                  name,
+		Regions:               groups[0].Regions,
+		ThresholdsPerLocation: groups[0].ThresholdsPerLocation,
+	}
+	for _, g := range groups {
+		out.Rules = append(out.Rules, g.Rules...)
+	}
+	return out, nil
+}
+
+// SortedGroupNames returns grouping names sorted for deterministic output.
+func (a *Allocation) SortedGroupNames() []string {
+	names := make([]string, 0, len(a.EnginesOf))
+	for n := range a.EnginesOf {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

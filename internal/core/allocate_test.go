@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"trafficcep/internal/busdata"
+)
+
+func testRule(name string, window int) Rule {
+	return Rule{Name: name, Attribute: busdata.AttrDelay, Kind: QuadtreeLayer, Layer: 2, Window: window}
+}
+
+func testGroup(name string, nRegions int, ratePer float64, rules ...Rule) LayerGroup {
+	var rs []RegionRate
+	for i := 0; i < nRegions; i++ {
+		rs = append(rs, RegionRate{Location: name + "-r" + string(rune('a'+i)), Rate: ratePer})
+	}
+	return LayerGroup{Name: name, Rules: rules, Regions: rs}
+}
+
+func TestAllocateValidation(t *testing.T) {
+	g := testGroup("g", 3, 10, testRule("r", 10))
+	if _, err := AllocateEngines(nil, 3, nil); err == nil {
+		t.Error("no groupings must fail")
+	}
+	if _, err := AllocateEngines([]LayerGroup{g, g}, 1, nil); err == nil {
+		t.Error("fewer engines than groupings must fail")
+	}
+	empty := LayerGroup{Name: "e", Rules: []Rule{testRule("r", 1)}}
+	if _, err := AllocateEngines([]LayerGroup{empty}, 1, nil); err == nil {
+		t.Error("grouping without regions must fail")
+	}
+	noRules := testGroup("n", 2, 1)
+	if _, err := AllocateEngines([]LayerGroup{noRules}, 1, nil); err == nil {
+		t.Error("grouping without rules must fail")
+	}
+}
+
+func TestAllocateAllEnginesUsed(t *testing.T) {
+	groups := []LayerGroup{
+		testGroup("layers", 8, 100, testRule("r1", 10), testRule("r2", 100)),
+		testGroup("stops", 20, 40, testRule("r3", 100)),
+	}
+	alloc, err := AllocateEngines(groups, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range alloc.EnginesOf {
+		if n < 1 {
+			t.Fatalf("grouping with %d engines", n)
+		}
+		total += n
+	}
+	if total != 10 {
+		t.Fatalf("engines used = %d, want 10", total)
+	}
+	if alloc.Score <= 0 {
+		t.Fatal("score must be positive")
+	}
+}
+
+func TestAllocateFavorsHeavyGrouping(t *testing.T) {
+	// A grouping with 10x the input rate and heavier rules must receive
+	// more engines.
+	groups := []LayerGroup{
+		testGroup("heavy", 12, 500, testRule("h1", 1000), testRule("h2", 1000)),
+		testGroup("light", 12, 5, testRule("l1", 1)),
+	}
+	alloc, err := AllocateEngines(groups, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.EnginesOf["heavy"] <= alloc.EnginesOf["light"] {
+		t.Fatalf("engines: heavy=%d light=%d; heavy must dominate",
+			alloc.EnginesOf["heavy"], alloc.EnginesOf["light"])
+	}
+}
+
+func TestAllocateMonotoneScore(t *testing.T) {
+	groups := []LayerGroup{
+		testGroup("a", 10, 200, testRule("r1", 100)),
+		testGroup("b", 10, 200, testRule("r2", 100)),
+	}
+	prev := 0.0
+	for n := 2; n <= 12; n += 2 {
+		alloc, err := AllocateEngines(groups, n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alloc.Score+1e-9 < prev {
+			t.Fatalf("score decreased with more engines: %v -> %v at n=%d", prev, alloc.Score, n)
+		}
+		prev = alloc.Score
+	}
+}
+
+func TestAllocateBeatsRoundRobinOnSkewedGroups(t *testing.T) {
+	// Round-robin deals engines equally; the greedy allocator shifts
+	// engines to the loaded grouping, yielding a higher score.
+	groups := []LayerGroup{
+		testGroup("hot", 16, 800, testRule("h", 1000)),
+		testGroup("cold", 4, 2, testRule("c", 1)),
+	}
+	for _, n := range []int{6, 10, 14} {
+		ours, err := AllocateEngines(groups, n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := RoundRobinAllocation(groups, n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ours.Score < rr.Score {
+			t.Fatalf("n=%d: our score %v < round-robin %v", n, ours.Score, rr.Score)
+		}
+	}
+}
+
+func TestRoundRobinDealsEvenly(t *testing.T) {
+	groups := []LayerGroup{
+		testGroup("a", 4, 10, testRule("r1", 10)),
+		testGroup("b", 4, 10, testRule("r2", 10)),
+		testGroup("c", 4, 10, testRule("r3", 10)),
+	}
+	alloc, err := RoundRobinAllocation(groups, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.EnginesOf["a"] != 3 || alloc.EnginesOf["b"] != 2 || alloc.EnginesOf["c"] != 2 {
+		t.Fatalf("round robin = %v", alloc.EnginesOf)
+	}
+}
+
+func TestMergeGroups(t *testing.T) {
+	a := testGroup("layer2", 4, 10, testRule("r1", 10))
+	b := testGroup("layer3", 16, 2.5, testRule("r2", 10))
+	m, err := MergeGroups("l2+l3", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Rules) != 2 {
+		t.Fatalf("rules = %d", len(m.Rules))
+	}
+	// Partitioning granularity is the first (highest) group's regions.
+	if len(m.Regions) != 4 {
+		t.Fatalf("regions = %d, want 4 (highest layer)", len(m.Regions))
+	}
+	if _, err := MergeGroups("x"); err == nil {
+		t.Error("empty merge must fail")
+	}
+}
+
+func TestMergedGroupingAvoidsRetransmission(t *testing.T) {
+	// The core claim behind Figure 11: merging layers into one grouping
+	// processes each tuple once, while separate per-layer groupings
+	// re-transmit every tuple to each layer's engines. With the same
+	// engine budget, the merged grouping should achieve at least the
+	// per-layer throughput when the engines are the bottleneck.
+	l2 := testGroup("layer2", 4, 250, testRule("r2", 100))
+	l3 := testGroup("layer3", 16, 62.5, testRule("r3", 100))
+	merged, err := MergeGroups("merged", l2, l3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := DefaultLatencyModel()
+	const engines = 6
+
+	mergedAlloc, err := AllocateEngines([]LayerGroup{merged}, engines, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := RoundRobinAllocation([]LayerGroup{l2, l3}, engines, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mergedTput, splitTput float64
+	for _, g := range mergedAlloc.Groupings {
+		mergedTput += g.ThroughputTps
+	}
+	for _, g := range split.Groupings {
+		// Each tuple must be processed by both layers to count as done;
+		// the effective pipeline rate is bounded by the slower layer.
+		if splitTput == 0 || g.ThroughputTps < splitTput {
+			splitTput = g.ThroughputTps
+		}
+	}
+	if mergedTput < splitTput {
+		t.Fatalf("merged throughput %v < split %v", mergedTput, splitTput)
+	}
+}
+
+func TestSortedGroupNames(t *testing.T) {
+	groups := []LayerGroup{
+		testGroup("zeta", 2, 1, testRule("r1", 1)),
+		testGroup("alpha", 2, 1, testRule("r2", 1)),
+	}
+	alloc, err := AllocateEngines(groups, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := alloc.SortedGroupNames()
+	if names[0] != "alpha" || names[1] != "zeta" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestLatencyModelDefaults(t *testing.T) {
+	m := DefaultLatencyModel()
+	// Function 1 grows in both window and thresholds.
+	if !(m.RuleLatencyMs(1000, 10) > m.RuleLatencyMs(10, 10)) {
+		t.Error("latency must grow with window")
+	}
+	if !(m.RuleLatencyMs(10, 1000) > m.RuleLatencyMs(10, 10)) {
+		t.Error("latency must grow with thresholds")
+	}
+	// Function 2 folding: more rules, more latency.
+	l1 := m.CombinedLatencyMs([]float64{1})
+	l2 := m.CombinedLatencyMs([]float64{1, 1})
+	l3 := m.CombinedLatencyMs([]float64{1, 1, 1})
+	if !(l3 > l2 && l2 > l1) {
+		t.Errorf("combined latencies not increasing: %v %v %v", l1, l2, l3)
+	}
+	if m.CombinedLatencyMs(nil) != 0 {
+		t.Error("no rules, no latency")
+	}
+	// Function 3: co-location adds latency.
+	if !(m.EffectiveLatencyMs(1, []float64{1, 1}) > m.EffectiveLatencyMs(1, nil)) {
+		t.Error("co-location must add latency")
+	}
+}
+
+func TestWeightedRulesAttractEngines(t *testing.T) {
+	// Equation 2's w_i: with identical groupings, weighting one side's
+	// rules must grant it at least as many engines, and strictly more
+	// somewhere in the sweep.
+	// Skewed, high rates so every added engine changes the bottleneck
+	// share and has a positive marginal gain (equal rates create
+	// zero-gain plateaus at non-divisor engine counts, where weights
+	// cannot matter).
+	skewed := func(name string) []RegionRate {
+		var rs []RegionRate
+		for i := 0; i < 24; i++ {
+			rs = append(rs, RegionRate{Location: fmt.Sprintf("%s-%02d", name, i), Rate: 500 * float64(i+1)})
+		}
+		return rs
+	}
+	mk := func(weight float64) []LayerGroup {
+		return []LayerGroup{
+			{Name: "weighted", Regions: skewed("w"), Rules: []Rule{{
+				Name: "ra", Attribute: busdata.AttrDelay, Kind: QuadtreeLeaves,
+				Window: 100, Weight: weight,
+			}}},
+			{Name: "plain", Regions: skewed("p"), Rules: []Rule{{
+				Name: "rb", Attribute: busdata.AttrSpeed, Kind: QuadtreeLeaves, Window: 100,
+			}}},
+		}
+	}
+	strictly := false
+	for _, n := range []int{5, 7, 9, 11} {
+		balanced, err := AllocateEngines(mk(1), n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		weighted, err := AllocateEngines(mk(25), n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if weighted.EnginesOf["weighted"] < balanced.EnginesOf["weighted"] {
+			t.Fatalf("n=%d: weighting lost engines (%d -> %d)",
+				n, balanced.EnginesOf["weighted"], weighted.EnginesOf["weighted"])
+		}
+		if weighted.EnginesOf["weighted"] > balanced.EnginesOf["weighted"] {
+			strictly = true
+		}
+	}
+	if !strictly {
+		t.Fatal("weighting never changed the allocation")
+	}
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+
+	"trafficcep/internal/busdata"
+	"trafficcep/internal/dfs"
+	"trafficcep/internal/mapreduce"
+	"trafficcep/internal/sqlstore"
+)
+
+// HistoryRecord is one pre-processed trace persisted to the distributed
+// file system for the batch layer (§3.2: "The pre-processed data before
+// being forwarded to the Esper engines, are stored to a distributed
+// filesystem").
+type HistoryRecord struct {
+	Hour        int
+	Day         busdata.DayType
+	StopID      string
+	Areas       []string // quadtree path, root first
+	Delay       float64
+	ActualDelay float64
+	Speed       float64
+	Congestion  bool
+}
+
+// MarshalLine renders the record as one history CSV line.
+func (h HistoryRecord) MarshalLine() string {
+	cong := "0"
+	if h.Congestion {
+		cong = "1"
+	}
+	return strings.Join([]string{
+		strconv.Itoa(h.Hour),
+		h.Day.String(),
+		h.StopID,
+		strings.Join(h.Areas, "|"),
+		strconv.FormatFloat(h.Delay, 'g', -1, 64),
+		strconv.FormatFloat(h.ActualDelay, 'g', -1, 64),
+		strconv.FormatFloat(h.Speed, 'g', -1, 64),
+		cong,
+	}, ",")
+}
+
+// ParseHistoryLine parses one history CSV line.
+func ParseHistoryLine(line string) (HistoryRecord, error) {
+	parts := strings.Split(line, ",")
+	if len(parts) != 8 {
+		return HistoryRecord{}, fmt.Errorf("core: history line has %d fields, want 8", len(parts))
+	}
+	hour, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return HistoryRecord{}, fmt.Errorf("core: bad hour %q: %w", parts[0], err)
+	}
+	day := busdata.Weekday
+	if parts[1] == busdata.Weekend.String() {
+		day = busdata.Weekend
+	}
+	delay, err := strconv.ParseFloat(parts[4], 64)
+	if err != nil {
+		return HistoryRecord{}, fmt.Errorf("core: bad delay %q: %w", parts[4], err)
+	}
+	actual, err := strconv.ParseFloat(parts[5], 64)
+	if err != nil {
+		return HistoryRecord{}, fmt.Errorf("core: bad actualDelay %q: %w", parts[5], err)
+	}
+	speed, err := strconv.ParseFloat(parts[6], 64)
+	if err != nil {
+		return HistoryRecord{}, fmt.Errorf("core: bad speed %q: %w", parts[6], err)
+	}
+	var areas []string
+	if parts[3] != "" {
+		areas = strings.Split(parts[3], "|")
+	}
+	return HistoryRecord{
+		Hour: hour, Day: day, StopID: parts[2], Areas: areas,
+		Delay: delay, ActualDelay: actual, Speed: speed, Congestion: parts[7] == "1",
+	}, nil
+}
+
+const statsKeySep = "\x1f"
+
+// statsMapper emits (attribute, location, hour, day) → value for every
+// monitorable attribute and every spatial granularity of the record: the
+// bus stop and each quadtree area on the record's path.
+func statsMapper(_ int64, line string, emit func(k, v string)) error {
+	rec, err := ParseHistoryLine(line)
+	if err != nil {
+		return err
+	}
+	locations := make([]string, 0, len(rec.Areas)+1)
+	if rec.StopID != "" {
+		locations = append(locations, rec.StopID)
+	}
+	locations = append(locations, rec.Areas...)
+	values := map[string]float64{
+		busdata.AttrDelay:       rec.Delay,
+		busdata.AttrActualDelay: rec.ActualDelay,
+		busdata.AttrSpeed:       rec.Speed,
+		busdata.AttrCongestion:  0,
+	}
+	if rec.Congestion {
+		values[busdata.AttrCongestion] = 1
+	}
+	for _, attr := range busdata.Attributes {
+		v := strconv.FormatFloat(values[attr], 'g', -1, 64)
+		for _, loc := range locations {
+			key := strings.Join([]string{attr, loc, strconv.Itoa(rec.Hour), rec.Day.String()}, statsKeySep)
+			emit(key, v)
+		}
+	}
+	return nil
+}
+
+// statsReducer computes mean and sample standard deviation per key
+// (§4.1.3: "The reducers aggregate the parameters' values for the different
+// spatial locations and then compute the mean and the standard deviation").
+func statsReducer(key string, values []string, emit func(k, v string)) error {
+	var n int
+	var sum, sumSq float64
+	for _, s := range values {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("core: bad stat value %q for key %q: %w", s, key, err)
+		}
+		n++
+		sum += v
+		sumSq += v * v
+	}
+	if n == 0 {
+		return nil
+	}
+	mean := sum / float64(n)
+	stdv := 0.0
+	if n > 1 {
+		variance := (sumSq - float64(n)*mean*mean) / float64(n-1)
+		if variance > 0 {
+			stdv = math.Sqrt(variance)
+		}
+	}
+	emit(key, fmt.Sprintf("%g,%g,%d", mean, stdv, n))
+	return nil
+}
+
+// StatsJobConfig configures one statistics batch run.
+type StatsJobConfig struct {
+	FS          *dfs.FS
+	InputPaths  []string
+	OutputPath  string // defaults to "batch/stats"
+	NumReducers int    // defaults to 4
+}
+
+// RunStatsJob executes the Hadoop-style statistics job over historical data
+// and returns the per-(attribute, location, hour, day) statistics.
+func RunStatsJob(cfg StatsJobConfig) ([]sqlstore.StatRow, *mapreduce.Result, error) {
+	if cfg.OutputPath == "" {
+		cfg.OutputPath = "batch/stats"
+	}
+	if cfg.NumReducers <= 0 {
+		cfg.NumReducers = 4
+	}
+	res, err := mapreduce.Run(mapreduce.Config{
+		Name:        "traffic-statistics",
+		FS:          cfg.FS,
+		InputPaths:  cfg.InputPaths,
+		OutputPath:  cfg.OutputPath,
+		Mapper:      statsMapper,
+		Reducer:     statsReducer,
+		NumReducers: cfg.NumReducers,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	kvs, err := mapreduce.ReadOutput(cfg.FS, cfg.OutputPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := make([]sqlstore.StatRow, 0, len(kvs))
+	for _, kv := range kvs {
+		row, err := parseStatKV(kv)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, res, nil
+}
+
+func parseStatKV(kv mapreduce.KeyValue) (sqlstore.StatRow, error) {
+	kparts := strings.Split(kv.Key, statsKeySep)
+	if len(kparts) != 4 {
+		return sqlstore.StatRow{}, fmt.Errorf("core: malformed stats key %q", kv.Key)
+	}
+	hour, err := strconv.Atoi(kparts[2])
+	if err != nil {
+		return sqlstore.StatRow{}, fmt.Errorf("core: bad hour in stats key %q: %w", kv.Key, err)
+	}
+	day := busdata.Weekday
+	if kparts[3] == busdata.Weekend.String() {
+		day = busdata.Weekend
+	}
+	vparts := strings.Split(kv.Value, ",")
+	if len(vparts) != 3 {
+		return sqlstore.StatRow{}, fmt.Errorf("core: malformed stats value %q", kv.Value)
+	}
+	mean, err := strconv.ParseFloat(vparts[0], 64)
+	if err != nil {
+		return sqlstore.StatRow{}, fmt.Errorf("core: bad mean %q: %w", vparts[0], err)
+	}
+	stdv, err := strconv.ParseFloat(vparts[1], 64)
+	if err != nil {
+		return sqlstore.StatRow{}, fmt.Errorf("core: bad stdv %q: %w", vparts[1], err)
+	}
+	return sqlstore.StatRow{
+		Attribute: kparts[0], Location: kparts[1],
+		Hour: hour, Day: day, Mean: mean, Stdv: stdv,
+	}, nil
+}
+
+// DynamicManager wires the batch loop of §4.1.3 together: it runs the
+// statistics job over the accumulated history, upserts the results into the
+// storage medium, and refreshes every registered rule installation so the
+// running engines pick up the new thresholds in real time.
+type DynamicManager struct {
+	FS            *dfs.FS
+	Store         *sqlstore.ThresholdStore
+	HistoryPrefix string // defaults to "history/"
+	NumReducers   int
+
+	mu       sync.Mutex
+	installs []*InstalledRule
+	runs     int
+}
+
+// Register adds a rule installation to be refreshed after each batch run.
+func (m *DynamicManager) Register(inst *InstalledRule) {
+	m.mu.Lock()
+	m.installs = append(m.installs, inst)
+	m.mu.Unlock()
+}
+
+// AppendHistory persists one record for the batch layer.
+func (m *DynamicManager) AppendHistory(rec HistoryRecord) error {
+	return m.FS.AppendLine(m.historyPath(), rec.MarshalLine())
+}
+
+func (m *DynamicManager) historyPath() string {
+	prefix := m.HistoryPrefix
+	if prefix == "" {
+		prefix = "history/"
+	}
+	return prefix + "traces"
+}
+
+// RunOnce executes one batch cycle: statistics job → store upsert → rule
+// refresh. It returns the number of statistic rows produced.
+func (m *DynamicManager) RunOnce() (int, error) {
+	prefix := m.HistoryPrefix
+	if prefix == "" {
+		prefix = "history/"
+	}
+	inputs := m.FS.List(prefix)
+	if len(inputs) == 0 {
+		return 0, fmt.Errorf("core: no history under %q", prefix)
+	}
+	m.mu.Lock()
+	m.runs++
+	out := fmt.Sprintf("batch/stats-run%d", m.runs)
+	m.mu.Unlock()
+
+	rows, _, err := RunStatsJob(StatsJobConfig{
+		FS: m.FS, InputPaths: inputs, OutputPath: out, NumReducers: m.NumReducers,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := m.Store.Put(rows); err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	installs := append([]*InstalledRule(nil), m.installs...)
+	m.mu.Unlock()
+	for _, inst := range installs {
+		if err := inst.Refresh(); err != nil {
+			return 0, fmt.Errorf("core: refreshing rule %q: %w", inst.Rule.Name, err)
+		}
+	}
+	return len(rows), nil
+}
+
+// Runs returns how many batch cycles have completed.
+func (m *DynamicManager) Runs() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.runs
+}

@@ -1,0 +1,86 @@
+package core_test
+
+import (
+	"fmt"
+
+	"trafficcep/internal/busdata"
+	"trafficcep/internal/core"
+)
+
+// ExamplePartitionRegions shows Algorithm 1: balancing a rule's spatial
+// locations over engines by input rate.
+func ExamplePartitionRegions() {
+	regions := []core.RegionRate{
+		{Location: "centre", Rate: 900},
+		{Location: "docklands", Rate: 500},
+		{Location: "rathmines", Rate: 300},
+		{Location: "howth", Rate: 100},
+	}
+	p, err := core.PartitionRegions(regions, 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for e := range p.Engines {
+		fmt.Printf("engine %d: rate %.0f\n", e, p.Rate[e])
+	}
+	fmt.Printf("imbalance %.2f\n", p.Imbalance())
+	// Output:
+	// engine 0: rate 900
+	// engine 1: rate 900
+	// imbalance 1.00
+}
+
+// ExampleRule_StreamEPL renders the paper's generic rule template (§3.3) as
+// the Listing 1 EPL statement.
+func ExampleRule_StreamEPL() {
+	r := core.Rule{
+		Name:      "delayHotspot",
+		Attribute: busdata.AttrDelay,
+		Kind:      core.QuadtreeLeaves,
+		Window:    10,
+	}
+	fmt.Println(r.StreamEPL())
+	// Output:
+	// SELECT bd2.leafArea AS location, avg(bd2.delay) AS observed, avg(thresholds.value) AS threshold
+	// FROM bus.std:lastevent() AS bd UNIDIRECTIONAL,
+	//      bus.std:groupwin(leafArea).win:length(10) AS bd2,
+	//      thresholds_delayHotspot.win:keepall() AS thresholds
+	// WHERE bd.hour = thresholds.hour AND bd.day = thresholds.day
+	//   AND bd.leafArea = thresholds.location AND bd.leafArea = bd2.leafArea
+	// GROUP BY bd2.leafArea
+	// HAVING avg(bd2.delay) > avg(thresholds.value)
+}
+
+// ExampleAllocateEngines shows Algorithm 2 granting engines to groupings by
+// greedy score gain.
+func ExampleAllocateEngines() {
+	groups := []core.LayerGroup{
+		{
+			Name:  "city",
+			Rules: []core.Rule{{Name: "r1", Attribute: busdata.AttrDelay, Window: 100}},
+			Regions: []core.RegionRate{
+				{Location: "a", Rate: 4000}, {Location: "b", Rate: 3000},
+				{Location: "c", Rate: 2000}, {Location: "d", Rate: 1000},
+			},
+		},
+		{
+			Name:  "suburbs",
+			Rules: []core.Rule{{Name: "r2", Attribute: busdata.AttrSpeed, Window: 10}},
+			Regions: []core.RegionRate{
+				{Location: "x", Rate: 60}, {Location: "y", Rate: 40},
+			},
+		},
+	}
+	alloc, err := core.AllocateEngines(groups, 5, nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, name := range alloc.SortedGroupNames() {
+		fmt.Printf("%s: %d engines\n", name, alloc.EnginesOf[name])
+	}
+	// Output:
+	// city: 4 engines
+	// suburbs: 1 engines
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestMeasureRuleLatencyGrowsWithWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live measurement")
+	}
+	small, err := MeasureRuleLatencyMs(1, 24, 12, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := MeasureRuleLatencyMs(1000, 24, 12, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small <= 0 || big <= 0 {
+		t.Fatalf("latencies must be positive: %v, %v", small, big)
+	}
+	// A 1000-tuple window aggregates far more per evaluation than a
+	// 1-tuple window; allow generous noise headroom.
+	if big < small {
+		t.Fatalf("window=1000 latency %v below window=1 latency %v", big, small)
+	}
+}
+
+func TestMeasurePairAtLeastAsExpensive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live measurement")
+	}
+	solo, err := MeasureRuleLatencyMs(100, 48, 12, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := MeasurePairLatencyMs(100, 48, 100, 48, 12, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two identical rules in one engine process every event twice; allow
+	// timing noise but the pair must not be cheaper than ~the solo run.
+	if pair < solo*0.8 {
+		t.Fatalf("pair latency %v implausibly below solo %v", pair, solo)
+	}
+}
+
+func TestCalibrateLatencyModelSmallGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live measurement")
+	}
+	cfg := CalibrationConfig{
+		Windows:           []int{1, 100},
+		ThresholdCounts:   []int{24, 96},
+		EventsPerSample:   200,
+		Locations:         12,
+		PairSamples:       4,
+		ContentionEngines: 2,
+	}
+	model, data, err := CalibrateLatencyModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Fn1X) != 4 {
+		t.Fatalf("fn1 samples = %d", len(data.Fn1X))
+	}
+	if len(data.Fn2X) != 4 {
+		t.Fatalf("fn2 samples = %d", len(data.Fn2X))
+	}
+	if len(data.Fn3X) < 3 {
+		t.Fatalf("fn3 samples = %d", len(data.Fn3X))
+	}
+	// The fitted model must produce sane (non-negative, finite) outputs.
+	if l := model.RuleLatencyMs(100, 48); l < 0 {
+		t.Fatalf("rule latency = %v", l)
+	}
+	if l := model.CombinedLatencyMs([]float64{0.1, 0.2}); l < 0 {
+		t.Fatalf("combined = %v", l)
+	}
+	if l := model.EffectiveLatencyMs(1, []float64{1}); l < 0 {
+		t.Fatalf("effective = %v", l)
+	}
+	// Contention measured under GOMAXPROCS(1) must show co-location
+	// cost. Probe the model at a measured operating point (the first
+	// solo sample), not far outside the sampled range.
+	own := data.Fn3X[0][0]
+	solo := model.EffectiveLatencyMs(own, nil)
+	shared := model.EffectiveLatencyMs(own, []float64{own})
+	if shared <= solo {
+		t.Fatalf("fn3: shared %v should exceed solo %v (own=%v)", shared, solo, own)
+	}
+}
+
+func TestCalibrationValidation(t *testing.T) {
+	if _, _, err := CalibrateLatencyModel(CalibrationConfig{}); err == nil {
+		t.Fatal("empty grid must fail")
+	}
+}
+
+func TestDefaultCalibrationShape(t *testing.T) {
+	cfg := DefaultCalibration()
+	if len(cfg.Windows) == 0 || len(cfg.ThresholdCounts) == 0 {
+		t.Fatal("default grid must be non-empty")
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// RegionRate is the expected input rate of one spatial location — "the
+// amount of bus traces expected to be processed by the engine in that
+// location" (§4.2.1).
+type RegionRate struct {
+	Location string
+	Rate     float64
+}
+
+// Partition is the output of Algorithm 1: which engine serves each of a
+// rule's locations.
+type Partition struct {
+	// Engines[i] holds the regions assigned to engine i.
+	Engines [][]RegionRate
+	// Rate[i] is engine i's aggregate input rate.
+	Rate []float64
+	// ByLocation maps a location to its engine index.
+	ByLocation map[string]int
+}
+
+// PartitionRegions implements Algorithm 1 (Rule's Partitioning): regions are
+// sorted by descending input rate and greedily assigned, each to the least
+// loaded engine, so that "all engines will receive approximately the same
+// aggregated input rate". Ties break on the lower engine index, making the
+// result deterministic.
+func PartitionRegions(regions []RegionRate, engines int) (*Partition, error) {
+	if engines <= 0 {
+		return nil, fmt.Errorf("core: need at least one engine, got %d", engines)
+	}
+	sorted := append([]RegionRate(nil), regions...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Rate != sorted[j].Rate {
+			return sorted[i].Rate > sorted[j].Rate
+		}
+		return sorted[i].Location < sorted[j].Location
+	})
+	p := &Partition{
+		Engines:    make([][]RegionRate, engines),
+		Rate:       make([]float64, engines),
+		ByLocation: make(map[string]int, len(regions)),
+	}
+	for _, region := range sorted {
+		if _, dup := p.ByLocation[region.Location]; dup {
+			return nil, fmt.Errorf("core: duplicate location %q in partition input", region.Location)
+		}
+		least := 0
+		for e := 1; e < engines; e++ {
+			if p.Rate[e] < p.Rate[least] {
+				least = e
+			}
+		}
+		p.Engines[least] = append(p.Engines[least], region)
+		p.Rate[least] += region.Rate
+		p.ByLocation[region.Location] = least
+	}
+	return p, nil
+}
+
+// Imbalance returns the ratio between the most and least loaded engines'
+// rates (1 = perfectly balanced). Engines with zero rate are ignored unless
+// all are zero.
+func (p *Partition) Imbalance() float64 {
+	if len(p.Rate) == 0 {
+		return 1
+	}
+	max, min := p.Rate[0], p.Rate[0]
+	for _, r := range p.Rate[1:] {
+		if r > max {
+			max = r
+		}
+		if r < min {
+			min = r
+		}
+	}
+	if min == 0 {
+		if max == 0 {
+			return 1
+		}
+		return max / 1e-12
+	}
+	return max / min
+}
+
+// TotalRate returns the aggregate input rate over all engines.
+func (p *Partition) TotalRate() float64 {
+	t := 0.0
+	for _, r := range p.Rate {
+		t += r
+	}
+	return t
+}
+
+// RateEstimator tracks per-location input rates incrementally: the system
+// has "some initial knowledge about these rates (e.g. from historical data)
+// and incrementally update[s] them while the application runs" (§4.2.1).
+// It keeps an exponentially-weighted count per location; Snapshot converts
+// the counts into RegionRates. Safe for concurrent use.
+type RateEstimator struct {
+	mu     sync.Mutex
+	alpha  float64 // smoothing factor per Decay call
+	counts map[string]float64
+}
+
+// NewRateEstimator creates an estimator seeded with prior rates (may be
+// nil). alpha in (0,1] is the retained fraction per Decay; 0 defaults to 0.5.
+func NewRateEstimator(prior []RegionRate, alpha float64) *RateEstimator {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	e := &RateEstimator{alpha: alpha, counts: make(map[string]float64)}
+	for _, r := range prior {
+		e.counts[r.Location] = r.Rate
+	}
+	return e
+}
+
+// Observe records one tuple for a location.
+func (e *RateEstimator) Observe(location string) {
+	e.mu.Lock()
+	e.counts[location]++
+	e.mu.Unlock()
+}
+
+// Decay ages all counts by the smoothing factor; call once per estimation
+// window.
+func (e *RateEstimator) Decay() {
+	e.mu.Lock()
+	for k := range e.counts {
+		e.counts[k] *= e.alpha
+	}
+	e.mu.Unlock()
+}
+
+// Snapshot returns the current rates sorted by descending rate then
+// location.
+func (e *RateEstimator) Snapshot() []RegionRate {
+	e.mu.Lock()
+	out := make([]RegionRate, 0, len(e.counts))
+	for k, v := range e.counts {
+		out = append(out, RegionRate{Location: k, Rate: v})
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rate != out[j].Rate {
+			return out[i].Rate > out[j].Rate
+		}
+		return out[i].Location < out[j].Location
+	})
+	return out
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func regions(rates ...float64) []RegionRate {
+	out := make([]RegionRate, len(rates))
+	for i, r := range rates {
+		out[i] = RegionRate{Location: fmt.Sprintf("r%02d", i), Rate: r}
+	}
+	return out
+}
+
+func TestPartitionValidation(t *testing.T) {
+	if _, err := PartitionRegions(regions(1, 2), 0); err == nil {
+		t.Error("0 engines must fail")
+	}
+	dup := []RegionRate{{Location: "a", Rate: 1}, {Location: "a", Rate: 2}}
+	if _, err := PartitionRegions(dup, 2); err == nil {
+		t.Error("duplicate locations must fail")
+	}
+}
+
+func TestPartitionSingleEngineGetsAll(t *testing.T) {
+	p, err := PartitionRegions(regions(3, 1, 2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Engines[0]) != 3 || p.Rate[0] != 6 {
+		t.Fatalf("engine 0 = %v rate %v", p.Engines[0], p.Rate[0])
+	}
+	if p.Imbalance() != 1 {
+		t.Fatalf("imbalance = %v", p.Imbalance())
+	}
+}
+
+func TestPartitionBalancesEqualRates(t *testing.T) {
+	p, err := PartitionRegions(regions(1, 1, 1, 1, 1, 1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, r := range p.Rate {
+		if r != 2 {
+			t.Fatalf("engine %d rate = %v, want 2", e, r)
+		}
+	}
+}
+
+func TestPartitionSkewedRates(t *testing.T) {
+	// LPT-style greedy: the heavy region gets its own engine, the rest
+	// pack the other.
+	p, err := PartitionRegions(regions(10, 3, 3, 2, 2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rate[0] != 10 || p.Rate[1] != 10 {
+		t.Fatalf("rates = %v, want [10 10]", p.Rate)
+	}
+}
+
+func TestPartitionByLocationConsistent(t *testing.T) {
+	rs := regions(5, 4, 3, 2, 1)
+	p, err := PartitionRegions(rs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.ByLocation) != 5 {
+		t.Fatalf("locations mapped = %d", len(p.ByLocation))
+	}
+	for e, engineRegions := range p.Engines {
+		for _, r := range engineRegions {
+			if p.ByLocation[r.Location] != e {
+				t.Fatalf("location %s mapped to %d but stored under %d", r.Location, p.ByLocation[r.Location], e)
+			}
+		}
+	}
+	if p.TotalRate() != 15 {
+		t.Fatalf("total = %v", p.TotalRate())
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	rs := regions(1, 1, 2, 2, 3, 3)
+	a, err := PartitionRegions(rs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PartitionRegions(rs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for loc, e := range a.ByLocation {
+		if b.ByLocation[loc] != e {
+			t.Fatalf("location %s differs between runs", loc)
+		}
+	}
+}
+
+func TestPartitionPropertyBalanced(t *testing.T) {
+	// Greedy LPT guarantee: max load <= avg + max single rate. Verify on
+	// random inputs.
+	f := func(rates []uint8, enginesRaw uint8) bool {
+		if len(rates) == 0 {
+			return true
+		}
+		engines := int(enginesRaw)%8 + 1
+		rs := make([]RegionRate, len(rates))
+		total, maxRate := 0.0, 0.0
+		for i, r := range rates {
+			rate := float64(r) + 1
+			rs[i] = RegionRate{Location: fmt.Sprintf("p%03d", i), Rate: rate}
+			total += rate
+			if rate > maxRate {
+				maxRate = rate
+			}
+		}
+		p, err := PartitionRegions(rs, engines)
+		if err != nil {
+			return false
+		}
+		avg := total / float64(engines)
+		for _, load := range p.Rate {
+			if load > avg+maxRate+1e-9 {
+				return false
+			}
+		}
+		// Conservation: rates sum to total.
+		return math.Abs(p.TotalRate()-total) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImbalanceEmptyEngine(t *testing.T) {
+	p, err := PartitionRegions(regions(1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Imbalance() <= 1 {
+		t.Fatal("engines with zero load must show large imbalance")
+	}
+}
+
+func TestRateEstimator(t *testing.T) {
+	e := NewRateEstimator([]RegionRate{{Location: "a", Rate: 10}}, 0.5)
+	for i := 0; i < 6; i++ {
+		e.Observe("b")
+	}
+	snap := e.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if snap[0].Location != "a" || snap[0].Rate != 10 {
+		t.Fatalf("prior lost: %v", snap)
+	}
+	if snap[1].Location != "b" || snap[1].Rate != 6 {
+		t.Fatalf("observed count wrong: %v", snap)
+	}
+	e.Decay()
+	snap = e.Snapshot()
+	if snap[0].Rate != 5 || snap[1].Rate != 3 {
+		t.Fatalf("decay wrong: %v", snap)
+	}
+}
+
+func TestRateEstimatorOrdering(t *testing.T) {
+	e := NewRateEstimator(nil, 1)
+	e.Observe("x")
+	e.Observe("y")
+	e.Observe("y")
+	snap := e.Snapshot()
+	if snap[0].Location != "y" || snap[1].Location != "x" {
+		t.Fatalf("order = %v", snap)
+	}
+}

@@ -1,0 +1,516 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"trafficcep/internal/busdata"
+	"trafficcep/internal/cep"
+	"trafficcep/internal/denclue"
+	"trafficcep/internal/geo"
+	"trafficcep/internal/quadtree"
+	"trafficcep/internal/sqlstore"
+	"trafficcep/internal/storm"
+)
+
+// This file implements the seven-component traffic-monitoring topology of
+// Figure 8: BusReader spout → PreProcess → AreaTracker → BusStopsTracker →
+// Splitter → EsperBolt(×N) → EventsStorer.
+
+// Component ids of the Figure 8 topology.
+const (
+	CompBusReader  = "BusReader"
+	CompPreProcess = "PreProcess"
+	CompAreaTrack  = "AreaTracker"
+	CompBusStops   = "BusStopsTracker"
+	CompSplitter   = "Splitter"
+	CompEsper      = "EsperBolt"
+	CompStorer     = "EventsStorer"
+)
+
+// EventsTable is the sqlstore table detected events are stored into.
+const EventsTable = "events"
+
+// EventsColumns is the schema of the detections table.
+var EventsColumns = []string{"rule", "location", "observed", "threshold", "engine"}
+
+// RoutingMode selects the Splitter's behaviour, covering the Figure 12/13
+// comparison.
+type RoutingMode int
+
+// Routing modes.
+const (
+	// RouteByLocation sends each tuple only to the engines responsible
+	// for its locations (the paper's approach).
+	RouteByLocation RoutingMode = iota
+	// RouteAll replicates every tuple to every engine (the "All
+	// Grouping" baseline).
+	RouteAll
+)
+
+// RoutingTable maps tuple locations to EsperBolt task indexes; built from
+// Algorithm 1 partitions. Safe for concurrent readers after construction.
+type RoutingTable struct {
+	Mode    RoutingMode
+	Engines int
+
+	// fields lists the location fields consulted, in insertion order.
+	fields []string
+	routes map[string]map[string][]int // field → location → engine tasks
+}
+
+// NewRoutingTable creates a table for the given engine count.
+func NewRoutingTable(mode RoutingMode, engines int) *RoutingTable {
+	return &RoutingTable{Mode: mode, Engines: engines, routes: make(map[string]map[string][]int)}
+}
+
+// AddPartition registers an Algorithm 1 partition for one location field.
+// engineTasks maps the partition's engine indexes (0..k-1) to EsperBolt task
+// indexes, letting groupings own disjoint engine sets.
+func (rt *RoutingTable) AddPartition(field string, p *Partition, engineTasks []int) error {
+	if len(engineTasks) != len(p.Engines) {
+		return fmt.Errorf("core: partition has %d engines but %d task mappings", len(p.Engines), len(engineTasks))
+	}
+	m, ok := rt.routes[field]
+	if !ok {
+		m = make(map[string][]int)
+		rt.routes[field] = m
+		rt.fields = append(rt.fields, field)
+	}
+	for loc, e := range p.ByLocation {
+		task := engineTasks[e]
+		if task < 0 || task >= rt.Engines {
+			return fmt.Errorf("core: engine task %d out of range (%d engines)", task, rt.Engines)
+		}
+		m[loc] = appendUnique(m[loc], task)
+	}
+	return nil
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// EnginesFor returns the EsperBolt task indexes a tuple must reach, based
+// on its location field values. Under RouteAll it is always every engine.
+func (rt *RoutingTable) EnginesFor(values map[string]any) []int {
+	if rt.Mode == RouteAll {
+		all := make([]int, rt.Engines)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	var out []int
+	for _, f := range rt.fields {
+		loc, _ := values[f].(string)
+		if loc == "" {
+			continue
+		}
+		for _, task := range rt.routes[f][loc] {
+			out = appendUnique(out, task)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TrafficConfig assembles a runnable Figure 8 topology.
+type TrafficConfig struct {
+	// Traces is the input feed, replayed at full speed (§5).
+	Traces []busdata.Trace
+	// SpoutTasks parallelizes the BusReader (tasks read the feed
+	// round-robin, preserving per-vehicle order only with 1 task; use
+	// FieldsGrouping downstream for per-vehicle state).
+	SpoutTasks int
+	// Tree is the Region Quadtree for the AreaTracker.
+	Tree *quadtree.Tree
+	// Stops is the DENCLUE result for the BusStopsTracker; optional (the
+	// raw reported stop id is used when nil).
+	Stops *denclue.Result
+	// Engines is the EsperBolt parallelism (tasks == executors, one
+	// engine per task, §3.2).
+	Engines int
+	// Routing drives the Splitter.
+	Routing *RoutingTable
+	// EngineSetup installs rules into task taskIndex's engine. The
+	// returned installations are refreshed by Manager (may be nil).
+	EngineSetup func(taskIndex int, eng *cep.Engine) ([]*InstalledRule, error)
+	// DB receives detected events (EventsTable is created if missing).
+	DB *sqlstore.DB
+	// Manager, when set, receives history records from the
+	// BusStopsTracker and registers rule installations for refresh.
+	Manager *DynamicManager
+	// Nodes / WorkersPerNode configure the simulated cluster.
+	Nodes          int
+	WorkersPerNode int
+}
+
+// BuildTrafficTopology wires the Figure 8 components into a Storm topology.
+func BuildTrafficTopology(cfg TrafficConfig) (*storm.Topology, error) {
+	if cfg.Tree == nil {
+		return nil, fmt.Errorf("core: traffic topology requires a quadtree")
+	}
+	if cfg.Engines <= 0 {
+		cfg.Engines = 1
+	}
+	if cfg.SpoutTasks <= 0 {
+		cfg.SpoutTasks = 1
+	}
+	if cfg.Routing == nil {
+		cfg.Routing = NewRoutingTable(RouteAll, cfg.Engines)
+	}
+	if err := EnsureEventsTable(cfg.DB); err != nil {
+		return nil, err
+	}
+
+	b := storm.NewTopologyBuilder("traffic-monitoring")
+	b.SetSpout(CompBusReader, func() storm.Spout {
+		return &busReaderSpout{traces: cfg.Traces}
+	}, cfg.SpoutTasks, cfg.SpoutTasks)
+
+	b.SetBolt(CompPreProcess, func() storm.Bolt {
+		return &preProcessBolt{}
+	}, 1, 1).FieldsGrouping(CompBusReader, "vehicleId")
+
+	b.SetBolt(CompAreaTrack, func() storm.Bolt {
+		return &areaTrackerBolt{tree: cfg.Tree}
+	}, 2, 2).ShuffleGrouping(CompPreProcess)
+
+	b.SetBolt(CompBusStops, func() storm.Bolt {
+		return &busStopsTrackerBolt{stops: cfg.Stops, manager: cfg.Manager}
+	}, 2, 2).ShuffleGrouping(CompAreaTrack)
+
+	b.SetBolt(CompSplitter, func() storm.Bolt {
+		return &splitterBolt{routing: cfg.Routing}
+	}, 1, 1).ShuffleGrouping(CompBusStops)
+
+	b.SetBolt(CompEsper, func() storm.Bolt {
+		return &esperBolt{setup: cfg.EngineSetup, manager: cfg.Manager}
+	}, cfg.Engines, cfg.Engines).StreamGrouping(CompSplitter, "routed", storm.DirectGrouping)
+
+	b.SetBolt(CompStorer, func() storm.Bolt {
+		return &eventsStorerBolt{db: cfg.DB}
+	}, 1, 1).ShuffleGrouping(CompEsper)
+
+	return b.Build()
+}
+
+// busReaderSpout replays a trace slice; task i of n emits traces i, i+n, …
+// (§4.3.2: "the traces are stored in csv files so we use this spout for
+// reading the stored data").
+type busReaderSpout struct {
+	traces []busdata.Trace
+	idx    int
+	step   int
+}
+
+func (s *busReaderSpout) Open(ctx storm.TaskContext) error {
+	s.idx = ctx.TaskIndex
+	s.step = ctx.NumTasks
+	if s.step <= 0 {
+		s.step = 1
+	}
+	return nil
+}
+
+func (s *busReaderSpout) Close() error { return nil }
+
+func (s *busReaderSpout) NextTuple(col storm.Collector) (bool, error) {
+	if s.idx >= len(s.traces) {
+		return false, nil
+	}
+	tr := &s.traces[s.idx]
+	s.idx += s.step
+	col.Emit(map[string]any{
+		"ts":         float64(tr.Timestamp.Unix()),
+		"hour":       float64(tr.Hour()),
+		"day":        busdata.DayTypeOf(tr.Timestamp).String(),
+		"lineId":     tr.LineID,
+		"direction":  tr.Direction,
+		"lat":        tr.Pos.Lat,
+		"lon":        tr.Pos.Lon,
+		"delay":      tr.Delay,
+		"congestion": boolToFloat(tr.Congestion),
+		"busStop":    tr.BusStop,
+		"vehicleId":  tr.VehicleID,
+	})
+	return s.idx < len(s.traces), nil
+}
+
+func boolToFloat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// preProcessBolt adds speed, actual delay and heading (§3.1).
+type preProcessBolt struct {
+	pre *busdata.Preprocessor
+}
+
+func (b *preProcessBolt) Prepare(storm.TaskContext) error {
+	b.pre = busdata.NewPreprocessor()
+	return nil
+}
+
+func (b *preProcessBolt) Cleanup() error { return nil }
+
+func (b *preProcessBolt) Execute(t storm.Tuple, col storm.Collector) error {
+	tr, err := tupleToTrace(t.Values)
+	if err != nil {
+		return err
+	}
+	e := b.pre.Process(tr)
+	out := cloneValues(t.Values)
+	out["speed"] = e.SpeedKmh
+	out["actualDelay"] = e.ActualDelay
+	out["heading"] = e.Heading
+	col.Emit(out)
+	return nil
+}
+
+func tupleToTrace(v map[string]any) (busdata.Trace, error) {
+	ts, ok := cep.Numeric(v["ts"])
+	if !ok {
+		return busdata.Trace{}, fmt.Errorf("core: tuple has no numeric ts: %v", v["ts"])
+	}
+	lat, _ := cep.Numeric(v["lat"])
+	lon, _ := cep.Numeric(v["lon"])
+	delay, _ := cep.Numeric(v["delay"])
+	cong, _ := cep.Numeric(v["congestion"])
+	dir, _ := v["direction"].(bool)
+	line, _ := v["lineId"].(string)
+	stop, _ := v["busStop"].(string)
+	vid, _ := v["vehicleId"].(string)
+	return busdata.Trace{
+		Timestamp:  time.Unix(int64(ts), 0).UTC(),
+		LineID:     line,
+		Direction:  dir,
+		Pos:        geo.Point{Lat: lat, Lon: lon},
+		Delay:      delay,
+		Congestion: cong != 0,
+		BusStop:    stop,
+		VehicleID:  vid,
+	}, nil
+}
+
+func cloneValues(v map[string]any) map[string]any {
+	out := make(map[string]any, len(v)+8)
+	for k, val := range v {
+		out[k] = val
+	}
+	return out
+}
+
+// areaTrackerBolt attaches the quadtree path: the leaf area plus one field
+// per layer ("Each task of this bolt has an instance of the Region Quadtree
+// and queries it to find the areas that the new trace belongs", §4.3.2).
+type areaTrackerBolt struct {
+	tree *quadtree.Tree
+}
+
+func (b *areaTrackerBolt) Prepare(storm.TaskContext) error { return nil }
+func (b *areaTrackerBolt) Cleanup() error                  { return nil }
+
+func (b *areaTrackerBolt) Execute(t storm.Tuple, col storm.Collector) error {
+	lat, _ := cep.Numeric(t.Values["lat"])
+	lon, _ := cep.Numeric(t.Values["lon"])
+	path := b.tree.Path(geo.Point{Lat: lat, Lon: lon})
+	out := cloneValues(t.Values)
+	if len(path) > 0 {
+		areas := make([]string, len(path))
+		for i, n := range path {
+			areas[i] = string(n.ID)
+			out[fmt.Sprintf("layer%dArea", i)] = string(n.ID)
+		}
+		out["leafArea"] = string(path[len(path)-1].ID)
+		out["areaPath"] = areas
+	}
+	col.Emit(out)
+	return nil
+}
+
+// busStopsTrackerBolt resolves the de-noised bus stop (§4.1.2) and, as the
+// last enrichment step, persists the record to the history file for the
+// batch layer.
+type busStopsTrackerBolt struct {
+	stops   *denclue.Result
+	manager *DynamicManager
+}
+
+func (b *busStopsTrackerBolt) Prepare(storm.TaskContext) error { return nil }
+func (b *busStopsTrackerBolt) Cleanup() error                  { return nil }
+
+func (b *busStopsTrackerBolt) Execute(t storm.Tuple, col storm.Collector) error {
+	out := cloneValues(t.Values)
+	stopID, _ := out["busStop"].(string)
+	if b.stops != nil {
+		lat, _ := cep.Numeric(out["lat"])
+		lon, _ := cep.Numeric(out["lon"])
+		line, _ := out["lineId"].(string)
+		dir, _ := out["direction"].(bool)
+		if s, ok := b.stops.NearestStop(line, dir, geo.Point{Lat: lat, Lon: lon}); ok {
+			stopID = fmt.Sprintf("stop%04d", s.ID)
+		}
+	}
+	out["stopId"] = stopID
+
+	if b.manager != nil {
+		if err := b.manager.AppendHistory(historyFromValues(out)); err != nil {
+			return err
+		}
+	}
+	col.Emit(out)
+	return nil
+}
+
+func historyFromValues(v map[string]any) HistoryRecord {
+	hour, _ := cep.Numeric(v["hour"])
+	delay, _ := cep.Numeric(v["delay"])
+	actual, _ := cep.Numeric(v["actualDelay"])
+	speed, _ := cep.Numeric(v["speed"])
+	cong, _ := cep.Numeric(v["congestion"])
+	day := busdata.Weekday
+	if v["day"] == busdata.Weekend.String() {
+		day = busdata.Weekend
+	}
+	stop, _ := v["stopId"].(string)
+	areas, _ := v["areaPath"].([]string)
+	return HistoryRecord{
+		Hour: int(hour), Day: day, StopID: stop, Areas: areas,
+		Delay: delay, ActualDelay: actual, Speed: speed, Congestion: cong != 0,
+	}
+}
+
+// splitterBolt routes tuples to EsperBolt tasks per the routing table
+// (§4.3.2: "It is crucial to route each bus data tuple to the appropriate
+// Esper engine as each engine examines different spatial locations").
+type splitterBolt struct {
+	routing *RoutingTable
+}
+
+func (b *splitterBolt) Prepare(storm.TaskContext) error { return nil }
+func (b *splitterBolt) Cleanup() error                  { return nil }
+
+func (b *splitterBolt) Execute(t storm.Tuple, col storm.Collector) error {
+	for _, task := range b.routing.EnginesFor(t.Values) {
+		col.EmitDirect("routed", task, t.Values)
+	}
+	return nil
+}
+
+// esperBolt hosts one CEP engine per task. EngineSetup installs the task's
+// rules; the bolt then attaches a forwarding listener to every installed
+// statement so detections flow downstream to the EventsStorer. The engine
+// processes events synchronously inside Execute, so the listener always
+// sees the current collector.
+type esperBolt struct {
+	setup   func(taskIndex int, eng *cep.Engine) ([]*InstalledRule, error)
+	manager *DynamicManager
+
+	engine *cep.Engine
+	ctx    storm.TaskContext
+
+	mu  sync.Mutex
+	col storm.Collector
+}
+
+func (b *esperBolt) Prepare(ctx storm.TaskContext) error {
+	b.ctx = ctx
+	b.engine = cep.NewEngine()
+	if b.setup == nil {
+		return nil
+	}
+	installs, err := b.setup(ctx.TaskIndex, b.engine)
+	if err != nil {
+		return fmt.Errorf("core: engine %d setup: %w", ctx.TaskIndex, err)
+	}
+	forward := b.forwardListener()
+	for _, inst := range installs {
+		inst.AddListener(forward)
+		if b.manager != nil {
+			b.manager.Register(inst)
+		}
+	}
+	return nil
+}
+
+// forwardListener emits each rule firing as a detection tuple.
+func (b *esperBolt) forwardListener() cep.Listener {
+	return func(st *cep.Statement, outs []cep.Output) {
+		b.mu.Lock()
+		col := b.col
+		b.mu.Unlock()
+		if col == nil {
+			return
+		}
+		for _, o := range outs {
+			col.Emit(map[string]any{
+				"rule":      st.Name,
+				"location":  o.Fields["location"],
+				"observed":  o.Fields["observed"],
+				"threshold": o.Fields["threshold"],
+				"engine":    float64(b.ctx.TaskIndex),
+			})
+		}
+	}
+}
+
+func (b *esperBolt) Cleanup() error { return nil }
+
+func (b *esperBolt) Execute(t storm.Tuple, col storm.Collector) error {
+	b.mu.Lock()
+	b.col = col
+	b.mu.Unlock()
+
+	fields := make(map[string]cep.Value, len(t.Values))
+	for k, v := range t.Values {
+		fields[k] = v
+	}
+	ts, _ := cep.Numeric(t.Values["ts"])
+	return b.engine.SendEventAt(BusStream, time.Unix(int64(ts), 0).UTC(), fields)
+}
+
+// EnsureEventsTable creates the detections table in db if missing. A nil db
+// is a no-op (detections are then dropped by the storer).
+func EnsureEventsTable(db *sqlstore.DB) error {
+	if db == nil {
+		return nil
+	}
+	for _, t := range db.TableNames() {
+		if t == EventsTable {
+			return nil
+		}
+	}
+	return db.CreateTable(EventsTable, EventsColumns)
+}
+
+// eventsStorerBolt inserts every detection into the storage medium
+// (EventsStorer of Figure 8: "stores them to a pre-decided storage medium,
+// in our case a MySQL server").
+type eventsStorerBolt struct {
+	db *sqlstore.DB
+}
+
+func (b *eventsStorerBolt) Prepare(storm.TaskContext) error { return nil }
+func (b *eventsStorerBolt) Cleanup() error                  { return nil }
+
+func (b *eventsStorerBolt) Execute(t storm.Tuple, _ storm.Collector) error {
+	if b.db == nil {
+		return nil
+	}
+	row := sqlstore.Row{}
+	for _, c := range EventsColumns {
+		row[c] = t.Values[c]
+	}
+	return b.db.Insert(EventsTable, row)
+}

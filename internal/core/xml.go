@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"trafficcep/internal/storm"
+)
+
+// This file backs the XML topology workflow of §3.2: "Users in our
+// framework complete an XML file that includes the description of the
+// submitted topology (e.g., spouts, bolts) along with the Esper rules they
+// want to apply to the incoming raw data."
+
+// Deps carries the shared runtime objects the traffic components need; the
+// XML file contributes structure and parallelism, the application supplies
+// the data-plane dependencies.
+type Deps struct {
+	Config TrafficConfig
+}
+
+// ComponentTypes are the XML type names RegisterComponents binds.
+var ComponentTypes = []string{
+	"busreader", "preprocess", "areatracker", "busstops", "splitter", "esper", "eventsstorer",
+}
+
+// RegisterComponents binds the Figure 8 component implementations into a
+// storm XML registry so topologies referencing them can be loaded from XML.
+func RegisterComponents(reg *storm.Registry, deps *Deps) {
+	cfg := &deps.Config
+	reg.RegisterSpout("busreader", func(map[string]string) (storm.SpoutFactory, error) {
+		return func() storm.Spout { return &busReaderSpout{traces: cfg.Traces} }, nil
+	})
+	reg.RegisterBolt("preprocess", func(map[string]string) (storm.BoltFactory, error) {
+		return func() storm.Bolt { return &preProcessBolt{} }, nil
+	})
+	reg.RegisterBolt("areatracker", func(map[string]string) (storm.BoltFactory, error) {
+		if cfg.Tree == nil {
+			return nil, fmt.Errorf("core: areatracker requires a quadtree")
+		}
+		return func() storm.Bolt { return &areaTrackerBolt{tree: cfg.Tree} }, nil
+	})
+	reg.RegisterBolt("busstops", func(map[string]string) (storm.BoltFactory, error) {
+		return func() storm.Bolt {
+			return &busStopsTrackerBolt{stops: cfg.Stops, manager: cfg.Manager}
+		}, nil
+	})
+	reg.RegisterBolt("splitter", func(map[string]string) (storm.BoltFactory, error) {
+		if cfg.Routing == nil {
+			return nil, fmt.Errorf("core: splitter requires a routing table")
+		}
+		return func() storm.Bolt { return &splitterBolt{routing: cfg.Routing} }, nil
+	})
+	reg.RegisterBolt("esper", func(map[string]string) (storm.BoltFactory, error) {
+		return func() storm.Bolt {
+			return &esperBolt{setup: cfg.EngineSetup, manager: cfg.Manager}
+		}, nil
+	})
+	reg.RegisterBolt("eventsstorer", func(map[string]string) (storm.BoltFactory, error) {
+		if err := EnsureEventsTable(cfg.DB); err != nil {
+			return nil, err
+		}
+		return func() storm.Bolt { return &eventsStorerBolt{db: cfg.DB} }, nil
+	})
+}
+
+// RuleFromDef converts an XML template-rule declaration into a core.Rule.
+func RuleFromDef(def storm.RuleDef) (Rule, error) {
+	if def.Attribute == "" {
+		return Rule{}, fmt.Errorf("core: rule %q is not a template rule (raw EPL rules are installed directly)", def.Name)
+	}
+	r := Rule{
+		Name:        def.Name,
+		Attribute:   def.Attribute,
+		Window:      def.Window,
+		Sensitivity: def.Sensitivity,
+	}
+	switch {
+	case def.Location == "" || def.Location == "leaves":
+		r.Kind = QuadtreeLeaves
+	case def.Location == "stops":
+		r.Kind = BusStops
+	case strings.HasPrefix(def.Location, "layer"):
+		n, err := strconv.Atoi(strings.TrimPrefix(def.Location, "layer"))
+		if err != nil {
+			return Rule{}, fmt.Errorf("core: rule %q has bad location %q", def.Name, def.Location)
+		}
+		r.Kind = QuadtreeLayer
+		r.Layer = n
+	default:
+		return Rule{}, fmt.Errorf("core: rule %q has unknown location %q", def.Name, def.Location)
+	}
+	if r.Window <= 0 {
+		r.Window = 10
+	}
+	if err := r.Validate(); err != nil {
+		return Rule{}, err
+	}
+	return r, nil
+}

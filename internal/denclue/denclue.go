@@ -1,0 +1,429 @@
+// Package denclue implements the DENCLUE density-based clustering algorithm
+// (Hinneburg & Keim, KDD 1998) as used by §4.1.2 of the paper to derive
+// de-noised bus stops from the GPS locations where buses reported a stop.
+//
+// Following the paper: a 2-dimensional Gaussian kernel with sigma = 20 m is
+// placed at every data point; the global density is the sum of the kernels;
+// each point hill-climbs to its local density maximum (its "density
+// attractor"); points whose attractors are close are merged into one
+// cluster. A second, traffic-specific pass then splits each cluster into
+// sub-clusters by the average heading a bus line/direction has when entering
+// the cluster, so that stops serving opposite travel directions are kept
+// apart. The resulting sub-clusters are the system's canonical bus stops.
+//
+// All computation happens in a local tangent-plane projection (metres east /
+// north of the dataset centroid), which is accurate to well under a metre at
+// city scale.
+package denclue
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"trafficcep/internal/geo"
+)
+
+// Observation is one "bus reports it is at a stop" record.
+type Observation struct {
+	Pos       geo.Point
+	Line      string  // bus line id
+	Direction bool    // travel direction flag from the SIRI feed
+	Heading   float64 // bearing (degrees) the bus had when entering the stop
+}
+
+// Params configure the clustering.
+type Params struct {
+	// SigmaMeters is the Gaussian kernel bandwidth. The paper uses 20 m.
+	SigmaMeters float64
+	// Xi is the minimum density for an attractor to be significant;
+	// points whose attractor density is below Xi are treated as noise.
+	// Expressed in kernel units (a single isolated point has density 1).
+	Xi float64
+	// AttractorMergeMeters merges attractors closer than this distance
+	// into one cluster. Defaults to SigmaMeters.
+	AttractorMergeMeters float64
+	// AngleToleranceDegrees is the maximum average-heading difference for
+	// two line/directions to share a sub-cluster. Defaults to 60.
+	AngleToleranceDegrees float64
+	// MaxClimbSteps bounds the hill-climbing iterations. Defaults to 100.
+	MaxClimbSteps int
+}
+
+func (p *Params) fill() {
+	if p.SigmaMeters <= 0 {
+		p.SigmaMeters = 20
+	}
+	if p.AttractorMergeMeters <= 0 {
+		p.AttractorMergeMeters = p.SigmaMeters
+	}
+	if p.AngleToleranceDegrees <= 0 {
+		p.AngleToleranceDegrees = 60
+	}
+	if p.MaxClimbSteps <= 0 {
+		p.MaxClimbSteps = 100
+	}
+}
+
+// Stop is one derived bus stop: a sub-cluster of a density cluster that
+// serves a coherent set of line/directions.
+type Stop struct {
+	ID         int
+	ClusterID  int
+	Center     geo.Point
+	AvgHeading float64
+	// Members maps "line|direction" keys to the number of observations.
+	Members map[string]int
+	Count   int
+}
+
+// Result holds the clustering output and supports nearest-stop queries.
+type Result struct {
+	Stops    []Stop
+	Clusters int
+	Noise    int // observations discarded as noise
+
+	proj       projection
+	stopLocal  []vec2 // projected stop centres, parallel to Stops
+	memberStop map[string][]int
+}
+
+// vec2 is a point in the local tangent plane, metres east(x)/north(y).
+type vec2 struct{ x, y float64 }
+
+func (a vec2) sub(b vec2) vec2      { return vec2{a.x - b.x, a.y - b.y} }
+func (a vec2) add(b vec2) vec2      { return vec2{a.x + b.x, a.y + b.y} }
+func (a vec2) scale(s float64) vec2 { return vec2{a.x * s, a.y * s} }
+func (a vec2) norm2() float64       { return a.x*a.x + a.y*a.y }
+func (a vec2) dist(b vec2) float64  { return math.Sqrt(a.sub(b).norm2()) }
+
+// projection converts between WGS-84 and the local tangent plane.
+type projection struct {
+	origin       geo.Point
+	metersPerLat float64
+	metersPerLon float64
+}
+
+func newProjection(origin geo.Point) projection {
+	const metersPerDegLat = 111194.9
+	return projection{
+		origin:       origin,
+		metersPerLat: metersPerDegLat,
+		metersPerLon: metersPerDegLat * math.Cos(origin.Lat*math.Pi/180),
+	}
+}
+
+func (pr projection) toLocal(p geo.Point) vec2 {
+	return vec2{
+		x: (p.Lon - pr.origin.Lon) * pr.metersPerLon,
+		y: (p.Lat - pr.origin.Lat) * pr.metersPerLat,
+	}
+}
+
+func (pr projection) toGeo(v vec2) geo.Point {
+	return geo.Point{
+		Lat: pr.origin.Lat + v.y/pr.metersPerLat,
+		Lon: pr.origin.Lon + v.x/pr.metersPerLon,
+	}
+}
+
+// grid is a uniform bucket index over local coordinates for fast neighbour
+// queries within the kernel's effective radius.
+type grid struct {
+	cell    float64
+	buckets map[[2]int][]int
+	pts     []vec2
+}
+
+func newGrid(pts []vec2, cell float64) *grid {
+	g := &grid{cell: cell, buckets: make(map[[2]int][]int), pts: pts}
+	for i, p := range pts {
+		k := g.key(p)
+		g.buckets[k] = append(g.buckets[k], i)
+	}
+	return g
+}
+
+func (g *grid) key(p vec2) [2]int {
+	return [2]int{int(math.Floor(p.x / g.cell)), int(math.Floor(p.y / g.cell))}
+}
+
+// neighbors calls f with the index of every stored point within radius r of p.
+func (g *grid) neighbors(p vec2, r float64, f func(i int)) {
+	r2 := r * r
+	k := g.key(p)
+	span := int(math.Ceil(r/g.cell)) + 1
+	for dx := -span; dx <= span; dx++ {
+		for dy := -span; dy <= span; dy++ {
+			for _, i := range g.buckets[[2]int{k[0] + dx, k[1] + dy}] {
+				if g.pts[i].sub(p).norm2() <= r2 {
+					f(i)
+				}
+			}
+		}
+	}
+}
+
+// Cluster runs DENCLUE plus the heading sub-split over the observations.
+func Cluster(obs []Observation, params Params) (*Result, error) {
+	params.fill()
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("denclue: no observations")
+	}
+
+	// Project to local coordinates around the centroid.
+	var cLat, cLon float64
+	for _, o := range obs {
+		cLat += o.Pos.Lat
+		cLon += o.Pos.Lon
+	}
+	proj := newProjection(geo.Point{Lat: cLat / float64(len(obs)), Lon: cLon / float64(len(obs))})
+	pts := make([]vec2, len(obs))
+	for i, o := range obs {
+		pts[i] = proj.toLocal(o.Pos)
+	}
+
+	sigma := params.SigmaMeters
+	radius := 4 * sigma // beyond 4 sigma the Gaussian contributes < 0.034%
+	g := newGrid(pts, sigma)
+
+	// Hill-climb every point to its density attractor.
+	attractors := make([]vec2, len(pts))
+	densities := make([]float64, len(pts))
+	for i, p := range pts {
+		a, d := climb(p, g, sigma, radius, params.MaxClimbSteps)
+		attractors[i] = a
+		densities[i] = d
+	}
+
+	// Merge attractors closer than the merge distance into clusters,
+	// discarding points whose attractor density is below Xi.
+	clusterOf := make([]int, len(pts))
+	for i := range clusterOf {
+		clusterOf[i] = -1
+	}
+	var centers []vec2 // running attractor centroid per cluster
+	var weights []int
+	noise := 0
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	// Deterministic order: densest attractors claim cluster ids first.
+	sort.Slice(order, func(a, b int) bool {
+		if densities[order[a]] != densities[order[b]] {
+			return densities[order[a]] > densities[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	for _, i := range order {
+		if densities[i] < params.Xi {
+			noise++
+			continue
+		}
+		assigned := -1
+		for c := range centers {
+			if centers[c].dist(attractors[i]) <= params.AttractorMergeMeters {
+				assigned = c
+				break
+			}
+		}
+		if assigned == -1 {
+			centers = append(centers, attractors[i])
+			weights = append(weights, 1)
+			assigned = len(centers) - 1
+		} else {
+			// Move the centre towards the new attractor.
+			w := float64(weights[assigned])
+			centers[assigned] = centers[assigned].scale(w / (w + 1)).add(attractors[i].scale(1 / (w + 1)))
+			weights[assigned]++
+		}
+		clusterOf[i] = assigned
+	}
+
+	res := &Result{
+		Clusters:   len(centers),
+		Noise:      noise,
+		proj:       proj,
+		memberStop: make(map[string][]int),
+	}
+	res.buildStops(obs, pts, clusterOf, len(centers), params)
+	return res, nil
+}
+
+// climb performs gradient hill climbing of the Gaussian kernel density
+// estimate starting at p and returns the attractor position and its density.
+func climb(p vec2, g *grid, sigma, radius float64, maxSteps int) (vec2, float64) {
+	inv2s2 := 1 / (2 * sigma * sigma)
+	cur := p
+	density := 0.0
+	for step := 0; step < maxSteps; step++ {
+		// Mean-shift update: weighted centroid of neighbours.
+		var wsum float64
+		var msum vec2
+		g.neighbors(cur, radius, func(i int) {
+			w := math.Exp(-g.pts[i].sub(cur).norm2() * inv2s2)
+			wsum += w
+			msum = msum.add(g.pts[i].scale(w))
+		})
+		if wsum == 0 {
+			return cur, 0
+		}
+		next := msum.scale(1 / wsum)
+		density = wsum
+		if next.dist(cur) < 0.01 { // converged to 1 cm
+			return next, density
+		}
+		cur = next
+	}
+	return cur, density
+}
+
+// buildStops splits each density cluster into heading sub-clusters and
+// assembles the Result's stop set and lookup index.
+func (r *Result) buildStops(obs []Observation, pts []vec2, clusterOf []int, nClusters int, params Params) {
+	type memberStats struct {
+		key    string
+		sumSin float64
+		sumCos float64
+		count  int
+		sumPos vec2
+	}
+	// Per cluster: average entry heading per line|direction.
+	perCluster := make([]map[string]*memberStats, nClusters)
+	for i := range perCluster {
+		perCluster[i] = make(map[string]*memberStats)
+	}
+	for i, o := range obs {
+		c := clusterOf[i]
+		if c < 0 {
+			continue
+		}
+		k := memberKey(o.Line, o.Direction)
+		ms, ok := perCluster[c][k]
+		if !ok {
+			ms = &memberStats{key: k}
+			perCluster[c][k] = ms
+		}
+		rad := o.Heading * math.Pi / 180
+		ms.sumSin += math.Sin(rad)
+		ms.sumCos += math.Cos(rad)
+		ms.count++
+		ms.sumPos = ms.sumPos.add(pts[i])
+	}
+
+	stopID := 0
+	for c := 0; c < nClusters; c++ {
+		members := make([]*memberStats, 0, len(perCluster[c]))
+		for _, ms := range perCluster[c] {
+			members = append(members, ms)
+		}
+		sort.Slice(members, func(a, b int) bool { return members[a].key < members[b].key })
+
+		// Greedy angle grouping: each member joins the first sub-cluster
+		// whose average heading is within tolerance, else starts one.
+		type sub struct {
+			heads  []float64
+			posSum vec2
+			count  int
+			keys   map[string]int
+		}
+		var subs []*sub
+		for _, ms := range members {
+			avg := math.Atan2(ms.sumSin/float64(ms.count), ms.sumCos/float64(ms.count)) * 180 / math.Pi
+			if avg < 0 {
+				avg += 360
+			}
+			placed := false
+			for _, s := range subs {
+				if geo.AngleDiffDegrees(meanAngle(s.heads), avg) <= params.AngleToleranceDegrees {
+					s.heads = append(s.heads, avg)
+					s.posSum = s.posSum.add(ms.sumPos)
+					s.count += ms.count
+					s.keys[ms.key] += ms.count
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				subs = append(subs, &sub{
+					heads:  []float64{avg},
+					posSum: ms.sumPos,
+					count:  ms.count,
+					keys:   map[string]int{ms.key: ms.count},
+				})
+			}
+		}
+		for _, s := range subs {
+			center := s.posSum.scale(1 / float64(s.count))
+			stop := Stop{
+				ID:         stopID,
+				ClusterID:  c,
+				Center:     r.proj.toGeo(center),
+				AvgHeading: meanAngle(s.heads),
+				Members:    s.keys,
+				Count:      s.count,
+			}
+			r.Stops = append(r.Stops, stop)
+			r.stopLocal = append(r.stopLocal, center)
+			for k := range s.keys {
+				r.memberStop[k] = append(r.memberStop[k], stopID)
+			}
+			stopID++
+		}
+	}
+}
+
+// meanAngle returns the circular mean of a set of bearings in degrees.
+func meanAngle(deg []float64) float64 {
+	var s, c float64
+	for _, d := range deg {
+		s += math.Sin(d * math.Pi / 180)
+		c += math.Cos(d * math.Pi / 180)
+	}
+	a := math.Atan2(s, c) * 180 / math.Pi
+	if a < 0 {
+		a += 360
+	}
+	return a
+}
+
+func memberKey(line string, direction bool) string {
+	if direction {
+		return line + "|1"
+	}
+	return line + "|0"
+}
+
+// NearestStop returns the closest stop (by great-circle distance) that
+// serves the given line and direction; it falls back to the globally
+// closest stop if that line/direction was never observed. The boolean is
+// false only when the result contains no stops at all.
+//
+// This is the "tool, that for each line, direction and GPS position, will
+// identify the closest bus stop" of §4.1.2.
+func (r *Result) NearestStop(line string, direction bool, pos geo.Point) (Stop, bool) {
+	if len(r.Stops) == 0 {
+		return Stop{}, false
+	}
+	local := r.proj.toLocal(pos)
+	candidates := r.memberStop[memberKey(line, direction)]
+	best, bestDist := -1, math.MaxFloat64
+	for _, id := range candidates {
+		if d := r.stopLocal[id].dist(local); d < bestDist {
+			best, bestDist = id, d
+		}
+	}
+	if best >= 0 {
+		return r.Stops[best], true
+	}
+	for id := range r.Stops {
+		if d := r.stopLocal[id].dist(local); d < bestDist {
+			best, bestDist = id, d
+		}
+	}
+	return r.Stops[best], true
+}
+
+// StopCount returns the number of derived stops.
+func (r *Result) StopCount() int { return len(r.Stops) }

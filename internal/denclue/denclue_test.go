@@ -1,0 +1,248 @@
+package denclue
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"trafficcep/internal/geo"
+)
+
+// jitter returns p displaced by (dx, dy) metres.
+func jitter(p geo.Point, dxMeters, dyMeters float64) geo.Point {
+	const mPerLat = 111194.9
+	mPerLon := mPerLat * math.Cos(p.Lat*math.Pi/180)
+	return geo.Point{Lat: p.Lat + dyMeters/mPerLat, Lon: p.Lon + dxMeters/mPerLon}
+}
+
+// makeObs produces n noisy observations around center with the given
+// line/direction/heading and GPS noise sigma in metres.
+func makeObs(rng *rand.Rand, center geo.Point, n int, line string, dir bool, heading, noise float64) []Observation {
+	obs := make([]Observation, 0, n)
+	for i := 0; i < n; i++ {
+		obs = append(obs, Observation{
+			Pos:       jitter(center, rng.NormFloat64()*noise, rng.NormFloat64()*noise),
+			Line:      line,
+			Direction: dir,
+			Heading:   heading + rng.NormFloat64()*5,
+		})
+	}
+	return obs
+}
+
+func TestClusterEmpty(t *testing.T) {
+	if _, err := Cluster(nil, Params{}); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestSingleTightCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	center := geo.Point{Lat: 53.35, Lon: -6.26}
+	obs := makeObs(rng, center, 50, "46A", true, 90, 8)
+	res, err := Cluster(obs, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 1 {
+		t.Fatalf("clusters = %d, want 1", res.Clusters)
+	}
+	if res.StopCount() != 1 {
+		t.Fatalf("stops = %d, want 1", res.StopCount())
+	}
+	s := res.Stops[0]
+	if d := s.Center.DistanceMeters(center); d > 10 {
+		t.Fatalf("stop centre %v is %.1f m from truth", s.Center, d)
+	}
+	if geo.AngleDiffDegrees(s.AvgHeading, 90) > 10 {
+		t.Fatalf("avg heading = %v, want ~90", s.AvgHeading)
+	}
+}
+
+func TestTwoSeparatedClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := geo.Point{Lat: 53.35, Lon: -6.26}
+	b := jitter(a, 500, 0) // 500 m apart, far beyond sigma=20
+	obs := append(
+		makeObs(rng, a, 40, "46A", true, 90, 6),
+		makeObs(rng, b, 40, "46A", true, 90, 6)...)
+	res, err := Cluster(obs, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 2 {
+		t.Fatalf("clusters = %d, want 2", res.Clusters)
+	}
+}
+
+func TestNearbyReportsMerge(t *testing.T) {
+	// The paper observed "a specific bus stop is reported at different
+	// locations": reports 10 m apart must merge into one stop.
+	rng := rand.New(rand.NewSource(3))
+	a := geo.Point{Lat: 53.35, Lon: -6.26}
+	b := jitter(a, 10, 0)
+	obs := append(
+		makeObs(rng, a, 30, "46A", true, 45, 4),
+		makeObs(rng, b, 30, "145", true, 50, 4)...)
+	res, err := Cluster(obs, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 1 {
+		t.Fatalf("clusters = %d, want 1 (reports 10 m apart merge)", res.Clusters)
+	}
+	if res.StopCount() != 1 {
+		t.Fatalf("stops = %d, want 1 (similar headings share a sub-cluster)", res.StopCount())
+	}
+	if res.Stops[0].Members["46A|1"] == 0 || res.Stops[0].Members["145|1"] == 0 {
+		t.Fatalf("both lines should be members: %v", res.Stops[0].Members)
+	}
+}
+
+func TestOppositeDirectionsSplit(t *testing.T) {
+	// One physical location served in both directions must yield two
+	// stops (the heading sub-split of §4.1.2).
+	rng := rand.New(rand.NewSource(4))
+	c := geo.Point{Lat: 53.35, Lon: -6.26}
+	obs := append(
+		makeObs(rng, c, 40, "46A", true, 90, 5),
+		makeObs(rng, c, 40, "46A", false, 270, 5)...)
+	res, err := Cluster(obs, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 1 {
+		t.Fatalf("clusters = %d, want 1", res.Clusters)
+	}
+	if res.StopCount() != 2 {
+		t.Fatalf("stops = %d, want 2 (opposite headings split)", res.StopCount())
+	}
+}
+
+func TestNearestStopPrefersOwnDirection(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := geo.Point{Lat: 53.35, Lon: -6.26}
+	obs := append(
+		makeObs(rng, c, 40, "46A", true, 90, 5),
+		makeObs(rng, c, 40, "46A", false, 270, 5)...)
+	res, err := Cluster(obs, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := jitter(c, 30, 0)
+	fwd, ok := res.NearestStop("46A", true, q)
+	if !ok {
+		t.Fatal("no stop found")
+	}
+	rev, ok := res.NearestStop("46A", false, q)
+	if !ok {
+		t.Fatal("no stop found")
+	}
+	if fwd.ID == rev.ID {
+		t.Fatal("forward and reverse queries should resolve to different stops")
+	}
+	if geo.AngleDiffDegrees(fwd.AvgHeading, 90) > 30 {
+		t.Fatalf("forward stop heading = %v", fwd.AvgHeading)
+	}
+	if geo.AngleDiffDegrees(rev.AvgHeading, 270) > 30 {
+		t.Fatalf("reverse stop heading = %v", rev.AvgHeading)
+	}
+}
+
+func TestNearestStopFallbackUnknownLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := geo.Point{Lat: 53.35, Lon: -6.26}
+	res, err := Cluster(makeObs(rng, c, 30, "46A", true, 90, 5), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := res.NearestStop("999", true, jitter(c, 15, 15))
+	if !ok {
+		t.Fatal("fallback must still return a stop")
+	}
+	if s.Count == 0 {
+		t.Fatal("stop should have members")
+	}
+}
+
+func TestNoiseFiltering(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := geo.Point{Lat: 53.35, Lon: -6.26}
+	obs := makeObs(rng, c, 60, "46A", true, 90, 5)
+	// Lone outliers 2 km away, density 1 each.
+	obs = append(obs,
+		Observation{Pos: jitter(c, 2000, 0), Line: "46A", Direction: true, Heading: 90},
+		Observation{Pos: jitter(c, 0, -2000), Line: "46A", Direction: true, Heading: 90},
+	)
+	res, err := Cluster(obs, Params{Xi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Noise != 2 {
+		t.Fatalf("noise = %d, want 2", res.Noise)
+	}
+	if res.Clusters != 1 {
+		t.Fatalf("clusters = %d, want 1", res.Clusters)
+	}
+}
+
+func TestNearestStopEmptyResult(t *testing.T) {
+	r := &Result{memberStop: map[string][]int{}}
+	if _, ok := r.NearestStop("46A", true, geo.Point{}); ok {
+		t.Fatal("expected ok=false with no stops")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	build := func() *Result {
+		rng := rand.New(rand.NewSource(8))
+		c := geo.Point{Lat: 53.35, Lon: -6.26}
+		obs := append(
+			makeObs(rng, c, 30, "46A", true, 90, 6),
+			makeObs(rng, jitter(c, 300, 100), 30, "145", false, 200, 6)...)
+		res, err := Cluster(obs, Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := build(), build()
+	if a.StopCount() != b.StopCount() || a.Clusters != b.Clusters {
+		t.Fatalf("non-deterministic: %d/%d vs %d/%d stops/clusters",
+			a.StopCount(), a.Clusters, b.StopCount(), b.Clusters)
+	}
+	for i := range a.Stops {
+		if a.Stops[i].Center != b.Stops[i].Center {
+			t.Fatalf("stop %d centre differs", i)
+		}
+	}
+}
+
+func TestMeanAngleWrapAround(t *testing.T) {
+	got := meanAngle([]float64{350, 10})
+	if geo.AngleDiffDegrees(got, 0) > 1e-6 {
+		t.Fatalf("meanAngle(350,10) = %v, want 0", got)
+	}
+}
+
+func TestManyStopsCityScale(t *testing.T) {
+	// A small street network: 12 stops on a line, both directions.
+	rng := rand.New(rand.NewSource(9))
+	var obs []Observation
+	base := geo.Point{Lat: 53.33, Lon: -6.30}
+	for i := 0; i < 12; i++ {
+		c := jitter(base, float64(i)*400, 0)
+		obs = append(obs, makeObs(rng, c, 20, "46A", true, 90, 6)...)
+		obs = append(obs, makeObs(rng, jitter(c, 0, 15), 20, "46A", false, 270, 6)...)
+	}
+	res, err := Cluster(obs, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 12 {
+		t.Fatalf("clusters = %d, want 12", res.Clusters)
+	}
+	if res.StopCount() != 24 {
+		t.Fatalf("stops = %d, want 24", res.StopCount())
+	}
+}

@@ -1,0 +1,255 @@
+// Package dfs is an in-process, chunked file system modelled on HDFS
+// (§2.1.3): files are sequences of fixed-capacity chunks, each chunk is
+// assigned replica locations across a configurable number of data nodes, and
+// the MapReduce layer schedules one map task per chunk. Appends are
+// record-aligned so a chunk never splits a record — the property HDFS +
+// Hadoop input formats provide via line splitting.
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DefaultChunkSize is the default chunk capacity in bytes (64 KiB here;
+// HDFS uses 64 MiB — scaled down so tests exercise multi-chunk files).
+const DefaultChunkSize = 64 * 1024
+
+// Options configure the file system.
+type Options struct {
+	// ChunkSize is the chunk capacity in bytes. Defaults to
+	// DefaultChunkSize.
+	ChunkSize int
+	// Replication is the number of replicas per chunk. Defaults to 3,
+	// capped at DataNodes.
+	Replication int
+	// DataNodes is the number of simulated data nodes. Defaults to 3.
+	DataNodes int
+}
+
+// FS is the file system. All methods are safe for concurrent use.
+type FS struct {
+	mu    sync.RWMutex
+	opts  Options
+	files map[string]*file
+	// nextNode drives round-robin replica placement.
+	nextNode int
+}
+
+type file struct {
+	chunks   []*chunk
+	size     int64
+	nRecords int64
+}
+
+type chunk struct {
+	data     []byte
+	replicas []int
+}
+
+// ChunkInfo describes one chunk of a file for task scheduling.
+type ChunkInfo struct {
+	Path     string
+	Index    int
+	Size     int
+	Replicas []int // data-node ids holding a replica
+}
+
+// New creates an empty file system.
+func New(opts Options) *FS {
+	if opts.ChunkSize <= 0 {
+		opts.ChunkSize = DefaultChunkSize
+	}
+	if opts.DataNodes <= 0 {
+		opts.DataNodes = 3
+	}
+	if opts.Replication <= 0 {
+		opts.Replication = 3
+	}
+	if opts.Replication > opts.DataNodes {
+		opts.Replication = opts.DataNodes
+	}
+	return &FS{opts: opts, files: make(map[string]*file)}
+}
+
+// Append appends one record to the file, creating it if needed. The record
+// is kept whole within a single chunk. A record larger than the chunk size
+// gets a chunk of its own.
+func (fs *FS) Append(path string, record []byte) error {
+	if len(record) == 0 {
+		return fmt.Errorf("dfs: empty record")
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		f = &file{}
+		fs.files[path] = f
+	}
+	var c *chunk
+	if n := len(f.chunks); n > 0 && len(f.chunks[n-1].data)+len(record) <= fs.opts.ChunkSize {
+		c = f.chunks[n-1]
+	} else {
+		c = &chunk{replicas: fs.placeReplicas()}
+		f.chunks = append(f.chunks, c)
+	}
+	c.data = append(c.data, record...)
+	f.size += int64(len(record))
+	f.nRecords++
+	return nil
+}
+
+// AppendLine appends record plus a trailing newline.
+func (fs *FS) AppendLine(path, record string) error {
+	return fs.Append(path, append([]byte(record), '\n'))
+}
+
+// placeReplicas assigns replica nodes round-robin. Called with fs.mu held.
+func (fs *FS) placeReplicas() []int {
+	reps := make([]int, fs.opts.Replication)
+	for i := range reps {
+		reps[i] = (fs.nextNode + i) % fs.opts.DataNodes
+	}
+	fs.nextNode = (fs.nextNode + 1) % fs.opts.DataNodes
+	return reps
+}
+
+// Write replaces the file's content with data, splitting at newline
+// boundaries where possible.
+func (fs *FS) Write(path string, data []byte) error {
+	fs.Delete(path)
+	for len(data) > 0 {
+		n := len(data)
+		if n > fs.opts.ChunkSize {
+			// Prefer to split just after the last newline that fits.
+			cut := bytes.LastIndexByte(data[:fs.opts.ChunkSize], '\n')
+			if cut >= 0 {
+				n = cut + 1
+			} else {
+				n = fs.opts.ChunkSize
+			}
+		}
+		if err := fs.Append(path, data[:n]); err != nil {
+			return err
+		}
+		data = data[n:]
+	}
+	return nil
+}
+
+// Read returns the full contents of a file.
+func (fs *FS) Read(path string) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("dfs: no such file %q", path)
+	}
+	out := make([]byte, 0, f.size)
+	for _, c := range f.chunks {
+		out = append(out, c.data...)
+	}
+	return out, nil
+}
+
+// ReadChunk returns one chunk's data by index.
+func (fs *FS) ReadChunk(path string, index int) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("dfs: no such file %q", path)
+	}
+	if index < 0 || index >= len(f.chunks) {
+		return nil, fmt.Errorf("dfs: chunk %d out of range for %q (%d chunks)", index, path, len(f.chunks))
+	}
+	data := f.chunks[index].data
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// Chunks lists the chunks of a file.
+func (fs *FS) Chunks(path string) ([]ChunkInfo, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("dfs: no such file %q", path)
+	}
+	out := make([]ChunkInfo, len(f.chunks))
+	for i, c := range f.chunks {
+		out[i] = ChunkInfo{
+			Path:     path,
+			Index:    i,
+			Size:     len(c.data),
+			Replicas: append([]int(nil), c.replicas...),
+		}
+	}
+	return out, nil
+}
+
+// Exists reports whether a file exists.
+func (fs *FS) Exists(path string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.files[path]
+	return ok
+}
+
+// Size returns a file's byte size (0 for missing files).
+func (fs *FS) Size(path string) int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if f, ok := fs.files[path]; ok {
+		return f.size
+	}
+	return 0
+}
+
+// Records returns the number of appended records (0 for missing files).
+func (fs *FS) Records(path string) int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if f, ok := fs.files[path]; ok {
+		return f.nRecords
+	}
+	return 0
+}
+
+// Delete removes a file; deleting a missing file returns false.
+func (fs *FS) Delete(path string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.files[path]
+	delete(fs.files, path)
+	return ok
+}
+
+// List returns the sorted paths with the given prefix.
+func (fs *FS) List(prefix string) []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var out []string
+	for p := range fs.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalBytes returns the logical size of all files (before replication).
+func (fs *FS) TotalBytes() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var n int64
+	for _, f := range fs.files {
+		n += f.size
+	}
+	return n
+}

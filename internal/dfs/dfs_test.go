@@ -1,0 +1,279 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	fs := New(Options{})
+	if err := fs.AppendLine("f", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AppendLine("f", "world"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.Read("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello\nworld\n" {
+		t.Fatalf("data = %q", data)
+	}
+	if fs.Records("f") != 2 {
+		t.Fatalf("records = %d", fs.Records("f"))
+	}
+	if fs.Size("f") != 12 {
+		t.Fatalf("size = %d", fs.Size("f"))
+	}
+}
+
+func TestAppendEmptyRecord(t *testing.T) {
+	fs := New(Options{})
+	if err := fs.Append("f", nil); err == nil {
+		t.Fatal("empty record must fail")
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	fs := New(Options{})
+	if _, err := fs.Read("nope"); err == nil {
+		t.Fatal("missing file must fail")
+	}
+	if _, err := fs.Chunks("nope"); err == nil {
+		t.Fatal("missing file must fail")
+	}
+	if _, err := fs.ReadChunk("nope", 0); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestChunkingRecordAligned(t *testing.T) {
+	fs := New(Options{ChunkSize: 32})
+	rec := strings.Repeat("x", 20) // two records never fit one 32-byte chunk
+	for i := 0; i < 5; i++ {
+		if err := fs.AppendLine("f", rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chunks, err := fs.Chunks("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 5 {
+		t.Fatalf("chunks = %d, want 5", len(chunks))
+	}
+	// Every chunk holds whole records: content is a multiple of 21 bytes.
+	for _, c := range chunks {
+		if c.Size%21 != 0 {
+			t.Fatalf("chunk %d size %d splits a record", c.Index, c.Size)
+		}
+	}
+	// Reassembly is exact.
+	data, err := fs.Read("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 5*21 {
+		t.Fatalf("reassembled size = %d", len(data))
+	}
+}
+
+func TestOversizeRecordGetsOwnChunk(t *testing.T) {
+	fs := New(Options{ChunkSize: 8})
+	big := strings.Repeat("y", 50)
+	if err := fs.Append("f", []byte(big)); err != nil {
+		t.Fatal(err)
+	}
+	chunks, err := fs.Chunks("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 1 || chunks[0].Size != 50 {
+		t.Fatalf("chunks = %+v", chunks)
+	}
+}
+
+func TestReplicationPlacement(t *testing.T) {
+	fs := New(Options{ChunkSize: 4, Replication: 2, DataNodes: 3})
+	for i := 0; i < 6; i++ {
+		if err := fs.Append("f", []byte("abcd")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chunks, err := fs.Chunks("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, c := range chunks {
+		if len(c.Replicas) != 2 {
+			t.Fatalf("chunk %d has %d replicas, want 2", c.Index, len(c.Replicas))
+		}
+		if c.Replicas[0] == c.Replicas[1] {
+			t.Fatalf("chunk %d replicas on the same node", c.Index)
+		}
+		for _, r := range c.Replicas {
+			if r < 0 || r >= 3 {
+				t.Fatalf("replica node %d out of range", r)
+			}
+			counts[r]++
+		}
+	}
+	// Round-robin placement must touch all nodes.
+	if len(counts) != 3 {
+		t.Fatalf("replica distribution = %v, want all 3 nodes used", counts)
+	}
+}
+
+func TestReplicationCappedAtDataNodes(t *testing.T) {
+	fs := New(Options{Replication: 5, DataNodes: 2})
+	if err := fs.Append("f", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	chunks, _ := fs.Chunks("f")
+	if len(chunks[0].Replicas) != 2 {
+		t.Fatalf("replicas = %d, want capped at 2", len(chunks[0].Replicas))
+	}
+}
+
+func TestWriteSplitsAtNewlines(t *testing.T) {
+	fs := New(Options{ChunkSize: 16})
+	var buf bytes.Buffer
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&buf, "line-%02d\n", i)
+	}
+	orig := buf.String()
+	if err := fs.Write("f", buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	chunks, err := fs.Chunks("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) < 2 {
+		t.Fatalf("chunks = %d, want multiple", len(chunks))
+	}
+	for _, c := range chunks {
+		data, err := fs.ReadChunk("f", c.Index)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) > 0 && data[len(data)-1] != '\n' {
+			t.Fatalf("chunk %d does not end at a line boundary: %q", c.Index, data)
+		}
+	}
+	back, _ := fs.Read("f")
+	if string(back) != orig {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestWriteReplacesContent(t *testing.T) {
+	fs := New(Options{})
+	if err := fs.Write("f", []byte("old\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("f", []byte("new\n")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := fs.Read("f")
+	if string(data) != "new\n" {
+		t.Fatalf("data = %q", data)
+	}
+}
+
+func TestReadChunkIsCopy(t *testing.T) {
+	fs := New(Options{})
+	if err := fs.Append("f", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadChunk("f", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X'
+	again, _ := fs.ReadChunk("f", 0)
+	if again[0] != 'a' {
+		t.Fatal("ReadChunk must return a copy")
+	}
+}
+
+func TestReadChunkOutOfRange(t *testing.T) {
+	fs := New(Options{})
+	if err := fs.Append("f", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadChunk("f", 1); err == nil {
+		t.Fatal("out-of-range chunk must fail")
+	}
+	if _, err := fs.ReadChunk("f", -1); err == nil {
+		t.Fatal("negative chunk must fail")
+	}
+}
+
+func TestListPrefixAndDelete(t *testing.T) {
+	fs := New(Options{})
+	for _, p := range []string{"raw/day1", "raw/day2", "out/part-r-00000"} {
+		if err := fs.Append(p, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw := fs.List("raw/")
+	if len(raw) != 2 || raw[0] != "raw/day1" || raw[1] != "raw/day2" {
+		t.Fatalf("list = %v", raw)
+	}
+	if !fs.Exists("out/part-r-00000") {
+		t.Fatal("exists failed")
+	}
+	if !fs.Delete("raw/day1") {
+		t.Fatal("delete failed")
+	}
+	if fs.Delete("raw/day1") {
+		t.Fatal("double delete should report false")
+	}
+	if len(fs.List("raw/")) != 1 {
+		t.Fatal("delete did not remove file")
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	fs := New(Options{})
+	_ = fs.Append("a", []byte("12345"))
+	_ = fs.Append("b", []byte("123"))
+	if fs.TotalBytes() != 8 {
+		t.Fatalf("total = %d", fs.TotalBytes())
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	fs := New(Options{ChunkSize: 128})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := fs.AppendLine("shared", fmt.Sprintf("g%d-%d", g, i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if fs.Records("shared") != 800 {
+		t.Fatalf("records = %d, want 800", fs.Records("shared"))
+	}
+	data, err := fs.Read("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("lines = %d, want 800 (no torn records)", len(lines))
+	}
+}

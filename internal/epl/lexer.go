@@ -1,0 +1,147 @@
+package epl
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lex tokenizes an EPL query. Keywords are normalized to upper case;
+// identifiers keep their original spelling.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	runes := []rune(src)
+	i := 0
+	n := len(runes)
+	for i < n {
+		c := runes[i]
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == ',':
+			toks = append(toks, Token{TokComma, ",", i + 1})
+			i++
+		case c == '.':
+			toks = append(toks, Token{TokDot, ".", i + 1})
+			i++
+		case c == ':':
+			toks = append(toks, Token{TokColon, ":", i + 1})
+			i++
+		case c == '(':
+			toks = append(toks, Token{TokLParen, "(", i + 1})
+			i++
+		case c == ')':
+			toks = append(toks, Token{TokRParen, ")", i + 1})
+			i++
+		case c == '*':
+			toks = append(toks, Token{TokStar, "*", i + 1})
+			i++
+		case c == '+':
+			toks = append(toks, Token{TokPlus, "+", i + 1})
+			i++
+		case c == '-':
+			toks = append(toks, Token{TokMinus, "-", i + 1})
+			i++
+		case c == '/':
+			toks = append(toks, Token{TokSlash, "/", i + 1})
+			i++
+		case c == '=':
+			toks = append(toks, Token{TokEq, "=", i + 1})
+			i++
+		case c == '!':
+			if i+1 < n && runes[i+1] == '=' {
+				toks = append(toks, Token{TokNeq, "!=", i + 1})
+				i += 2
+			} else {
+				return nil, errAt(i+1, "unexpected '!'")
+			}
+		case c == '<':
+			switch {
+			case i+1 < n && runes[i+1] == '=':
+				toks = append(toks, Token{TokLte, "<=", i + 1})
+				i += 2
+			case i+1 < n && runes[i+1] == '>':
+				toks = append(toks, Token{TokNeq, "<>", i + 1})
+				i += 2
+			default:
+				toks = append(toks, Token{TokLt, "<", i + 1})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && runes[i+1] == '=' {
+				toks = append(toks, Token{TokGte, ">=", i + 1})
+				i += 2
+			} else {
+				toks = append(toks, Token{TokGt, ">", i + 1})
+				i++
+			}
+		case c == '\'' || c == '"':
+			quote := c
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if runes[i] == quote {
+					// Doubled quote is an escaped quote.
+					if i+1 < n && runes[i+1] == quote {
+						sb.WriteRune(quote)
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteRune(runes[i])
+				i++
+			}
+			if !closed {
+				return nil, errAt(start+1, "unterminated string literal")
+			}
+			toks = append(toks, Token{TokString, sb.String(), start + 1})
+		case unicode.IsDigit(c):
+			start := i
+			for i < n && (unicode.IsDigit(runes[i])) {
+				i++
+			}
+			// Decimal part: only if the dot is followed by a digit, so
+			// "win:length(10)" chains like "10.win" keep the dot token.
+			if i+1 < n && runes[i] == '.' && unicode.IsDigit(runes[i+1]) {
+				i++
+				for i < n && unicode.IsDigit(runes[i]) {
+					i++
+				}
+			}
+			// Exponent part.
+			if i < n && (runes[i] == 'e' || runes[i] == 'E') {
+				j := i + 1
+				if j < n && (runes[j] == '+' || runes[j] == '-') {
+					j++
+				}
+				if j < n && unicode.IsDigit(runes[j]) {
+					i = j
+					for i < n && unicode.IsDigit(runes[i]) {
+						i++
+					}
+				}
+			}
+			toks = append(toks, Token{TokNumber, string(runes[start:i]), start + 1})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(runes[i]) || unicode.IsDigit(runes[i]) || runes[i] == '_') {
+				i++
+			}
+			word := string(runes[start:i])
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, Token{TokKeyword, upper, start + 1})
+			} else {
+				toks = append(toks, Token{TokIdent, word, start + 1})
+			}
+		default:
+			return nil, errAt(i+1, "unexpected character %q", string(c))
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", n + 1})
+	return toks, nil
+}

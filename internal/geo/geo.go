@@ -1,0 +1,141 @@
+// Package geo provides the small amount of computational geometry the
+// traffic-management system needs: WGS-84 points, haversine distances,
+// bearings and axis-aligned bounding boxes over latitude/longitude space.
+//
+// The paper's system operates on GPS positions reported by Dublin buses
+// (Table 1 of the paper); every distance used for speed computation and for
+// DENCLUE clustering is a great-circle distance in metres.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusMeters is the mean Earth radius used for haversine distances.
+const EarthRadiusMeters = 6371000.0
+
+// Point is a WGS-84 coordinate. Lat and Lon are in decimal degrees.
+type Point struct {
+	Lat float64
+	Lon float64
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.6f,%.6f)", p.Lat, p.Lon)
+}
+
+// DistanceMeters returns the great-circle (haversine) distance in metres
+// between p and q.
+func (p Point) DistanceMeters(q Point) float64 {
+	lat1 := p.Lat * math.Pi / 180
+	lat2 := q.Lat * math.Pi / 180
+	dLat := (q.Lat - p.Lat) * math.Pi / 180
+	dLon := (q.Lon - p.Lon) * math.Pi / 180
+
+	sinLat := math.Sin(dLat / 2)
+	sinLon := math.Sin(dLon / 2)
+	a := sinLat*sinLat + math.Cos(lat1)*math.Cos(lat2)*sinLon*sinLon
+	// Floating error can push a marginally outside [0, 1] for antipodal
+	// points, which would make the square roots produce NaN.
+	if a > 1 {
+		a = 1
+	}
+	if a < 0 {
+		a = 0
+	}
+	c := 2 * math.Atan2(math.Sqrt(a), math.Sqrt(1-a))
+	return EarthRadiusMeters * c
+}
+
+// BearingDegrees returns the initial great-circle bearing from p to q in
+// degrees in [0, 360). A bearing of 0 means due north, 90 due east.
+func (p Point) BearingDegrees(q Point) float64 {
+	lat1 := p.Lat * math.Pi / 180
+	lat2 := q.Lat * math.Pi / 180
+	dLon := (q.Lon - p.Lon) * math.Pi / 180
+
+	y := math.Sin(dLon) * math.Cos(lat2)
+	x := math.Cos(lat1)*math.Sin(lat2) - math.Sin(lat1)*math.Cos(lat2)*math.Cos(dLon)
+	deg := math.Atan2(y, x) * 180 / math.Pi
+	if deg < 0 {
+		deg += 360
+	}
+	return deg
+}
+
+// AngleDiffDegrees returns the absolute difference between two bearings,
+// normalized to [0, 180]. It is used by the DENCLUE sub-cluster split, which
+// groups bus lines whose entry headings into a cluster are similar.
+func AngleDiffDegrees(a, b float64) float64 {
+	d := math.Mod(math.Abs(a-b), 360)
+	if d > 180 {
+		d = 360 - d
+	}
+	return d
+}
+
+// Rect is an axis-aligned bounding box in latitude/longitude space.
+// MinLat <= MaxLat and MinLon <= MaxLon for a well-formed rectangle.
+type Rect struct {
+	MinLat, MinLon float64
+	MaxLat, MaxLon float64
+}
+
+// NewRect builds a rectangle from two corner points in any order.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		MinLat: math.Min(a.Lat, b.Lat),
+		MaxLat: math.Max(a.Lat, b.Lat),
+		MinLon: math.Min(a.Lon, b.Lon),
+		MaxLon: math.Max(a.Lon, b.Lon),
+	}
+}
+
+// Contains reports whether p lies inside r. Boundaries on the minimum edges
+// are inclusive and on the maximum edges exclusive, so that the four
+// quadrants of a quadtree split partition their parent exactly.
+func (r Rect) Contains(p Point) bool {
+	return p.Lat >= r.MinLat && p.Lat < r.MaxLat &&
+		p.Lon >= r.MinLon && p.Lon < r.MaxLon
+}
+
+// ContainsClosed reports whether p lies inside r including all boundaries.
+func (r Rect) ContainsClosed(p Point) bool {
+	return p.Lat >= r.MinLat && p.Lat <= r.MaxLat &&
+		p.Lon >= r.MinLon && p.Lon <= r.MaxLon
+}
+
+// Intersects reports whether r and o overlap.
+func (r Rect) Intersects(o Rect) bool {
+	return r.MinLat < o.MaxLat && o.MinLat < r.MaxLat &&
+		r.MinLon < o.MaxLon && o.MinLon < r.MaxLon
+}
+
+// Center returns the midpoint of the rectangle.
+func (r Rect) Center() Point {
+	return Point{Lat: (r.MinLat + r.MaxLat) / 2, Lon: (r.MinLon + r.MaxLon) / 2}
+}
+
+// Quadrants splits r into four equal sub-rectangles, ordered NW, NE, SW, SE.
+func (r Rect) Quadrants() [4]Rect {
+	c := r.Center()
+	return [4]Rect{
+		{MinLat: c.Lat, MaxLat: r.MaxLat, MinLon: r.MinLon, MaxLon: c.Lon}, // NW
+		{MinLat: c.Lat, MaxLat: r.MaxLat, MinLon: c.Lon, MaxLon: r.MaxLon}, // NE
+		{MinLat: r.MinLat, MaxLat: c.Lat, MinLon: r.MinLon, MaxLon: c.Lon}, // SW
+		{MinLat: r.MinLat, MaxLat: c.Lat, MinLon: c.Lon, MaxLon: r.MaxLon}, // SE
+	}
+}
+
+// Dublin is the bounding box the paper's quadtree partitions (Figure 6 shows
+// roughly 53.344..53.362 N, -6.315..-6.275 E; we use the wider city extent so
+// the synthetic traces cover the whole monitored area).
+var Dublin = Rect{
+	MinLat: 53.28, MaxLat: 53.42,
+	MinLon: -6.45, MaxLon: -6.05,
+}
+
+// DublinCenter is the approximate city-centre point (O'Connell Bridge).
+var DublinCenter = Point{Lat: 53.3472, Lon: -6.2590}

@@ -1,0 +1,214 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceZero(t *testing.T) {
+	p := Point{Lat: 53.35, Lon: -6.26}
+	if d := p.DistanceMeters(p); d != 0 {
+		t.Fatalf("distance to self = %v, want 0", d)
+	}
+}
+
+func TestDistanceKnown(t *testing.T) {
+	// O'Connell Bridge to Heuston Station is roughly 2.6 km.
+	a := Point{Lat: 53.3472, Lon: -6.2590}
+	b := Point{Lat: 53.3465, Lon: -6.2920}
+	d := a.DistanceMeters(b)
+	if d < 2000 || d > 2500 {
+		t.Fatalf("distance = %v m, want roughly 2.2 km", d)
+	}
+}
+
+func TestDistanceOneDegreeLat(t *testing.T) {
+	// One degree of latitude is about 111.2 km everywhere.
+	a := Point{Lat: 53, Lon: -6}
+	b := Point{Lat: 54, Lon: -6}
+	d := a.DistanceMeters(b)
+	if math.Abs(d-111195) > 200 {
+		t.Fatalf("1 degree latitude = %v m, want ~111195", d)
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Point{Lat: clamp(lat1, -89, 89), Lon: clamp(lon1, -179, 179)}
+		b := Point{Lat: clamp(lat2, -89, 89), Lon: clamp(lon2, -179, 179)}
+		d1 := a.DistanceMeters(b)
+		d2 := b.DistanceMeters(a)
+		return math.Abs(d1-d2) < 1e-6*(1+d1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2, lat3, lon3 float64) bool {
+		a := Point{Lat: clamp(lat1, -80, 80), Lon: clamp(lon1, -170, 170)}
+		b := Point{Lat: clamp(lat2, -80, 80), Lon: clamp(lon2, -170, 170)}
+		c := Point{Lat: clamp(lat3, -80, 80), Lon: clamp(lon3, -170, 170)}
+		// Haversine is a metric, but float error near antipodal points
+		// can reach metre scale; allow a small absolute slack.
+		return a.DistanceMeters(c) <= a.DistanceMeters(b)+b.DistanceMeters(c)+1.0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return lo
+	}
+	// fold v into [lo, hi]
+	r := math.Mod(v, hi-lo)
+	if r < 0 {
+		r += hi - lo
+	}
+	return lo + r
+}
+
+func TestBearingCardinal(t *testing.T) {
+	origin := Point{Lat: 53.35, Lon: -6.26}
+	cases := []struct {
+		name string
+		to   Point
+		want float64
+	}{
+		{"north", Point{Lat: 53.36, Lon: -6.26}, 0},
+		{"east", Point{Lat: 53.35, Lon: -6.25}, 90},
+		{"south", Point{Lat: 53.34, Lon: -6.26}, 180},
+		{"west", Point{Lat: 53.35, Lon: -6.27}, 270},
+	}
+	for _, c := range cases {
+		got := origin.BearingDegrees(c.to)
+		if AngleDiffDegrees(got, c.want) > 1.0 {
+			t.Errorf("%s: bearing = %v, want ~%v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0, 0, 0},
+		{10, 350, 20},
+		{350, 10, 20},
+		{180, 0, 180},
+		{90, 270, 180},
+		{45, 46, 1},
+		{720, 0, 0},
+	}
+	for _, c := range cases {
+		if got := AngleDiffDegrees(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("AngleDiffDegrees(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAngleDiffRange(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) || math.IsInf(a-b, 0) {
+			return true
+		}
+		d := AngleDiffDegrees(a, b)
+		return d >= 0 && d <= 180
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(Point{Lat: 0, Lon: 0}, Point{Lat: 10, Lon: 10})
+	if !r.Contains(Point{Lat: 5, Lon: 5}) {
+		t.Error("center should be contained")
+	}
+	if !r.Contains(Point{Lat: 0, Lon: 0}) {
+		t.Error("min corner should be contained (half-open)")
+	}
+	if r.Contains(Point{Lat: 10, Lon: 10}) {
+		t.Error("max corner should not be contained (half-open)")
+	}
+	if !r.ContainsClosed(Point{Lat: 10, Lon: 10}) {
+		t.Error("max corner should be contained under closed semantics")
+	}
+	if r.Contains(Point{Lat: -1, Lon: 5}) || r.Contains(Point{Lat: 5, Lon: 11}) {
+		t.Error("outside points should not be contained")
+	}
+}
+
+func TestNewRectOrdersCorners(t *testing.T) {
+	r := NewRect(Point{Lat: 10, Lon: -5}, Point{Lat: -10, Lon: 5})
+	if r.MinLat != -10 || r.MaxLat != 10 || r.MinLon != -5 || r.MaxLon != 5 {
+		t.Fatalf("got %+v", r)
+	}
+}
+
+func TestQuadrantsPartition(t *testing.T) {
+	r := NewRect(Point{Lat: 0, Lon: 0}, Point{Lat: 4, Lon: 4})
+	quads := r.Quadrants()
+	// Every interior point must be in exactly one quadrant.
+	for lat := 0.25; lat < 4; lat += 0.5 {
+		for lon := 0.25; lon < 4; lon += 0.5 {
+			p := Point{Lat: lat, Lon: lon}
+			n := 0
+			for _, q := range quads {
+				if q.Contains(p) {
+					n++
+				}
+			}
+			if n != 1 {
+				t.Fatalf("point %v contained in %d quadrants, want 1", p, n)
+			}
+		}
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := NewRect(Point{0, 0}, Point{2, 2})
+	b := NewRect(Point{1, 1}, Point{3, 3})
+	c := NewRect(Point{2.5, 2.5}, Point{4, 4})
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("a and b should intersect")
+	}
+	if a.Intersects(c) {
+		t.Error("a and c should not intersect")
+	}
+	// Touching edges do not intersect (open intervals).
+	d := NewRect(Point{2, 0}, Point{4, 2})
+	if a.Intersects(d) {
+		t.Error("edge-touching rects should not intersect")
+	}
+}
+
+func TestRectCenter(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{10, 20})
+	c := r.Center()
+	if c.Lat != 5 || c.Lon != 10 {
+		t.Fatalf("center = %v", c)
+	}
+}
+
+func TestDublinBoundsContainCenter(t *testing.T) {
+	if !Dublin.Contains(DublinCenter) {
+		t.Fatal("Dublin bounding box must contain the city centre")
+	}
+}
+
+func TestDistanceNearAntipodesNotNaN(t *testing.T) {
+	// Floating error at near-antipodal points used to yield NaN.
+	a := Point{Lat: 45, Lon: 0}
+	b := Point{Lat: -45, Lon: 180}
+	d := a.DistanceMeters(b)
+	if math.IsNaN(d) {
+		t.Fatal("antipodal distance is NaN")
+	}
+	// Half the Earth's circumference, give or take.
+	if math.Abs(d-math.Pi*EarthRadiusMeters) > 1000 {
+		t.Fatalf("antipodal distance = %v", d)
+	}
+}

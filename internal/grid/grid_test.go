@@ -1,0 +1,190 @@
+package grid
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"trafficcep/internal/geo"
+	"trafficcep/internal/quadtree"
+)
+
+func unit() geo.Rect {
+	return geo.NewRect(geo.Point{Lat: 0, Lon: 0}, geo.Point{Lat: 1, Lon: 1})
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(unit(), 0, 4); err == nil {
+		t.Error("0 rows must fail")
+	}
+	if _, err := New(unit(), 4, -1); err == nil {
+		t.Error("negative cols must fail")
+	}
+	if _, err := New(geo.Rect{MinLat: 1, MaxLat: 1, MinLon: 0, MaxLon: 1}, 2, 2); err == nil {
+		t.Error("degenerate bounds must fail")
+	}
+}
+
+func TestLocateCorners(t *testing.T) {
+	g, err := New(unit(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[CellID]geo.Point{
+		"r0c0": {Lat: 0.1, Lon: 0.1},
+		"r0c1": {Lat: 0.1, Lon: 0.9},
+		"r1c0": {Lat: 0.9, Lon: 0.1},
+		"r1c1": {Lat: 0.9, Lon: 0.9},
+	}
+	for want, p := range cases {
+		if got := g.Locate(p); got != want {
+			t.Errorf("Locate(%v) = %s, want %s", p, got, want)
+		}
+	}
+	if g.Locate(geo.Point{Lat: 2, Lon: 0.5}) != "" {
+		t.Error("outside point must return empty id")
+	}
+}
+
+func TestEveryPointHasExactlyOneCell(t *testing.T) {
+	g, err := New(unit(), 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	ids := map[CellID]bool{}
+	for _, c := range g.AllCells() {
+		ids[c] = true
+	}
+	if len(ids) != 35 || g.Cells() != 35 {
+		t.Fatalf("cells = %d", len(ids))
+	}
+	for i := 0; i < 500; i++ {
+		p := geo.Point{Lat: rng.Float64(), Lon: rng.Float64()}
+		id := g.Locate(p)
+		if id == "" || !ids[id] {
+			t.Fatalf("point %v located to %q", p, id)
+		}
+	}
+}
+
+func TestCellBoundsTileTheBox(t *testing.T) {
+	g, err := New(unit(), 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		p := geo.Point{Lat: rng.Float64(), Lon: rng.Float64()}
+		hits := 0
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				cb, err := g.CellBounds(r, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cb.Contains(p) {
+					hits++
+				}
+			}
+		}
+		if hits != 1 {
+			t.Fatalf("point %v in %d cells", p, hits)
+		}
+	}
+	if _, err := g.CellBounds(3, 0); err == nil {
+		t.Error("out-of-range cell must fail")
+	}
+}
+
+func TestLocateConsistentWithCellBounds(t *testing.T) {
+	g, err := New(unit(), 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		p := geo.Point{Lat: rng.Float64(), Lon: rng.Float64()}
+		id := g.Locate(p)
+		var row, col int
+		if _, err := fmt.Sscanf(string(id), "r%dc%d", &row, &col); err != nil {
+			t.Fatalf("bad id %q", id)
+		}
+		cb, err := g.CellBounds(row, col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cb.Contains(p) {
+			t.Fatalf("cell %s bounds do not contain %v", id, p)
+		}
+	}
+}
+
+func TestQueryRegion(t *testing.T) {
+	g, err := New(unit(), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := g.QueryRegion(geo.NewRect(geo.Point{Lat: 0.3, Lon: 0.3}, geo.Point{Lat: 0.6, Lon: 0.6}))
+	if len(hits) != 4 { // cells r1..2 × c1..2
+		t.Fatalf("hits = %v", hits)
+	}
+	if got := g.QueryRegion(geo.NewRect(geo.Point{Lat: 5, Lon: 5}, geo.Point{Lat: 6, Lon: 6})); got != nil {
+		t.Fatalf("disjoint query = %v", got)
+	}
+}
+
+func TestGridVsQuadtreeImbalanceOnSkewedCity(t *testing.T) {
+	// The ablation claim: over a centre-skewed point cloud, the adaptive
+	// quadtree's leaves spread load far more evenly than uniform grid
+	// cells with a similar area count.
+	rng := rand.New(rand.NewSource(13))
+	var pts []geo.Point
+	for i := 0; i < 4000; i++ {
+		// Gaussian cluster near the centre + uniform background.
+		if i%4 == 0 {
+			pts = append(pts, geo.Point{Lat: rng.Float64(), Lon: rng.Float64()})
+		} else {
+			pts = append(pts, geo.Point{
+				Lat: clamp01(0.5 + rng.NormFloat64()*0.05),
+				Lon: clamp01(0.5 + rng.NormFloat64()*0.05),
+			})
+		}
+	}
+	g, err := New(unit(), 8, 8) // 64 cells
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridImb := g.LoadImbalance(pts)
+
+	tr, err := quadtree.Build(unit(), pts[:1000], quadtree.Options{MaxPoints: 16, MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, p := range pts {
+		if leaf := tr.Locate(p); leaf != nil {
+			counts[string(leaf.ID)]++
+		}
+	}
+	maxN := 0
+	for _, n := range counts {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	qtImb := float64(maxN) / (float64(len(pts)) / float64(len(tr.Leaves())))
+	if qtImb >= gridImb {
+		t.Fatalf("quadtree imbalance %.2f should beat grid %.2f on skewed data", qtImb, gridImb)
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v >= 1 {
+		return 0.999999
+	}
+	return v
+}

@@ -1,0 +1,47 @@
+package mapreduce_test
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"trafficcep/internal/dfs"
+	"trafficcep/internal/mapreduce"
+)
+
+// Example runs the canonical word count: map emits (word, 1), reduce sums.
+func Example() {
+	fs := dfs.New(dfs.Options{})
+	_ = fs.AppendLine("in/doc", "to be or not to be")
+	res, err := mapreduce.Run(mapreduce.Config{
+		Name:       "wordcount",
+		FS:         fs,
+		InputPaths: []string{"in/doc"},
+		OutputPath: "out/wc",
+		Mapper: func(_ int64, line string, emit func(k, v string)) error {
+			for _, w := range strings.Fields(line) {
+				emit(w, "1")
+			}
+			return nil
+		},
+		Reducer: func(key string, values []string, emit func(k, v string)) error {
+			emit(key, strconv.Itoa(len(values)))
+			return nil
+		},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	out, _ := mapreduce.ReadOutput(fs, "out/wc")
+	for _, kv := range out {
+		fmt.Printf("%s=%s\n", kv.Key, kv.Value)
+	}
+	fmt.Printf("map tasks: %d, groups: %d\n", res.Counters.MapTasks, res.Counters.ReduceGroups)
+	// Output:
+	// be=2
+	// not=1
+	// or=1
+	// to=2
+	// map tasks: 1, groups: 4
+}

@@ -1,0 +1,37 @@
+package quadtree_test
+
+import (
+	"fmt"
+
+	"trafficcep/internal/geo"
+	"trafficcep/internal/quadtree"
+)
+
+// Example builds a small quadtree over Dublin and resolves a position to
+// its area path, the way the AreaTracker bolt does for every trace.
+func Example() {
+	seeds := []geo.Point{
+		{Lat: 53.3472, Lon: -6.2590}, // O'Connell Bridge
+		{Lat: 53.3430, Lon: -6.2540},
+		{Lat: 53.3498, Lon: -6.2603},
+		{Lat: 53.3382, Lon: -6.2591},
+		{Lat: 53.3551, Lon: -6.2488},
+		{Lat: 53.3940, Lon: -6.3200}, // suburbs
+	}
+	tree, err := quadtree.Build(geo.Dublin, seeds, quadtree.Options{MaxPoints: 2})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	path := tree.Path(geo.DublinCenter)
+	for _, node := range path {
+		fmt.Printf("layer %d: area %s\n", node.Depth, node.ID)
+	}
+	// Output:
+	// layer 0: area 0
+	// layer 1: area 0.2
+	// layer 2: area 0.2.1
+	// layer 3: area 0.2.1.1
+	// layer 4: area 0.2.1.1.1
+	// layer 5: area 0.2.1.1.1.1
+}

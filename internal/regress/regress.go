@@ -1,0 +1,281 @@
+// Package regress implements multivariate polynomial least-squares
+// regression, the modelling tool §4.1.4 of the paper uses to learn the three
+// latency-estimation functions (single-rule latency, multiple-rules latency,
+// engine co-location latency). The paper compares first- and second-order
+// polynomials by mean absolute error (§5.1, Figure 9); this package supports
+// arbitrary order with all cross terms.
+package regress
+
+import (
+	"fmt"
+	"math"
+)
+
+// Monomial is one term of a polynomial: the exponent of each input variable.
+type Monomial []int
+
+// Degree returns the total degree of the monomial.
+func (m Monomial) Degree() int {
+	d := 0
+	for _, e := range m {
+		d += e
+	}
+	return d
+}
+
+// Eval computes the monomial's value at x.
+func (m Monomial) Eval(x []float64) float64 {
+	v := 1.0
+	for i, e := range m {
+		for k := 0; k < e; k++ {
+			v *= x[i]
+		}
+	}
+	return v
+}
+
+// String renders the monomial, e.g. "x0*x1^2"; the constant term is "1".
+func (m Monomial) String() string {
+	s := ""
+	for i, e := range m {
+		if e == 0 {
+			continue
+		}
+		if s != "" {
+			s += "*"
+		}
+		if e == 1 {
+			s += fmt.Sprintf("x%d", i)
+		} else {
+			s += fmt.Sprintf("x%d^%d", i, e)
+		}
+	}
+	if s == "" {
+		return "1"
+	}
+	return s
+}
+
+// Monomials enumerates every monomial in nVars variables with total degree
+// <= order, in increasing degree then lexicographic order. The first entry
+// is always the constant term.
+func Monomials(nVars, order int) []Monomial {
+	var out []Monomial
+	var rec func(prefix []int, target, varsLeft int)
+	rec = func(prefix []int, target, varsLeft int) {
+		if varsLeft == 0 {
+			if target == 0 {
+				m := make(Monomial, len(prefix))
+				copy(m, prefix)
+				out = append(out, m)
+			}
+			return
+		}
+		// Earlier variables take higher exponents first, so the order
+		// within a degree is 1, x0, x1, ... then x0², x0·x1, x1², ...
+		for e := target; e >= 0; e-- {
+			rec(append(prefix, e), target-e, varsLeft-1)
+		}
+	}
+	for d := 0; d <= order; d++ {
+		rec(nil, d, nVars)
+	}
+	return out
+}
+
+// Poly is a fitted polynomial model y ≈ Σ coef_i · monomial_i(x).
+type Poly struct {
+	NVars int
+	Terms []Monomial
+	Coef  []float64
+}
+
+// FitPoly fits a polynomial of the given order (with all cross terms) to the
+// samples by ordinary least squares. xs[i] is the i-th input vector; all
+// inputs must share the same dimension.
+func FitPoly(xs [][]float64, ys []float64, order int) (*Poly, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("regress: need equal, non-zero sample counts (got %d, %d)", len(xs), len(ys))
+	}
+	if order < 0 {
+		return nil, fmt.Errorf("regress: order must be >= 0")
+	}
+	nVars := len(xs[0])
+	for i, x := range xs {
+		if len(x) != nVars {
+			return nil, fmt.Errorf("regress: sample %d has dimension %d, want %d", i, len(x), nVars)
+		}
+	}
+	terms := Monomials(nVars, order)
+	if len(xs) < len(terms) {
+		return nil, fmt.Errorf("regress: %d samples cannot determine %d coefficients", len(xs), len(terms))
+	}
+	// Design matrix.
+	design := make([][]float64, len(xs))
+	for i, x := range xs {
+		row := make([]float64, len(terms))
+		for j, m := range terms {
+			row[j] = m.Eval(x)
+		}
+		design[i] = row
+	}
+	coef, err := SolveLeastSquares(design, ys)
+	if err != nil {
+		return nil, err
+	}
+	return &Poly{NVars: nVars, Terms: terms, Coef: coef}, nil
+}
+
+// Predict evaluates the fitted polynomial at x.
+func (p *Poly) Predict(x []float64) float64 {
+	if len(x) != p.NVars {
+		return math.NaN()
+	}
+	y := 0.0
+	for j, m := range p.Terms {
+		y += p.Coef[j] * m.Eval(x)
+	}
+	return y
+}
+
+// String renders the polynomial with its fitted coefficients.
+func (p *Poly) String() string {
+	s := ""
+	for j, m := range p.Terms {
+		if j > 0 {
+			s += " + "
+		}
+		s += fmt.Sprintf("%.6g*%s", p.Coef[j], m)
+	}
+	return s
+}
+
+// SolveLeastSquares solves min ‖A·c − b‖² via the normal equations
+// (AᵀA)c = Aᵀb with Gaussian elimination and partial pivoting. Returns an
+// error when the system is singular (collinear features).
+func SolveLeastSquares(a [][]float64, b []float64) ([]float64, error) {
+	if len(a) == 0 || len(a) != len(b) {
+		return nil, fmt.Errorf("regress: bad system shape")
+	}
+	n := len(a[0])
+	// Build AᵀA and Aᵀb.
+	ata := make([][]float64, n)
+	atb := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ata[i] = make([]float64, n)
+	}
+	for r := range a {
+		if len(a[r]) != n {
+			return nil, fmt.Errorf("regress: ragged design matrix")
+		}
+		for i := 0; i < n; i++ {
+			ai := a[r][i]
+			if ai == 0 {
+				continue
+			}
+			atb[i] += ai * b[r]
+			for j := i; j < n; j++ {
+				ata[i][j] += ai * a[r][j]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			ata[i][j] = ata[j][i]
+		}
+	}
+	return solveLinear(ata, atb)
+}
+
+// solveLinear solves M·x = v by Gaussian elimination with partial pivoting.
+func solveLinear(m [][]float64, v []float64) ([]float64, error) {
+	n := len(v)
+	// Augment.
+	for i := 0; i < n; i++ {
+		m[i] = append(m[i], v[i])
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("regress: singular system (column %d)", col)
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for j := i + 1; j < n; j++ {
+			s -= m[i][j] * x[j]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}
+
+// MAE returns the mean absolute error of the model on the given samples.
+func (p *Poly) MAE(xs [][]float64, ys []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, x := range xs {
+		s += math.Abs(p.Predict(x) - ys[i])
+	}
+	return s / float64(len(xs))
+}
+
+// MAPE returns the mean absolute percentage error (in percent) of the model,
+// skipping samples with zero truth.
+func (p *Poly) MAPE(xs [][]float64, ys []float64) float64 {
+	s, n := 0.0, 0
+	for i, x := range xs {
+		if ys[i] == 0 {
+			continue
+		}
+		s += math.Abs((p.Predict(x)-ys[i])/ys[i]) * 100
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// TrainTestSplit deterministically splits samples: every k-th sample (by a
+// fixed stride pattern) goes to the test set, roughly testFrac of the data.
+func TrainTestSplit(xs [][]float64, ys []float64, testFrac float64) (trainX [][]float64, trainY []float64, testX [][]float64, testY []float64) {
+	if testFrac <= 0 || testFrac >= 1 {
+		return xs, ys, nil, nil
+	}
+	stride := int(math.Round(1 / testFrac))
+	if stride < 2 {
+		stride = 2
+	}
+	for i := range xs {
+		if i%stride == stride-1 {
+			testX = append(testX, xs[i])
+			testY = append(testY, ys[i])
+		} else {
+			trainX = append(trainX, xs[i])
+			trainY = append(trainY, ys[i])
+		}
+	}
+	return
+}

@@ -1,0 +1,280 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMonomialsCount(t *testing.T) {
+	// Number of monomials in n vars with total degree <= k is C(n+k, k).
+	cases := []struct{ n, k, want int }{
+		{1, 0, 1},
+		{1, 1, 2},
+		{1, 2, 3},
+		{2, 1, 3}, // 1, x0, x1
+		{2, 2, 6}, // +x0², x0x1, x1²
+		{3, 2, 10},
+	}
+	for _, c := range cases {
+		got := Monomials(c.n, c.k)
+		if len(got) != c.want {
+			t.Errorf("Monomials(%d,%d) = %d terms, want %d: %v", c.n, c.k, len(got), c.want, got)
+		}
+	}
+}
+
+func TestMonomialsFirstIsConstant(t *testing.T) {
+	ms := Monomials(3, 2)
+	if ms[0].Degree() != 0 {
+		t.Fatalf("first monomial = %v, want constant", ms[0])
+	}
+	if ms[0].Eval([]float64{7, 8, 9}) != 1 {
+		t.Fatal("constant must evaluate to 1")
+	}
+}
+
+func TestMonomialEval(t *testing.T) {
+	m := Monomial{1, 2} // x0 * x1²
+	if got := m.Eval([]float64{3, 2}); got != 12 {
+		t.Fatalf("eval = %v, want 12", got)
+	}
+	if m.String() != "x0*x1^2" {
+		t.Fatalf("string = %q", m.String())
+	}
+}
+
+func TestFitExactLine(t *testing.T) {
+	// y = 2 + 3x, noiseless: first-order fit must recover coefficients.
+	var xs [][]float64
+	var ys []float64
+	for x := 0.0; x < 10; x++ {
+		xs = append(xs, []float64{x})
+		ys = append(ys, 2+3*x)
+	}
+	p, err := FitPoly(xs, ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Coef[0]-2) > 1e-9 || math.Abs(p.Coef[1]-3) > 1e-9 {
+		t.Fatalf("coef = %v, want [2 3]", p.Coef)
+	}
+	if p.MAE(xs, ys) > 1e-9 {
+		t.Fatalf("MAE = %v", p.MAE(xs, ys))
+	}
+}
+
+func TestFitPaperStyleTwoRuleModel(t *testing.T) {
+	// The paper's Function 2 shape: latency = a·L1 + b·L2 + c.
+	truth := func(l1, l2 float64) float64 { return 0.0077598*l1 + 2.3016e-5*l2 + 2.4717 }
+	rng := rand.New(rand.NewSource(5))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 200; i++ {
+		l1 := rng.Float64() * 18
+		l2 := rng.Float64() * 18
+		xs = append(xs, []float64{l1, l2})
+		ys = append(ys, truth(l1, l2)+rng.NormFloat64()*0.01)
+	}
+	p, err := FitPoly(xs, ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Coef[0]-2.4717) > 0.05 {
+		t.Fatalf("intercept = %v, want ~2.4717", p.Coef[0])
+	}
+	if p.MAE(xs, ys) > 0.05 {
+		t.Fatalf("MAE = %v", p.MAE(xs, ys))
+	}
+}
+
+func TestSecondOrderBeatsFirstOnQuadratic(t *testing.T) {
+	var xs [][]float64
+	var ys []float64
+	for x := -5.0; x <= 5; x += 0.5 {
+		xs = append(xs, []float64{x})
+		ys = append(ys, 1+x+2*x*x)
+	}
+	p1, err := FitPoly(xs, ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := FitPoly(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.MAE(xs, ys) >= p1.MAE(xs, ys) {
+		t.Fatalf("order 2 MAE %v should beat order 1 MAE %v", p2.MAE(xs, ys), p1.MAE(xs, ys))
+	}
+}
+
+func TestFirstOrderBeatsSecondOnNoisyLinearTest(t *testing.T) {
+	// The paper's §5.1 finding: with a genuinely linear process and noisy,
+	// small data, the first-order model generalizes better than the
+	// second-order one on held-out data.
+	// A single split is noisy, so compare mean held-out MAE over many
+	// seeds: the extra quadratic terms must overfit on average.
+	var mae1, mae2 float64
+	const trials = 40
+	for seed := int64(0); seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var xs [][]float64
+		var ys []float64
+		for i := 0; i < 30; i++ {
+			l1 := rng.Float64() * 18
+			l2 := rng.Float64() * 18
+			xs = append(xs, []float64{l1, l2})
+			ys = append(ys, 0.5*l1+0.3*l2+2+rng.NormFloat64()*2.0)
+		}
+		trainX, trainY, testX, testY := TrainTestSplit(xs, ys, 0.3)
+		p1, err := FitPoly(trainX, trainY, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := FitPoly(trainX, trainY, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mae1 += p1.MAE(testX, testY)
+		mae2 += p2.MAE(testX, testY)
+	}
+	if mae1 >= mae2 {
+		t.Fatalf("order-1 mean test MAE %v should beat order-2 %v on noisy linear data",
+			mae1/trials, mae2/trials)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := FitPoly(nil, nil, 1); err == nil {
+		t.Error("empty fit should fail")
+	}
+	if _, err := FitPoly([][]float64{{1}}, []float64{1, 2}, 1); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := FitPoly([][]float64{{1}, {2, 3}}, []float64{1, 2}, 1); err == nil {
+		t.Error("ragged inputs should fail")
+	}
+	if _, err := FitPoly([][]float64{{1}}, []float64{1}, -1); err == nil {
+		t.Error("negative order should fail")
+	}
+	// Underdetermined: 2 samples, 3 coefficients.
+	if _, err := FitPoly([][]float64{{1}, {2}}, []float64{1, 2}, 2); err == nil {
+		t.Error("underdetermined fit should fail")
+	}
+	// Singular: all x identical makes columns collinear.
+	if _, err := FitPoly([][]float64{{1}, {1}, {1}}, []float64{1, 2, 3}, 1); err == nil {
+		t.Error("collinear fit should fail")
+	}
+}
+
+func TestSolveLeastSquaresExact(t *testing.T) {
+	// Square, well-conditioned system.
+	a := [][]float64{{2, 0}, {0, 4}}
+	b := []float64{6, 8}
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-9 || math.Abs(x[1]-2) > 1e-9 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveLeastSquaresOverdetermined(t *testing.T) {
+	// y = 1·x with an outlier-free overdetermined system.
+	a := [][]float64{{1}, {2}, {3}, {4}}
+	b := []float64{1.1, 1.9, 3.05, 3.95}
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 0.05 {
+		t.Fatalf("slope = %v, want ~1", x[0])
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	p := &Poly{NVars: 1, Terms: Monomials(1, 0), Coef: []float64{10}}
+	xs := [][]float64{{0}, {0}}
+	ys := []float64{20, 0} // second sample skipped (zero truth)
+	if got := p.MAPE(xs, ys); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("MAPE = %v, want 50", got)
+	}
+}
+
+func TestTrainTestSplitFractions(t *testing.T) {
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 100; i++ {
+		xs = append(xs, []float64{float64(i)})
+		ys = append(ys, float64(i))
+	}
+	trX, trY, teX, teY := TrainTestSplit(xs, ys, 0.25)
+	if len(trX) != len(trY) || len(teX) != len(teY) {
+		t.Fatal("mismatched split lengths")
+	}
+	if len(teX) != 25 {
+		t.Fatalf("test size = %d, want 25", len(teX))
+	}
+	if len(trX)+len(teX) != 100 {
+		t.Fatal("split must partition the data")
+	}
+	// Degenerate fractions fall back to no split.
+	trX2, _, teX2, _ := TrainTestSplit(xs, ys, 0)
+	if len(trX2) != 100 || teX2 != nil {
+		t.Fatal("frac 0 must return all training")
+	}
+}
+
+func TestFitPredictRoundTripProperty(t *testing.T) {
+	// For any non-degenerate linear data, fitting then predicting on the
+	// training inputs reproduces y (noiseless case).
+	f := func(a, b, c float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) ||
+			math.IsInf(a, 0) || math.IsInf(b, 0) || math.IsInf(c, 0) {
+			return true
+		}
+		// Clamp coefficient magnitudes to keep conditioning sane.
+		clamp := func(v float64) float64 {
+			if v > 1e3 {
+				return 1e3
+			}
+			if v < -1e3 {
+				return -1e3
+			}
+			return v
+		}
+		a, b, c = clamp(a), clamp(b), clamp(c)
+		var xs [][]float64
+		var ys []float64
+		for i := 0; i < 12; i++ {
+			x1, x2 := float64(i), float64((i*7)%5)
+			xs = append(xs, []float64{x1, x2})
+			ys = append(ys, a+b*x1+c*x2)
+		}
+		p, err := FitPoly(xs, ys, 1)
+		if err != nil {
+			return false
+		}
+		return p.MAE(xs, ys) < 1e-4*(1+math.Abs(a)+math.Abs(b)+math.Abs(c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictDimensionMismatch(t *testing.T) {
+	p := &Poly{NVars: 2, Terms: Monomials(2, 1), Coef: []float64{1, 1, 1}}
+	if !math.IsNaN(p.Predict([]float64{1})) {
+		t.Fatal("dimension mismatch must return NaN")
+	}
+}
+
+func TestPolyString(t *testing.T) {
+	p := &Poly{NVars: 1, Terms: Monomials(1, 1), Coef: []float64{2.5, 3}}
+	s := p.String()
+	if s == "" {
+		t.Fatal("empty string rendering")
+	}
+}

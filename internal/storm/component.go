@@ -1,0 +1,111 @@
+// Package storm is a from-scratch, in-process distributed-stream-processing
+// runtime with Storm's programming model (§2.1.1 of the paper): topologies
+// of spouts and bolts, per-component tasks and executors, stream groupings
+// (shuffle, fields, all, global, direct), round-robin assignment of
+// executors to worker processes and of worker processes to nodes, and a
+// monitor that reports per-bolt throughput and latency every 40 seconds the
+// way the paper's enhanced Storm does (§5).
+//
+// Tuples are delivered at-most-once (no acker); the paper's evaluation does
+// not exercise Storm's replay path.
+package storm
+
+import "fmt"
+
+// Tuple is one unit of data flowing through a topology.
+type Tuple struct {
+	// Stream is the logical stream id ("default" unless EmitTo is used).
+	Stream string
+	// Values is the tuple payload.
+	Values map[string]any
+}
+
+// DefaultStream is the stream id used by plain Emit.
+const DefaultStream = "default"
+
+// Collector lets a component emit tuples downstream.
+type Collector interface {
+	// Emit sends values on the default stream.
+	Emit(values map[string]any)
+	// EmitTo sends values on a named stream.
+	EmitTo(stream string, values map[string]any)
+	// EmitDirect sends values on a named stream to one specific task of
+	// every bolt subscribed with a direct grouping.
+	EmitDirect(stream string, task int, values map[string]any)
+}
+
+// TaskContext describes the task an instance is running as.
+type TaskContext struct {
+	Component string
+	TaskID    int // global task id, unique across the topology
+	TaskIndex int // index among the component's tasks (0-based)
+	NumTasks  int
+	Executor  int // executor index within the component
+	Worker    int // worker process id
+	Node      int // cluster node id
+}
+
+// Spout is an input source. Open is called once per task before the first
+// NextTuple; NextTuple returns false when the source is exhausted; Close is
+// called once after the last NextTuple.
+type Spout interface {
+	Open(ctx TaskContext) error
+	NextTuple(col Collector) (bool, error)
+	Close() error
+}
+
+// Bolt encapsulates processing logic. Prepare is called once per task;
+// Execute once per input tuple; Cleanup after the last tuple.
+type Bolt interface {
+	Prepare(ctx TaskContext) error
+	Execute(t Tuple, col Collector) error
+	Cleanup() error
+}
+
+// SpoutFactory builds one Spout instance per task.
+type SpoutFactory func() Spout
+
+// BoltFactory builds one Bolt instance per task.
+type BoltFactory func() Bolt
+
+// GroupingType selects how tuples are routed to a bolt's tasks.
+type GroupingType int
+
+// Grouping types.
+const (
+	// ShuffleGrouping distributes tuples round-robin over tasks.
+	ShuffleGrouping GroupingType = iota
+	// FieldsGrouping routes by hash of the named fields, so equal keys
+	// always reach the same task.
+	FieldsGrouping
+	// AllGrouping replicates every tuple to every task.
+	AllGrouping
+	// GlobalGrouping routes every tuple to the lowest task.
+	GlobalGrouping
+	// DirectGrouping delivers to the task chosen by EmitDirect.
+	DirectGrouping
+)
+
+func (g GroupingType) String() string {
+	switch g {
+	case ShuffleGrouping:
+		return "shuffle"
+	case FieldsGrouping:
+		return "fields"
+	case AllGrouping:
+		return "all"
+	case GlobalGrouping:
+		return "global"
+	case DirectGrouping:
+		return "direct"
+	}
+	return fmt.Sprintf("GroupingType(%d)", int(g))
+}
+
+// Grouping is one subscription of a bolt to an upstream component's stream.
+type Grouping struct {
+	Source string
+	Stream string // "" means DefaultStream
+	Type   GroupingType
+	Fields []string // for FieldsGrouping
+}

@@ -1,0 +1,200 @@
+package storm
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Monitor is the "extra monitor thread per worker processor" of §5: it
+// periodically samples every task's counters, computes the per-window delta,
+// and aggregates per component the two metrics the paper reports — window
+// throughput (tuples processed in the window) and average per-tuple latency.
+// The aggregation step plays the role of the Nimbus-side merge.
+type Monitor struct {
+	r        *Runtime
+	interval time.Duration
+
+	mu      sync.Mutex
+	prev    map[string][]TaskMetrics
+	prevAt  time.Time
+	reports []Report
+	subs    []func(Report)
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// TaskWindow is one task's delta within a report window.
+type TaskWindow struct {
+	TaskID     int
+	Executed   uint64
+	Emitted    uint64
+	Errors     uint64
+	AvgLatency time.Duration
+}
+
+// ComponentStats aggregates a component's tasks over one window.
+type ComponentStats struct {
+	Executed   uint64
+	Emitted    uint64
+	Errors     uint64
+	Throughput float64 // tuples per second over the window
+	AvgLatency time.Duration
+	Tasks      []TaskWindow
+}
+
+// Report is one monitoring window across all components.
+type Report struct {
+	At         time.Time
+	Window     time.Duration
+	Components map[string]ComponentStats
+}
+
+func newMonitor(r *Runtime, interval time.Duration) *Monitor {
+	return &Monitor{
+		r:        r,
+		interval: interval,
+		prev:     r.TaskMetricsSnapshot(),
+		prevAt:   time.Now(),
+		stopCh:   make(chan struct{}),
+	}
+}
+
+// Subscribe registers a callback invoked for every report. Must be called
+// before the runtime starts.
+func (m *Monitor) Subscribe(f func(Report)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.subs = append(m.subs, f)
+}
+
+func (m *Monitor) start() {
+	if m.interval <= 0 {
+		return
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		t := time.NewTicker(m.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				m.SnapshotNow()
+			case <-m.stopCh:
+				return
+			}
+		}
+	}()
+}
+
+func (m *Monitor) stop() {
+	if m.interval > 0 {
+		close(m.stopCh)
+		m.wg.Wait()
+	}
+}
+
+// SnapshotNow samples all counters, appends a report for the window since
+// the previous snapshot, and notifies subscribers.
+func (m *Monitor) SnapshotNow() Report {
+	now := time.Now()
+	cur := m.r.TaskMetricsSnapshot()
+
+	m.mu.Lock()
+	window := now.Sub(m.prevAt)
+	if window <= 0 {
+		window = time.Nanosecond
+	}
+	rep := Report{At: now, Window: window, Components: make(map[string]ComponentStats, len(cur))}
+	for id, tasks := range cur {
+		prev := m.prev[id]
+		cs := ComponentStats{}
+		for i, tm := range tasks {
+			var p TaskMetrics
+			if i < len(prev) {
+				p = prev[i]
+			}
+			tw := TaskWindow{
+				TaskID:   m.r.comps[id].tasks[i].ctx.TaskID,
+				Executed: tm.Executed - p.Executed,
+				Emitted:  tm.Emitted - p.Emitted,
+				Errors:   tm.Errors - p.Errors,
+			}
+			if tw.Executed > 0 {
+				tw.AvgLatency = time.Duration((tm.ProcNanos - p.ProcNanos) / tw.Executed)
+			}
+			cs.Executed += tw.Executed
+			cs.Emitted += tw.Emitted
+			cs.Errors += tw.Errors
+			cs.Tasks = append(cs.Tasks, tw)
+		}
+		var totalNanos uint64
+		for i, tm := range tasks {
+			var p TaskMetrics
+			if i < len(prev) {
+				p = prev[i]
+			}
+			totalNanos += tm.ProcNanos - p.ProcNanos
+		}
+		if cs.Executed > 0 {
+			cs.AvgLatency = time.Duration(totalNanos / cs.Executed)
+		}
+		cs.Throughput = float64(cs.Executed) / window.Seconds()
+		rep.Components[id] = cs
+	}
+	m.prev = cur
+	m.prevAt = now
+	m.reports = append(m.reports, rep)
+	subs := append([]func(Report){}, m.subs...)
+	m.mu.Unlock()
+
+	for _, f := range subs {
+		f(rep)
+	}
+	return rep
+}
+
+// Reports returns the accumulated report history.
+func (m *Monitor) Reports() []Report {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Report(nil), m.reports...)
+}
+
+// TotalsByComponent aggregates absolute counters per component (not window
+// deltas), sorted by component id, for end-of-run summaries.
+func (m *Monitor) TotalsByComponent() []ComponentTotal {
+	cur := m.r.TaskMetricsSnapshot()
+	ids := make([]string, 0, len(cur))
+	for id := range cur {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]ComponentTotal, 0, len(ids))
+	for _, id := range ids {
+		t := ComponentTotal{Component: id}
+		var nanos uint64
+		for _, tm := range cur[id] {
+			t.Executed += tm.Executed
+			t.Emitted += tm.Emitted
+			t.Errors += tm.Errors
+			nanos += tm.ProcNanos
+		}
+		if t.Executed > 0 {
+			t.AvgLatency = time.Duration(nanos / t.Executed)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// ComponentTotal is a component's whole-run counter summary.
+type ComponentTotal struct {
+	Component  string
+	Executed   uint64
+	Emitted    uint64
+	Errors     uint64
+	AvgLatency time.Duration
+}

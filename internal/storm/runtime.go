@@ -1,0 +1,428 @@
+package storm
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config configures a topology run.
+type Config struct {
+	// Nodes is the number of simulated cluster nodes. Defaults to 1.
+	Nodes int
+	// WorkersPerNode is the number of worker processes (slots) used per
+	// node. The paper follows T-Storm's finding that one worker per node
+	// minimizes intra-node communication (§2.2), so the default is 1.
+	WorkersPerNode int
+	// ChannelBuffer is the per-executor input queue length. Defaults to
+	// 1024. Sends block when full, providing backpressure.
+	ChannelBuffer int
+	// MonitorInterval enables the per-worker monitor thread reporting
+	// bolt metrics every interval (the paper uses 40 s). Zero disables
+	// periodic reporting; SnapshotNow still works.
+	MonitorInterval time.Duration
+}
+
+func (c *Config) fill() {
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if c.WorkersPerNode <= 0 {
+		c.WorkersPerNode = 1
+	}
+	if c.ChannelBuffer <= 0 {
+		c.ChannelBuffer = 1024
+	}
+}
+
+// Placement records where one task runs.
+type Placement struct {
+	Component string
+	TaskID    int
+	TaskIndex int
+	Executor  int
+	Worker    int
+	Node      int
+}
+
+// TaskMetrics are the per-task counters sampled by the monitor.
+type TaskMetrics struct {
+	Executed  uint64
+	Emitted   uint64
+	Errors    uint64
+	ProcNanos uint64
+}
+
+type taskState struct {
+	ctx   TaskContext
+	spout Spout
+	bolt  Bolt
+
+	executed  atomic.Uint64
+	emitted   atomic.Uint64
+	errors    atomic.Uint64
+	procNanos atomic.Uint64
+
+	// shuffle round-robin counters, one per downstream subscription.
+	shuffle map[*subscription]*int
+}
+
+func (ts *taskState) metrics() TaskMetrics {
+	return TaskMetrics{
+		Executed:  ts.executed.Load(),
+		Emitted:   ts.emitted.Load(),
+		Errors:    ts.errors.Load(),
+		ProcNanos: ts.procNanos.Load(),
+	}
+}
+
+type envelope struct {
+	local int // task index within the receiving executor
+	tuple Tuple
+}
+
+type executor struct {
+	comp  *runningComponent
+	idx   int
+	tasks []*taskState
+	in    chan envelope
+}
+
+type subscription struct {
+	grouping Grouping
+	target   *runningComponent
+}
+
+type runningComponent struct {
+	spec  *componentSpec
+	tasks []*taskState
+	execs []*executor
+	// taskRoute[i] locates task i: its executor and local index.
+	taskRoute []struct{ exec, local int }
+	// subs maps a stream id to this component's downstream subscriptions.
+	subs map[string][]*subscription
+	// producers counts upstream executors still running; when it reaches
+	// zero the component's input channels are closed.
+	producers atomic.Int32
+}
+
+// Runtime executes one topology on a simulated cluster.
+type Runtime struct {
+	topo  *Topology
+	cfg   Config
+	comps map[string]*runningComponent
+
+	placements []Placement
+	monitor    *Monitor
+
+	errMu    sync.Mutex
+	firstErr error
+}
+
+// NewRuntime prepares a runtime (placement + task construction) without
+// starting it.
+func NewRuntime(topo *Topology, cfg Config) (*Runtime, error) {
+	cfg.fill()
+	r := &Runtime{topo: topo, cfg: cfg, comps: make(map[string]*runningComponent)}
+
+	totalWorkers := cfg.Nodes * cfg.WorkersPerNode
+	nextWorker := 0
+	nextTaskID := 0
+
+	// Build components in topological order; executors are assigned to
+	// worker processes round-robin, exactly like Storm's even scheduler.
+	for _, id := range topo.order {
+		spec := topo.byID[id]
+		rc := &runningComponent{spec: spec, subs: make(map[string][]*subscription)}
+		rc.taskRoute = make([]struct{ exec, local int }, spec.tasks)
+
+		for e := 0; e < spec.executors; e++ {
+			worker := nextWorker % totalWorkers
+			nextWorker++
+			node := worker % cfg.Nodes
+			ex := &executor{comp: rc, idx: e, in: make(chan envelope, cfg.ChannelBuffer)}
+			// Tasks are distributed to executors round-robin; extra
+			// tasks share executors ("pseudo-parallel", §2.1.1).
+			for ti := e; ti < spec.tasks; ti += spec.executors {
+				ts := &taskState{
+					ctx: TaskContext{
+						Component: id,
+						TaskID:    nextTaskID,
+						TaskIndex: ti,
+						NumTasks:  spec.tasks,
+						Executor:  e,
+						Worker:    worker,
+						Node:      node,
+					},
+					shuffle: make(map[*subscription]*int),
+				}
+				nextTaskID++
+				if spec.isSpout {
+					ts.spout = spec.spout()
+					if ts.spout == nil {
+						return nil, fmt.Errorf("storm: spout factory for %q returned nil", id)
+					}
+				} else {
+					ts.bolt = spec.bolt()
+					if ts.bolt == nil {
+						return nil, fmt.Errorf("storm: bolt factory for %q returned nil", id)
+					}
+				}
+				rc.taskRoute[ti] = struct{ exec, local int }{e, len(ex.tasks)}
+				ex.tasks = append(ex.tasks, ts)
+				rc.tasks = append(rc.tasks, ts)
+				r.placements = append(r.placements, Placement{
+					Component: id, TaskID: ts.ctx.TaskID, TaskIndex: ti,
+					Executor: e, Worker: worker, Node: node,
+				})
+			}
+			rc.execs = append(rc.execs, ex)
+		}
+		// rc.tasks was appended per-executor; reorder by TaskIndex so
+		// rc.tasks[i] is task i.
+		ordered := make([]*taskState, spec.tasks)
+		for _, ts := range rc.tasks {
+			ordered[ts.ctx.TaskIndex] = ts
+		}
+		rc.tasks = ordered
+		r.comps[id] = rc
+	}
+
+	// Wire subscriptions and producer counts.
+	for _, id := range topo.order {
+		spec := topo.byID[id]
+		rc := r.comps[id]
+		for _, g := range spec.groupings {
+			src := r.comps[g.Source]
+			sub := &subscription{grouping: g, target: rc}
+			src.subs[g.Stream] = append(src.subs[g.Stream], sub)
+			rc.producers.Add(int32(len(src.execs)))
+		}
+	}
+
+	r.monitor = newMonitor(r, cfg.MonitorInterval)
+	return r, nil
+}
+
+// Placements returns where every task was placed.
+func (r *Runtime) Placements() []Placement {
+	return append([]Placement(nil), r.placements...)
+}
+
+// Monitor returns the runtime's metrics monitor.
+func (r *Runtime) Monitor() *Monitor { return r.monitor }
+
+// Run executes the topology to completion: spouts run until exhausted, the
+// tuple wave drains through the bolts, and every component is cleaned up.
+// It returns the first component error encountered (processing continues
+// past per-tuple errors; they are also counted in the metrics).
+func (r *Runtime) Run() error {
+	var wg sync.WaitGroup
+	r.monitor.start()
+	defer r.monitor.stop()
+
+	for _, id := range r.topo.order {
+		rc := r.comps[id]
+		for _, ex := range rc.execs {
+			wg.Add(1)
+			go func(rc *runningComponent, ex *executor) {
+				defer wg.Done()
+				if rc.spec.isSpout {
+					r.runSpoutExecutor(rc, ex)
+				} else {
+					r.runBoltExecutor(rc, ex)
+				}
+				// This executor will emit no more tuples: notify every
+				// downstream component once per subscription edge.
+				seen := map[*runningComponent]int{}
+				for _, subs := range rc.subs {
+					for _, s := range subs {
+						seen[s.target]++
+					}
+				}
+				for target, n := range seen {
+					if target.producers.Add(-int32(n)) == 0 {
+						for _, tex := range target.execs {
+							close(tex.in)
+						}
+					}
+				}
+			}(rc, ex)
+		}
+	}
+	wg.Wait()
+
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.firstErr
+}
+
+func (r *Runtime) recordErr(err error) {
+	r.errMu.Lock()
+	if r.firstErr == nil {
+		r.firstErr = err
+	}
+	r.errMu.Unlock()
+}
+
+// runSpoutExecutor drives the executor's spout tasks round-robin until all
+// report exhaustion.
+func (r *Runtime) runSpoutExecutor(rc *runningComponent, ex *executor) {
+	active := make([]bool, len(ex.tasks))
+	nActive := 0
+	for i, ts := range ex.tasks {
+		if err := ts.spout.Open(ts.ctx); err != nil {
+			r.recordErr(fmt.Errorf("storm: spout %s task %d open: %w", rc.spec.id, ts.ctx.TaskID, err))
+			ts.errors.Add(1)
+			continue
+		}
+		active[i] = true
+		nActive++
+	}
+	for nActive > 0 {
+		for i, ts := range ex.tasks {
+			if !active[i] {
+				continue
+			}
+			col := &taskCollector{r: r, rc: rc, ts: ts}
+			start := time.Now()
+			more, err := ts.spout.NextTuple(col)
+			ts.procNanos.Add(uint64(time.Since(start)))
+			if err != nil {
+				ts.errors.Add(1)
+				r.recordErr(fmt.Errorf("storm: spout %s task %d: %w", rc.spec.id, ts.ctx.TaskID, err))
+				more = false
+			} else {
+				ts.executed.Add(1)
+			}
+			if !more {
+				active[i] = false
+				nActive--
+				if err := ts.spout.Close(); err != nil {
+					r.recordErr(fmt.Errorf("storm: spout %s task %d close: %w", rc.spec.id, ts.ctx.TaskID, err))
+				}
+			}
+		}
+	}
+}
+
+// runBoltExecutor prepares the executor's bolt tasks, processes its input
+// queue until closed, then cleans up.
+func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
+	prepared := make([]bool, len(ex.tasks))
+	for i, ts := range ex.tasks {
+		if err := ts.bolt.Prepare(ts.ctx); err != nil {
+			r.recordErr(fmt.Errorf("storm: bolt %s task %d prepare: %w", rc.spec.id, ts.ctx.TaskID, err))
+			ts.errors.Add(1)
+			continue
+		}
+		prepared[i] = true
+	}
+	for env := range ex.in {
+		ts := ex.tasks[env.local]
+		if !prepared[env.local] {
+			continue
+		}
+		col := &taskCollector{r: r, rc: rc, ts: ts}
+		start := time.Now()
+		err := ts.bolt.Execute(env.tuple, col)
+		ts.procNanos.Add(uint64(time.Since(start)))
+		ts.executed.Add(1)
+		if err != nil {
+			ts.errors.Add(1)
+			r.recordErr(fmt.Errorf("storm: bolt %s task %d: %w", rc.spec.id, ts.ctx.TaskID, err))
+		}
+	}
+	for i, ts := range ex.tasks {
+		if !prepared[i] {
+			continue
+		}
+		if err := ts.bolt.Cleanup(); err != nil {
+			r.recordErr(fmt.Errorf("storm: bolt %s task %d cleanup: %w", rc.spec.id, ts.ctx.TaskID, err))
+		}
+	}
+}
+
+// taskCollector routes a task's emissions to downstream subscriptions.
+type taskCollector struct {
+	r  *Runtime
+	rc *runningComponent
+	ts *taskState
+}
+
+// Emit implements Collector.
+func (c *taskCollector) Emit(values map[string]any) { c.EmitTo(DefaultStream, values) }
+
+// EmitTo implements Collector.
+func (c *taskCollector) EmitTo(stream string, values map[string]any) {
+	c.ts.emitted.Add(1)
+	t := Tuple{Stream: stream, Values: values}
+	for _, sub := range c.rc.subs[stream] {
+		c.deliver(sub, t, -1)
+	}
+}
+
+// EmitDirect implements Collector.
+func (c *taskCollector) EmitDirect(stream string, task int, values map[string]any) {
+	c.ts.emitted.Add(1)
+	t := Tuple{Stream: stream, Values: values}
+	for _, sub := range c.rc.subs[stream] {
+		if sub.grouping.Type == DirectGrouping {
+			c.deliver(sub, t, task)
+		}
+	}
+}
+
+// deliver routes one tuple to the tasks selected by the subscription's
+// grouping. directTask is only used for direct groupings.
+func (c *taskCollector) deliver(sub *subscription, t Tuple, directTask int) {
+	target := sub.target
+	n := len(target.tasks)
+	switch sub.grouping.Type {
+	case ShuffleGrouping:
+		ctr, ok := c.ts.shuffle[sub]
+		if !ok {
+			ctr = new(int)
+			c.ts.shuffle[sub] = ctr
+		}
+		c.send(target, (*ctr)%n, t)
+		*ctr++
+	case FieldsGrouping:
+		h := fnv.New32a()
+		for _, f := range sub.grouping.Fields {
+			fmt.Fprintf(h, "%v\x1f", t.Values[f])
+		}
+		c.send(target, int(h.Sum32()%uint32(n)), t)
+	case AllGrouping:
+		for i := 0; i < n; i++ {
+			c.send(target, i, t)
+		}
+	case GlobalGrouping:
+		c.send(target, 0, t)
+	case DirectGrouping:
+		if directTask >= 0 && directTask < n {
+			c.send(target, directTask, t)
+		}
+	}
+}
+
+func (c *taskCollector) send(target *runningComponent, taskIdx int, t Tuple) {
+	route := target.taskRoute[taskIdx]
+	target.execs[route.exec].in <- envelope{local: route.local, tuple: t}
+}
+
+// TaskMetricsSnapshot returns the current counters of every task, keyed by
+// component, ordered by task index.
+func (r *Runtime) TaskMetricsSnapshot() map[string][]TaskMetrics {
+	out := make(map[string][]TaskMetrics, len(r.comps))
+	for id, rc := range r.comps {
+		ms := make([]TaskMetrics, len(rc.tasks))
+		for i, ts := range rc.tasks {
+			ms[i] = ts.metrics()
+		}
+		out[id] = ms
+	}
+	return out
+}
