@@ -28,6 +28,7 @@ import (
 	"trafficcep/internal/regress"
 	"trafficcep/internal/sqlstore"
 	"trafficcep/internal/storm"
+	"trafficcep/internal/telemetry"
 )
 
 // --- Tables 1 & 2: dataset ---
@@ -376,16 +377,7 @@ func BenchmarkMapReduceStatsJob(b *testing.B) {
 
 func BenchmarkStormPipelineThroughput(b *testing.B) {
 	// A 4-stage pipeline shuffling b.N tuples end to end.
-	bldr := storm.NewTopologyBuilder("bench")
-	bldr.SetSpout("src", func() storm.Spout { return &benchSpout{n: b.N} }, 1, 1)
-	bldr.SetBolt("m1", func() storm.Bolt { return &benchBolt{} }, 2, 2).ShuffleGrouping("src")
-	bldr.SetBolt("m2", func() storm.Bolt { return &benchBolt{} }, 2, 2).FieldsGrouping("m1", "k")
-	bldr.SetBolt("sink", func() storm.Bolt { return &benchBolt{drop: true} }, 1, 1).ShuffleGrouping("m2")
-	topo, err := bldr.Build()
-	if err != nil {
-		b.Fatal(err)
-	}
-	rt, err := storm.NewRuntime(topo, storm.Config{})
+	rt, err := benchPipeline(b.N)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -393,6 +385,48 @@ func BenchmarkStormPipelineThroughput(b *testing.B) {
 	if err := rt.Run(); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// BenchmarkStormPipelineTelemetry measures the telemetry tax on the same
+// pipeline: tuple tracing + per-hop/end-to-end histograms enabled vs.
+// disabled. The acceptance bar for the unified telemetry subsystem is a
+// ≤ 5% throughput regression when enabled.
+func BenchmarkStormPipelineTelemetry(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		reg  *telemetry.Registry
+	}{{"disabled", nil}, {"enabled", telemetry.NewRegistry()}} {
+		b.Run(mode.name, func(b *testing.B) {
+			rt, err := benchPipeline(b.N, storm.WithTelemetry(mode.reg))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if err := rt.Run(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if mode.reg != nil {
+				snap := mode.reg.Gather()
+				if m, ok := snap.Get("storm.sink.e2e_latency_ns"); ok && m.Histogram != nil {
+					b.ReportMetric(float64(m.Histogram.P99), "e2e-p99-ns")
+				}
+			}
+		})
+	}
+}
+
+func benchPipeline(n int, opts ...storm.Option) (*storm.Runtime, error) {
+	bldr := storm.NewTopologyBuilder("bench")
+	bldr.SetSpout("src", func() storm.Spout { return &benchSpout{n: n} }, 1, 1)
+	bldr.SetBolt("m1", func() storm.Bolt { return &benchBolt{} }, 2, 2).ShuffleGrouping("src")
+	bldr.SetBolt("m2", func() storm.Bolt { return &benchBolt{} }, 2, 2).FieldsGrouping("m1", "k")
+	bldr.SetBolt("sink", func() storm.Bolt { return &benchBolt{drop: true} }, 1, 1).ShuffleGrouping("m2")
+	topo, err := bldr.Build()
+	if err != nil {
+		return nil, err
+	}
+	return storm.New(topo, opts...)
 }
 
 type benchSpout struct{ n, i int }
@@ -467,10 +501,7 @@ func BenchmarkAblationJoinStrategy(b *testing.B) {
 		disable bool
 	}{{"indexed", false}, {"nested-loop", true}} {
 		b.Run(mode.name, func(b *testing.B) {
-			eng := cep.NewEngine()
-			if mode.disable {
-				eng.DisableIndexJoins()
-			}
+			eng := cep.New(cep.WithIndexJoins(!mode.disable))
 			r := core.Rule{Name: "abl", Attribute: busdata.AttrDelay, Kind: core.QuadtreeLeaves, Window: 10}
 			if _, err := eng.AddStatement("abl", r.StreamEPL()); err != nil {
 				b.Fatal(err)

@@ -28,30 +28,50 @@ import (
 	"trafficcep/internal/quadtree"
 	"trafficcep/internal/sqlstore"
 	"trafficcep/internal/storm"
+	"trafficcep/internal/telemetry"
 )
 
 //go:embed topology.xml
 var defaultTopologyXML []byte
 
+// options carries the parsed command line.
+type options struct {
+	tracesPath  string
+	topoPath    string
+	nodes       int
+	monitorSec  int
+	sensitivity float64
+
+	telemetryAddr     string
+	telemetryInterval time.Duration
+	noTelemetry       bool
+}
+
 func main() {
-	tracesPath := flag.String("traces", "", "trace CSV (required; produce one with trafficgen)")
-	topoPath := flag.String("topology", "", "topology XML (defaults to the embedded Figure 8 topology)")
-	nodes := flag.Int("nodes", 3, "simulated cluster nodes")
-	monitorSec := flag.Int("monitor", 40, "monitor window in seconds (0 = only final totals)")
-	sensitivity := flag.Float64("s", 1, "threshold sensitivity s (threshold = mean + s*stdv)")
+	var opt options
+	flag.StringVar(&opt.tracesPath, "traces", "", "trace CSV (required; produce one with trafficgen)")
+	flag.StringVar(&opt.topoPath, "topology", "", "topology XML (defaults to the embedded Figure 8 topology)")
+	flag.IntVar(&opt.nodes, "nodes", 3, "simulated cluster nodes")
+	flag.IntVar(&opt.monitorSec, "monitor", 40, "monitor window in seconds (0 = only final totals)")
+	flag.Float64Var(&opt.sensitivity, "s", 1, "threshold sensitivity s (threshold = mean + s*stdv)")
+	flag.StringVar(&opt.telemetryAddr, "telemetry.addr", "", "serve live telemetry snapshots + pprof on this address (e.g. :8077)")
+	flag.DurationVar(&opt.telemetryInterval, "telemetry.interval", 5*time.Second, "period between telemetry JSON-lines snapshots on stdout")
+	flag.BoolVar(&opt.noTelemetry, "telemetry.off", false, "disable the telemetry registry and tuple tracing entirely")
 	flag.Parse()
 
-	if *tracesPath == "" {
+	if opt.tracesPath == "" {
 		fmt.Fprintln(os.Stderr, "trafficd: -traces is required")
 		os.Exit(2)
 	}
-	if err := run(*tracesPath, *topoPath, *nodes, *monitorSec, *sensitivity); err != nil {
+	if err := run(opt); err != nil {
 		fmt.Fprintln(os.Stderr, "trafficd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tracesPath, topoPath string, nodes, monitorSec int, s float64) error {
+func run(opt options) error {
+	tracesPath, topoPath := opt.tracesPath, opt.topoPath
+	nodes, monitorSec, s := opt.nodes, opt.monitorSec, opt.sensitivity
 	f, err := os.Open(tracesPath)
 	if err != nil {
 		return err
@@ -85,6 +105,13 @@ func run(tracesPath, topoPath string, nodes, monitorSec int, s float64) error {
 	fmt.Printf("quadtree: %d nodes, depth %d, %d leaves\n",
 		tree.NodeCount(), tree.Depth(), len(tree.Leaves()))
 
+	// Telemetry: one registry shared by every layer — storm tuple tracing,
+	// per-engine CEP latency, sqlstore query latency, batch phase timings.
+	var tel *telemetry.Registry
+	if !opt.noTelemetry {
+		tel = telemetry.NewRegistry()
+	}
+
 	// Storage + batch layer.
 	db := sqlstore.NewDB()
 	store, err := sqlstore.NewThresholdStore(db)
@@ -92,7 +119,11 @@ func run(tracesPath, topoPath string, nodes, monitorSec int, s float64) error {
 		return err
 	}
 	fs := dfs.New(dfs.Options{})
-	manager := &core.DynamicManager{FS: fs, Store: store}
+	manager := &core.DynamicManager{FS: fs, Store: store, Telemetry: tel}
+	if tel != nil {
+		db.SetTelemetry(tel)
+		tel.Register(manager)
+	}
 
 	// Bootstrap thresholds: enrich the feed once (outside the topology)
 	// into history, then run the statistics job.
@@ -107,7 +138,7 @@ func run(tracesPath, topoPath string, nodes, monitorSec int, s float64) error {
 
 	// Rules and routing.
 	deps := &core.Deps{Config: core.TrafficConfig{
-		Traces: traces, Tree: tree, DB: db, Manager: manager,
+		Traces: traces, Tree: tree, DB: db, Manager: manager, Telemetry: tel,
 	}}
 	reg := storm.NewRegistry()
 	core.RegisterComponents(reg, deps)
@@ -178,10 +209,11 @@ func run(tracesPath, topoPath string, nodes, monitorSec int, s float64) error {
 		return err
 	}
 
-	rt, err := storm.NewRuntime(topo, storm.Config{
-		Nodes:           nodes,
-		MonitorInterval: time.Duration(monitorSec) * time.Second,
-	})
+	rt, err := storm.New(topo,
+		storm.WithNodes(nodes),
+		storm.WithMonitorInterval(time.Duration(monitorSec)*time.Second),
+		storm.WithTelemetry(tel),
+	)
 	if err != nil {
 		return err
 	}
@@ -191,17 +223,45 @@ func run(tracesPath, topoPath string, nodes, monitorSec int, s float64) error {
 			rep.Window.Seconds(), cs.Executed, cs.Throughput, cs.AvgLatency)
 	})
 
-	start := time.Now()
-	if err := rt.Run(); err != nil {
-		return err
+	// Telemetry exporters: JSON lines on stdout every interval plus a
+	// final line at shutdown, and the optional live HTTP endpoint.
+	var exporter *telemetry.Exporter
+	if tel != nil {
+		exporter = telemetry.NewExporter(tel, os.Stdout, opt.telemetryInterval)
+		exporter.Start()
+		if opt.telemetryAddr != "" {
+			go func() {
+				if err := telemetry.Serve(opt.telemetryAddr, tel); err != nil {
+					fmt.Fprintln(os.Stderr, "trafficd: telemetry endpoint:", err)
+				}
+			}()
+			fmt.Printf("telemetry: serving snapshots + pprof on %s\n", opt.telemetryAddr)
+		}
 	}
+
+	start := time.Now()
+	runErr := rt.Run()
 	elapsed := time.Since(start)
+	if exporter != nil {
+		exporter.Stop()
+	}
+	if runErr != nil {
+		return runErr
+	}
 
 	fmt.Printf("\nprocessed %d traces in %v (%.0f tuples/s end-to-end)\n",
 		len(traces), elapsed.Round(time.Millisecond), float64(len(traces))/elapsed.Seconds())
 	for _, tot := range rt.Monitor().TotalsByComponent() {
 		fmt.Printf("  %-16s executed=%-8d emitted=%-8d errors=%-4d avg latency=%v\n",
 			tot.Component, tot.Executed, tot.Emitted, tot.Errors, tot.AvgLatency)
+	}
+	if tel != nil {
+		snap := tel.Gather()
+		if m, ok := snap.Get("storm." + core.CompStorer + ".e2e_latency_ns"); ok && m.Histogram != nil {
+			h := m.Histogram
+			fmt.Printf("end-to-end tuple latency (spout → storer): p50=%v p95=%v p99=%v over %d tuples\n",
+				time.Duration(h.P50), time.Duration(h.P95), time.Duration(h.P99), h.Count)
+		}
 	}
 	fmt.Printf("detected events stored: %d\n", db.Count(core.EventsTable))
 	return nil

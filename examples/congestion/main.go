@@ -24,6 +24,7 @@ import (
 	"trafficcep/internal/quadtree"
 	"trafficcep/internal/sqlstore"
 	"trafficcep/internal/storm"
+	"trafficcep/internal/telemetry"
 )
 
 const engines = 4
@@ -111,8 +112,10 @@ func run() error {
 		return err
 	}
 
+	reg := telemetry.NewRegistry()
 	topo, err := core.BuildTrafficTopology(core.TrafficConfig{
 		Traces: traces, Tree: tree, Engines: engines, Routing: routing, DB: db,
+		Telemetry: reg,
 		EngineSetup: func(task int, eng *cep.Engine) ([]*core.InstalledRule, error) {
 			locs := map[string]bool{}
 			for _, r := range part.Engines[task] {
@@ -134,7 +137,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	rt, err := storm.NewRuntime(topo, storm.Config{Nodes: 2})
+	rt, err := storm.New(topo, storm.WithNodes(2), storm.WithTelemetry(reg))
 	if err != nil {
 		return err
 	}
@@ -142,10 +145,17 @@ func run() error {
 		return err
 	}
 
-	// Per-engine load from the monitor (the paper's per-task metrics).
-	snap := rt.TaskMetricsSnapshot()[core.CompEsper]
-	for i, tm := range snap {
-		fmt.Printf("engine %d processed %d tuples\n", i, tm.Executed)
+	// Per-engine load and end-to-end latency from one telemetry walk (the
+	// paper's per-task metrics, registry-backed).
+	snap := reg.Gather()
+	for i := 0; i < engines; i++ {
+		if m, ok := snap.Get(fmt.Sprintf("cep.engine%d.events_in", i)); ok {
+			fmt.Printf("engine %d processed %.0f tuples\n", i, m.Value)
+		}
+	}
+	if m, ok := snap.Get("storm." + core.CompStorer + ".e2e_latency_ns"); ok && m.Histogram != nil {
+		fmt.Printf("end-to-end tuple latency: p50=%v p99=%v\n",
+			time.Duration(m.Histogram.P50), time.Duration(m.Histogram.P99))
 	}
 
 	// Hottest areas by detection count.

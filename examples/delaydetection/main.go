@@ -80,7 +80,7 @@ func run() error {
 	}
 
 	// A rule on the layer-0 area with the threshold-stream strategy.
-	eng := cep.NewEngine()
+	eng := cep.New()
 	rule := core.Rule{
 		Name: "centreDelay", Attribute: busdata.AttrDelay,
 		Kind: core.QuadtreeLayer, Layer: 0, Window: 3, Sensitivity: 1,

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"trafficcep/internal/epl"
+	"trafficcep/internal/telemetry"
 )
 
 // Engine is one CEP engine instance: a registry of standing statements plus
@@ -28,16 +29,63 @@ type Engine struct {
 	// compiled after the call; joins then run as filtered nested loops.
 	// Kept for the join-strategy ablation benchmark.
 	disableIndexJoins bool
+
+	// name prefixes this engine's metric names in the telemetry registry;
+	// latHist records per-event processing latency when a registry is
+	// attached.
+	name    string
+	reg     *telemetry.Registry
+	latHist *telemetry.Histogram
 }
 
-// NewEngine creates an empty engine.
-func NewEngine() *Engine {
-	return &Engine{
+// Option configures an Engine at construction, replacing the
+// mutate-after-construct pattern (DisableIndexJoins) with declarative
+// setup.
+type Option func(*Engine)
+
+// WithIndexJoins enables or disables equi-join hash indexing for the
+// engine's statements. Indexing is on by default; disabling it runs joins
+// as filtered nested loops (the join-strategy ablation).
+func WithIndexJoins(enabled bool) Option {
+	return func(e *Engine) { e.disableIndexJoins = !enabled }
+}
+
+// WithRegistry attaches a telemetry registry: the engine records a
+// per-event processing-latency histogram on the hot path and can be
+// registered as a telemetry.Source publishing engine and statement
+// counters.
+func WithRegistry(reg *telemetry.Registry) Option {
+	return func(e *Engine) { e.reg = reg }
+}
+
+// WithName sets the engine's metric-name prefix (default "cep"), letting
+// several engines — one per EsperBolt task — share a registry without
+// colliding.
+func WithName(name string) Option {
+	return func(e *Engine) { e.name = name }
+}
+
+// New creates an engine configured by options.
+func New(opts ...Option) *Engine {
+	e := &Engine{
 		stmts:    make(map[string]*Statement),
 		byStream: make(map[string][]*Statement),
 		funcs:    make(map[string]ScalarFunc),
+		name:     "cep",
 	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.reg != nil {
+		e.latHist = e.reg.Histogram(e.name + ".event_latency_ns")
+	}
+	return e
 }
+
+// NewEngine creates an empty engine.
+//
+// Deprecated: use New, optionally with options.
+func NewEngine() *Engine { return New() }
 
 // RegisterFunction makes a scalar function available to EPL expressions in
 // this engine under the given (case-insensitive) name. Registering a name
@@ -59,8 +107,10 @@ func lower(s string) string {
 }
 
 // DisableIndexJoins turns off equi-join hash indexing for statements added
-// afterwards; their joins run as filtered nested loops. Intended for the
-// join-strategy ablation — production engines keep indexing on.
+// afterwards; their joins run as filtered nested loops.
+//
+// Deprecated: construct the engine with New(WithIndexJoins(false)) instead
+// of mutating it afterwards.
 func (e *Engine) DisableIndexJoins() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -190,7 +240,11 @@ func (e *Engine) SendEventAt(stream string, ts time.Time, fields map[string]Valu
 			break
 		}
 	}
-	e.procTime += time.Since(start)
+	elapsed := time.Since(start)
+	e.procTime += elapsed
+	if e.latHist != nil {
+		e.latHist.ObserveDuration(elapsed)
+	}
 	if firstErr != nil {
 		e.lastError = firstErr
 	}
@@ -198,6 +252,9 @@ func (e *Engine) SendEventAt(stream string, ts time.Time, fields map[string]Valu
 }
 
 // EngineMetrics is a snapshot of engine-level counters.
+//
+// Deprecated: attach a telemetry registry (WithRegistry), register the
+// engine as a telemetry.Source and walk the registry instead.
 type EngineMetrics struct {
 	EventsIn  uint64
 	ProcTime  time.Duration
@@ -205,10 +262,41 @@ type EngineMetrics struct {
 }
 
 // Metrics returns a snapshot of the engine counters.
+//
+// Deprecated: use Collect via a telemetry registry walk.
 func (e *Engine) Metrics() EngineMetrics {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return EngineMetrics{EventsIn: e.eventsIn, ProcTime: e.procTime, LastError: e.lastError}
+}
+
+// Describe implements telemetry.Source.
+func (e *Engine) Describe() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return fmt.Sprintf("cep engine %s: %d statements", e.name, len(e.stmts))
+}
+
+// Collect implements telemetry.Source: it publishes the engine counters and
+// every statement's counters under <name>.* — the registry-backed
+// replacement for Metrics and per-statement StatementMetrics polling.
+func (e *Engine) Collect(reg *telemetry.Registry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	prefix := e.name + "."
+	reg.Counter(prefix + "events_in").Store(e.eventsIn)
+	reg.Gauge(prefix + "proc_time_ns").Set(float64(e.procTime))
+	if e.eventsIn > 0 {
+		reg.Gauge(prefix + "avg_latency_ns").Set(float64(e.procTime) / float64(e.eventsIn))
+	}
+	for name, st := range e.stmts {
+		m := st.metrics
+		sp := prefix + "stmt." + name + "."
+		reg.Counter(sp + "events_in").Store(m.EventsIn)
+		reg.Counter(sp + "evaluations").Store(m.Evaluations)
+		reg.Counter(sp + "firings").Store(m.Firings)
+		reg.Counter(sp + "errors").Store(m.Errors)
+	}
 }
 
 // AvgLatency returns the mean per-event processing latency observed so far,

@@ -277,10 +277,7 @@ func TestUniqueViaEngine(t *testing.T) {
 
 func TestDisableIndexJoinsSameResults(t *testing.T) {
 	run := func(disable bool) []Output {
-		e := NewEngine()
-		if disable {
-			e.DisableIndexJoins()
-		}
+		e := New(WithIndexJoins(!disable))
 		st, err := e.AddStatement("r",
 			`SELECT a.v AS av, b.v AS bv FROM s.std:lastevent() AS a, t.win:keepall() AS b WHERE a.k = b.k`)
 		if err != nil {

@@ -6,11 +6,13 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"trafficcep/internal/busdata"
 	"trafficcep/internal/dfs"
 	"trafficcep/internal/mapreduce"
 	"trafficcep/internal/sqlstore"
+	"trafficcep/internal/telemetry"
 )
 
 // HistoryRecord is one pre-processed trace persisted to the distributed
@@ -152,6 +154,8 @@ type StatsJobConfig struct {
 	InputPaths  []string
 	OutputPath  string // defaults to "batch/stats"
 	NumReducers int    // defaults to 4
+	// Telemetry receives the job's phase timings (may be nil).
+	Telemetry *telemetry.Registry
 }
 
 // RunStatsJob executes the Hadoop-style statistics job over historical data
@@ -171,6 +175,7 @@ func RunStatsJob(cfg StatsJobConfig) ([]sqlstore.StatRow, *mapreduce.Result, err
 		Mapper:      statsMapper,
 		Reducer:     statsReducer,
 		NumReducers: cfg.NumReducers,
+		Telemetry:   cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -230,10 +235,17 @@ type DynamicManager struct {
 	Store         *sqlstore.ThresholdStore
 	HistoryPrefix string // defaults to "history/"
 	NumReducers   int
+	// Telemetry, when non-nil, is forwarded to the statistics MapReduce
+	// jobs so batch phase timings land in the same registry as the
+	// streaming metrics.
+	Telemetry *telemetry.Registry
 
 	mu       sync.Mutex
 	installs []*InstalledRule
 	runs     int
+
+	historyRecs atomic.Uint64
+	statRows    atomic.Uint64
 }
 
 // Register adds a rule installation to be refreshed after each batch run.
@@ -245,7 +257,11 @@ func (m *DynamicManager) Register(inst *InstalledRule) {
 
 // AppendHistory persists one record for the batch layer.
 func (m *DynamicManager) AppendHistory(rec HistoryRecord) error {
-	return m.FS.AppendLine(m.historyPath(), rec.MarshalLine())
+	if err := m.FS.AppendLine(m.historyPath(), rec.MarshalLine()); err != nil {
+		return err
+	}
+	m.historyRecs.Add(1)
+	return nil
 }
 
 func (m *DynamicManager) historyPath() string {
@@ -274,10 +290,12 @@ func (m *DynamicManager) RunOnce() (int, error) {
 
 	rows, _, err := RunStatsJob(StatsJobConfig{
 		FS: m.FS, InputPaths: inputs, OutputPath: out, NumReducers: m.NumReducers,
+		Telemetry: m.Telemetry,
 	})
 	if err != nil {
 		return 0, err
 	}
+	m.statRows.Add(uint64(len(rows)))
 	if err := m.Store.Put(rows); err != nil {
 		return 0, err
 	}
@@ -297,4 +315,22 @@ func (m *DynamicManager) Runs() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.runs
+}
+
+// Describe implements telemetry.Source.
+func (m *DynamicManager) Describe() string {
+	return "batch layer: dynamic-threshold manager (history → stats job → rule refresh)"
+}
+
+// Collect implements telemetry.Source: it publishes the batch loop's
+// counters under core.batch.*.
+func (m *DynamicManager) Collect(reg *telemetry.Registry) {
+	m.mu.Lock()
+	runs := m.runs
+	installs := len(m.installs)
+	m.mu.Unlock()
+	reg.Counter("core.batch.runs").Store(uint64(runs))
+	reg.Counter("core.batch.history_records").Store(m.historyRecs.Load())
+	reg.Counter("core.batch.stat_rows").Store(m.statRows.Load())
+	reg.Gauge("core.batch.registered_rules").Set(float64(installs))
 }

@@ -214,7 +214,7 @@ type CalibrationData struct {
 // buildMeasurementEngine creates an engine with n template rules installed
 // under the stream-fed strategy, thresholds loaded, ready to measure.
 func buildMeasurementEngine(rules []Rule, thresholds, locations int) (*cep.Engine, error) {
-	eng := cep.NewEngine()
+	eng := cep.New()
 	for _, r := range rules {
 		if _, err := eng.AddStatement(r.Name, r.StreamEPL()); err != nil {
 			return nil, err
@@ -285,7 +285,7 @@ func MeasureRuleLatencyMs(window, thresholds, locations, events int) (float64, e
 func MeasurePairLatencyMs(l1, t1, l2, t2, locations, events int) (float64, error) {
 	r1 := Rule{Name: "calA", Attribute: busdata.AttrDelay, Kind: BusStops, Window: l1}
 	r2 := Rule{Name: "calB", Attribute: busdata.AttrSpeed, Kind: BusStops, Window: l2}
-	eng := cep.NewEngine()
+	eng := cep.New()
 	for i, rt := range []struct {
 		r Rule
 		t int

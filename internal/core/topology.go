@@ -13,6 +13,7 @@ import (
 	"trafficcep/internal/quadtree"
 	"trafficcep/internal/sqlstore"
 	"trafficcep/internal/storm"
+	"trafficcep/internal/telemetry"
 )
 
 // This file implements the seven-component traffic-monitoring topology of
@@ -148,6 +149,10 @@ type TrafficConfig struct {
 	// Manager, when set, receives history records from the
 	// BusStopsTracker and registers rule installations for refresh.
 	Manager *DynamicManager
+	// Telemetry, when set, backs every EsperBolt task's engine with the
+	// registry (per-engine event-latency histograms, engine sources) in
+	// addition to the storm runtime's tuple tracing.
+	Telemetry *telemetry.Registry
 	// Nodes / WorkersPerNode configure the simulated cluster.
 	Nodes          int
 	WorkersPerNode int
@@ -193,7 +198,7 @@ func BuildTrafficTopology(cfg TrafficConfig) (*storm.Topology, error) {
 	}, 1, 1).ShuffleGrouping(CompBusStops)
 
 	b.SetBolt(CompEsper, func() storm.Bolt {
-		return &esperBolt{setup: cfg.EngineSetup, manager: cfg.Manager}
+		return &esperBolt{setup: cfg.EngineSetup, manager: cfg.Manager, telemetry: cfg.Telemetry}
 	}, cfg.Engines, cfg.Engines).StreamGrouping(CompSplitter, "routed", storm.DirectGrouping)
 
 	b.SetBolt(CompStorer, func() storm.Bolt {
@@ -414,8 +419,9 @@ func (b *splitterBolt) Execute(t storm.Tuple, col storm.Collector) error {
 // processes events synchronously inside Execute, so the listener always
 // sees the current collector.
 type esperBolt struct {
-	setup   func(taskIndex int, eng *cep.Engine) ([]*InstalledRule, error)
-	manager *DynamicManager
+	setup     func(taskIndex int, eng *cep.Engine) ([]*InstalledRule, error)
+	manager   *DynamicManager
+	telemetry *telemetry.Registry
 
 	engine *cep.Engine
 	ctx    storm.TaskContext
@@ -426,7 +432,16 @@ type esperBolt struct {
 
 func (b *esperBolt) Prepare(ctx storm.TaskContext) error {
 	b.ctx = ctx
-	b.engine = cep.NewEngine()
+	var opts []cep.Option
+	if b.telemetry != nil {
+		opts = append(opts,
+			cep.WithRegistry(b.telemetry),
+			cep.WithName(fmt.Sprintf("cep.engine%d", ctx.TaskIndex)))
+	}
+	b.engine = cep.New(opts...)
+	if b.telemetry != nil {
+		b.telemetry.Register(b.engine)
+	}
 	if b.setup == nil {
 		return nil
 	}

@@ -54,7 +54,7 @@ func RegisterComponents(reg *storm.Registry, deps *Deps) {
 	})
 	reg.RegisterBolt("esper", func(map[string]string) (storm.BoltFactory, error) {
 		return func() storm.Bolt {
-			return &esperBolt{setup: cfg.EngineSetup, manager: cfg.Manager}
+			return &esperBolt{setup: cfg.EngineSetup, manager: cfg.Manager, telemetry: cfg.Telemetry}
 		}, nil
 	})
 	reg.RegisterBolt("eventsstorer", func(map[string]string) (storm.BoltFactory, error) {

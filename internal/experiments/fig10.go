@@ -47,7 +47,7 @@ func measureStrategy(strat core.ThresholdStrategy, locations, events, windows in
 		Window:      10,
 		Sensitivity: 1,
 	}
-	eng := cep.NewEngine()
+	eng := cep.New()
 	if _, err := core.InstallRule(eng, rule, core.InstallOptions{
 		Strategy:        strat,
 		Store:           store,

@@ -17,8 +17,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"trafficcep/internal/dfs"
+	"trafficcep/internal/telemetry"
 )
 
 // KeyValue is one intermediate or output pair.
@@ -46,6 +48,10 @@ type Config struct {
 	// Parallelism bounds concurrently running tasks; defaults to
 	// GOMAXPROCS.
 	Parallelism int
+	// Telemetry, when non-nil, receives the job's phase timings as
+	// mapreduce.<phase>_ns histograms plus cumulative record counters, so
+	// batch runs share the registry with the streaming layer.
+	Telemetry *telemetry.Registry
 }
 
 // Counters summarize a finished job.
@@ -56,6 +62,9 @@ type Counters struct {
 	MapOutputs   int64
 	ReduceGroups int64
 	Outputs      int64
+	// Phase wall-clock durations of this run.
+	MapDuration    time.Duration
+	ReduceDuration time.Duration
 }
 
 // Result is a finished job's output handle.
@@ -111,6 +120,7 @@ func Run(cfg Config) (*Result, error) {
 		firstErr error
 	)
 	sem := make(chan struct{}, cfg.Parallelism)
+	mapStart := time.Now()
 	var wg sync.WaitGroup
 	for _, t := range tasks {
 		wg.Add(1)
@@ -143,9 +153,11 @@ func Run(cfg Config) (*Result, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	res.Counters.MapDuration = time.Since(mapStart)
 
 	// Reduce phase: sort each partition by key, group, reduce, write the
 	// part file. Reducers run in parallel.
+	reduceStart := time.Now()
 	parts := make([]string, cfg.NumReducers)
 	var rwg sync.WaitGroup
 	for r := 0; r < cfg.NumReducers; r++ {
@@ -191,7 +203,18 @@ func Run(cfg Config) (*Result, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	res.Counters.ReduceDuration = time.Since(reduceStart)
 	res.PartFiles = parts
+
+	if reg := cfg.Telemetry; reg != nil {
+		reg.Counter("mapreduce.jobs").Inc()
+		reg.Counter("mapreduce.input_records").Add(uint64(res.Counters.InputRecords))
+		reg.Counter("mapreduce.map_outputs").Add(uint64(res.Counters.MapOutputs))
+		reg.Counter("mapreduce.outputs").Add(uint64(res.Counters.Outputs))
+		reg.Histogram("mapreduce.map_phase_ns").ObserveDuration(res.Counters.MapDuration)
+		reg.Histogram("mapreduce.reduce_phase_ns").ObserveDuration(res.Counters.ReduceDuration)
+		reg.Histogram("mapreduce.job_ns").ObserveDuration(res.Counters.MapDuration + res.Counters.ReduceDuration)
+	}
 	return res, nil
 }
 

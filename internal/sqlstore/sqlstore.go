@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"trafficcep/internal/cep"
 	"trafficcep/internal/epl"
+	"trafficcep/internal/telemetry"
 )
 
 // Row is one table row: column name → value.
@@ -38,6 +40,20 @@ type DB struct {
 	tables map[string]*Table
 
 	queries uint64 // SELECTs served, for the retrieval-strategy experiments
+
+	// Telemetry (optional): SELECT latency histogram + served counter.
+	queryHist *telemetry.Histogram
+	queryCnt  *telemetry.Counter
+}
+
+// SetTelemetry attaches a registry: every SELECT records its latency into
+// sqlstore.query_latency_ns and bumps sqlstore.queries. Call during setup,
+// before serving queries.
+func (db *DB) SetTelemetry(reg *telemetry.Registry) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.queryHist = reg.Histogram("sqlstore.query_latency_ns")
+	db.queryCnt = reg.Counter("sqlstore.queries")
 }
 
 // NewDB creates an empty database.
@@ -236,7 +252,15 @@ func (db *DB) QueryParsed(q *epl.Query) ([]Row, error) {
 
 	db.mu.Lock()
 	db.queries++
+	hist, cnt := db.queryHist, db.queryCnt
 	db.mu.Unlock()
+	if hist != nil {
+		start := time.Now()
+		defer func() {
+			hist.ObserveDuration(time.Since(start))
+			cnt.Inc()
+		}()
+	}
 
 	db.mu.RLock()
 	defer db.mu.RUnlock()

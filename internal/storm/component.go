@@ -10,7 +10,11 @@
 // not exercise Storm's replay path.
 package storm
 
-import "fmt"
+import (
+	"fmt"
+
+	"trafficcep/internal/telemetry"
+)
 
 // Tuple is one unit of data flowing through a topology.
 type Tuple struct {
@@ -18,6 +22,10 @@ type Tuple struct {
 	Stream string
 	// Values is the tuple payload.
 	Values map[string]any
+	// Trace is the tuple's telemetry context, stamped by the runtime when
+	// a telemetry registry is attached (zero value otherwise). Bolts that
+	// re-emit through their Collector propagate it automatically.
+	Trace telemetry.TupleTrace
 }
 
 // DefaultStream is the stream id used by plain Emit.

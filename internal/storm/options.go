@@ -1,0 +1,43 @@
+package storm
+
+import (
+	"time"
+
+	"trafficcep/internal/telemetry"
+)
+
+// Option configures a Runtime at construction. Options replace the
+// positional Config struct-literal convention: call sites name exactly the
+// knobs they set and new knobs never break existing callers.
+type Option func(*Config)
+
+// WithNodes sets the number of simulated cluster nodes.
+func WithNodes(n int) Option { return func(c *Config) { c.Nodes = n } }
+
+// WithWorkersPerNode sets the worker processes (slots) per node. The paper
+// follows T-Storm's one-worker-per-node finding (§2.2), so the default is 1.
+func WithWorkersPerNode(n int) Option { return func(c *Config) { c.WorkersPerNode = n } }
+
+// WithChannelBuffer sets the per-executor input queue length; sends block
+// when full, providing backpressure.
+func WithChannelBuffer(n int) Option { return func(c *Config) { c.ChannelBuffer = n } }
+
+// WithMonitorInterval enables the per-worker monitor thread reporting bolt
+// metrics every interval (the paper uses 40 s). Zero disables periodic
+// reporting; SnapshotNow still works.
+func WithMonitorInterval(d time.Duration) Option { return func(c *Config) { c.MonitorInterval = d } }
+
+// WithTelemetry attaches a telemetry registry: the runtime records per-hop
+// and end-to-end tuple latency histograms on the hot path, and the monitor
+// is registered as a telemetry.Source publishing per-component counters.
+func WithTelemetry(reg *telemetry.Registry) Option { return func(c *Config) { c.Telemetry = reg } }
+
+// New prepares a runtime (placement + task construction) from functional
+// options without starting it.
+func New(topo *Topology, opts ...Option) (*Runtime, error) {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return NewRuntime(topo, cfg)
+}

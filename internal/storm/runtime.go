@@ -6,9 +6,15 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"trafficcep/internal/telemetry"
 )
 
 // Config configures a topology run.
+//
+// Deprecated: construct runtimes with New and functional options
+// (WithNodes, WithWorkersPerNode, WithChannelBuffer, WithMonitorInterval,
+// WithTelemetry). The struct remains supported for existing callers.
 type Config struct {
 	// Nodes is the number of simulated cluster nodes. Defaults to 1.
 	Nodes int
@@ -23,6 +29,12 @@ type Config struct {
 	// bolt metrics every interval (the paper uses 40 s). Zero disables
 	// periodic reporting; SnapshotNow still works.
 	MonitorInterval time.Duration
+	// Telemetry, when non-nil, enables tuple tracing: spout emissions are
+	// stamped with a telemetry.TupleTrace, each component records a
+	// per-hop latency histogram, sinks record end-to-end latency, and the
+	// monitor registers as a telemetry.Source. Nil keeps the hot path
+	// free of any tracing work.
+	Telemetry *telemetry.Registry
 }
 
 func (c *Config) fill() {
@@ -106,13 +118,20 @@ type runningComponent struct {
 	// producers counts upstream executors still running; when it reaches
 	// zero the component's input channels are closed.
 	producers atomic.Int32
+
+	// Telemetry histograms, pre-resolved at construction so the hot path
+	// pays one atomic Observe per tuple. Both are nil when telemetry is
+	// disabled; e2eHist is set only on sinks (no downstream subscribers).
+	hopHist *telemetry.Histogram
+	e2eHist *telemetry.Histogram
 }
 
 // Runtime executes one topology on a simulated cluster.
 type Runtime struct {
-	topo  *Topology
-	cfg   Config
-	comps map[string]*runningComponent
+	topo    *Topology
+	cfg     Config
+	tracing bool // cfg.Telemetry != nil: stamp tuples with trace contexts
+	comps   map[string]*runningComponent
 
 	placements []Placement
 	monitor    *Monitor
@@ -123,9 +142,12 @@ type Runtime struct {
 
 // NewRuntime prepares a runtime (placement + task construction) without
 // starting it.
+//
+// Deprecated: use New with functional options; this constructor remains for
+// callers holding a Config.
 func NewRuntime(topo *Topology, cfg Config) (*Runtime, error) {
 	cfg.fill()
-	r := &Runtime{topo: topo, cfg: cfg, comps: make(map[string]*runningComponent)}
+	r := &Runtime{topo: topo, cfg: cfg, tracing: cfg.Telemetry != nil, comps: make(map[string]*runningComponent)}
 
 	totalWorkers := cfg.Nodes * cfg.WorkersPerNode
 	nextWorker := 0
@@ -202,7 +224,26 @@ func NewRuntime(topo *Topology, cfg Config) (*Runtime, error) {
 		}
 	}
 
+	// Telemetry: per-component hop histograms, end-to-end histograms on
+	// sinks, and the monitor as a collectable source. Resolved here so the
+	// hot path never touches the registry map.
+	if reg := cfg.Telemetry; reg != nil {
+		for _, id := range topo.order {
+			rc := r.comps[id]
+			if rc.spec.isSpout {
+				continue
+			}
+			rc.hopHist = reg.Histogram("storm." + id + ".hop_latency_ns")
+			if len(rc.subs) == 0 {
+				rc.e2eHist = reg.Histogram("storm." + id + ".e2e_latency_ns")
+			}
+		}
+	}
+
 	r.monitor = newMonitor(r, cfg.MonitorInterval)
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.Register(r.monitor)
+	}
 	return r, nil
 }
 
@@ -288,6 +329,12 @@ func (r *Runtime) runSpoutExecutor(rc *runningComponent, ex *executor) {
 			}
 			col := &taskCollector{r: r, rc: rc, ts: ts}
 			start := time.Now()
+			if r.tracing {
+				// Emissions from this NextTuple call start traces stamped
+				// with the call's start — no extra clock reads per emit.
+				col.root = true
+				col.nowNanos = start.UnixNano()
+			}
 			more, err := ts.spout.NextTuple(col)
 			ts.procNanos.Add(uint64(time.Since(start)))
 			if err != nil {
@@ -327,9 +374,23 @@ func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
 		}
 		col := &taskCollector{r: r, rc: rc, ts: ts}
 		start := time.Now()
+		traced := r.tracing && env.tuple.Trace.Active()
+		if traced {
+			// One UnixNano conversion per tuple stamps the hop observation
+			// and every downstream emission; no extra clock reads.
+			col.in = env.tuple.Trace
+			col.nowNanos = start.UnixNano()
+			if rc.hopHist != nil {
+				rc.hopHist.Observe(col.nowNanos - env.tuple.Trace.EmitNanos)
+			}
+		}
 		err := ts.bolt.Execute(env.tuple, col)
-		ts.procNanos.Add(uint64(time.Since(start)))
+		elapsed := time.Since(start)
+		ts.procNanos.Add(uint64(elapsed))
 		ts.executed.Add(1)
+		if traced && rc.e2eHist != nil {
+			rc.e2eHist.Observe(col.nowNanos + int64(elapsed) - env.tuple.Trace.StartNanos)
+		}
 		if err != nil {
 			ts.errors.Add(1)
 			r.recordErr(fmt.Errorf("storm: bolt %s task %d: %w", rc.spec.id, ts.ctx.TaskID, err))
@@ -350,6 +411,28 @@ type taskCollector struct {
 	r  *Runtime
 	rc *runningComponent
 	ts *taskState
+	// root marks a tracing spout collector: every emission starts a fresh
+	// trace. in is the traced input tuple's context on bolt collectors;
+	// emissions derive from it. nowNanos is the executor's clock reading at
+	// the start of the current NextTuple/Execute call — emissions are
+	// stamped with it instead of reading the clock again, so a hop's
+	// latency spans emitter execute-start to receiver execute-start (queue
+	// wait + transport + emitter processing). All three zero → no tracing
+	// work at all.
+	root     bool
+	in       telemetry.TupleTrace
+	nowNanos int64
+}
+
+// outTrace stamps the trace context for one emission.
+func (c *taskCollector) outTrace() telemetry.TupleTrace {
+	switch {
+	case c.root:
+		return telemetry.StartTrace(c.nowNanos)
+	case c.in.Active():
+		return c.in.Next(c.nowNanos)
+	}
+	return telemetry.TupleTrace{}
 }
 
 // Emit implements Collector.
@@ -358,7 +441,7 @@ func (c *taskCollector) Emit(values map[string]any) { c.EmitTo(DefaultStream, va
 // EmitTo implements Collector.
 func (c *taskCollector) EmitTo(stream string, values map[string]any) {
 	c.ts.emitted.Add(1)
-	t := Tuple{Stream: stream, Values: values}
+	t := Tuple{Stream: stream, Values: values, Trace: c.outTrace()}
 	for _, sub := range c.rc.subs[stream] {
 		c.deliver(sub, t, -1)
 	}
@@ -367,7 +450,7 @@ func (c *taskCollector) EmitTo(stream string, values map[string]any) {
 // EmitDirect implements Collector.
 func (c *taskCollector) EmitDirect(stream string, task int, values map[string]any) {
 	c.ts.emitted.Add(1)
-	t := Tuple{Stream: stream, Values: values}
+	t := Tuple{Stream: stream, Values: values, Trace: c.outTrace()}
 	for _, sub := range c.rc.subs[stream] {
 		if sub.grouping.Type == DirectGrouping {
 			c.deliver(sub, t, task)
@@ -415,6 +498,9 @@ func (c *taskCollector) send(target *runningComponent, taskIdx int, t Tuple) {
 
 // TaskMetricsSnapshot returns the current counters of every task, keyed by
 // component, ordered by task index.
+//
+// Deprecated: attach a telemetry.Registry with WithTelemetry and walk it via
+// Gather — the Monitor publishes the same counters as a telemetry.Source.
 func (r *Runtime) TaskMetricsSnapshot() map[string][]TaskMetrics {
 	out := make(map[string][]TaskMetrics, len(r.comps))
 	for id, rc := range r.comps {

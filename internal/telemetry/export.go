@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Exporter periodically gathers a registry and writes one JSON object per
+// line to a writer — the paper's 40 s monitor reports, machine-readable.
+// Counter metrics additionally carry their per-second rate over the export
+// window, which is the per-component throughput the evaluation plots.
+type Exporter struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu     sync.Mutex
+	w      io.Writer
+	prev   map[string]float64
+	prevAt time.Time
+
+	stopCh chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+// NewExporter creates an exporter writing snapshots of reg to w every
+// interval once started. An interval of zero disables the periodic loop;
+// Emit still works.
+func NewExporter(reg *Registry, w io.Writer, interval time.Duration) *Exporter {
+	return &Exporter{
+		reg: reg, w: w, interval: interval,
+		prev:   make(map[string]float64),
+		prevAt: time.Now(),
+		stopCh: make(chan struct{}),
+	}
+}
+
+// Start launches the periodic export loop.
+func (e *Exporter) Start() {
+	if e.interval <= 0 {
+		return
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		t := time.NewTicker(e.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				e.Emit()
+			case <-e.stopCh:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and writes one final snapshot line, so short runs
+// (shorter than one interval) still export their totals.
+func (e *Exporter) Stop() {
+	e.once.Do(func() { close(e.stopCh) })
+	e.wg.Wait()
+	e.Emit()
+}
+
+// Emit gathers, computes counter rates against the previous emission, writes
+// one JSON line, and returns the snapshot.
+func (e *Exporter) Emit() Snapshot {
+	snap := e.reg.Gather()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	window := snap.At.Sub(e.prevAt).Seconds()
+	for i := range snap.Metrics {
+		m := &snap.Metrics[i]
+		if m.Kind != KindCounter {
+			continue
+		}
+		if window > 0 {
+			m.Rate = (m.Value - e.prev[m.Name]) / window
+		}
+		e.prev[m.Name] = m.Value
+	}
+	e.prevAt = snap.At
+	if err := json.NewEncoder(e.w).Encode(snap); err != nil {
+		// The export stream is best-effort observability: a broken pipe
+		// must not take down the data plane, so swallow and keep counting.
+		_ = err
+	}
+	return snap
+}
+
+// Handler serves the registry's gathered snapshot as JSON — the live view of
+// what the JSON-lines exporter writes (without rates, which need a window).
+func Handler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Gather())
+	})
+}
+
+// NewServeMux builds the telemetry endpoint: expvar-style JSON snapshots at
+// /metrics (and /), registered source descriptions at /sources, and the
+// net/http/pprof profiles under /debug/pprof/.
+func NewServeMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/", Handler(reg))
+	mux.Handle("/metrics", Handler(reg))
+	mux.HandleFunc("/sources", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(reg.Sources())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve blocks serving the telemetry endpoint on addr.
+func Serve(addr string, reg *Registry) error {
+	return http.ListenAndServe(addr, NewServeMux(reg))
+}

@@ -1,0 +1,202 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram buckets: numBuckets exponential base-2 buckets starting at
+// bucketMin. Bucket i counts observations v with v <= bucketMin<<i; the last
+// bucket is the overflow catch-all. With bucketMin = 1µs the covered span is
+// 1 µs … ~36 min in nanoseconds — the full range between a channel hop and a
+// stalled topology.
+const (
+	numBuckets = 32
+	bucketMin  = 1000 // 1µs in nanoseconds
+)
+
+// BucketBound returns bucket i's inclusive upper bound (the last bucket has
+// no upper bound and returns -1).
+func BucketBound(i int) int64 {
+	if i >= numBuckets-1 {
+		return -1
+	}
+	return bucketMin << uint(i)
+}
+
+// bucketOf returns the bucket index for a value: the smallest i with
+// v <= bucketMin<<i, computed in O(1) — this sits on the per-tuple hot path.
+func bucketOf(v int64) int {
+	if v <= bucketMin {
+		return 0
+	}
+	// ceil(v/bucketMin) = q means the bucket is the position of q's highest
+	// set bit (q > 1 here, so Len is at least 1).
+	q := uint64(v+bucketMin-1) / bucketMin
+	i := bits.Len64(q - 1)
+	if i > numBuckets-1 {
+		return numBuckets - 1
+	}
+	return i
+}
+
+// Histogram is a fixed-bucket, lock-free latency histogram. Observations
+// cost two atomic adds plus a CAS pair for min/max (pure loads once the
+// extremes settle); the observation count is derived from the bucket totals
+// at snapshot time rather than maintained as a third hot counter. Snapshots
+// estimate quantiles by linear interpolation inside the owning bucket and
+// clamp to the observed min/max, so exact-value sequences produce
+// deterministic quantiles (see TestHistogramQuantiles).
+type Histogram struct {
+	sum     atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Uint64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(int64(^uint64(0) >> 1)) // MaxInt64 sentinel: no observations yet
+	return h
+}
+
+// Observe records one value (nanoseconds for duration histograms). Negative
+// values are clamped to zero — they can only come from clock retrieval skew
+// between goroutines and would otherwise corrupt the min.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of observations (summed over the buckets).
+func (h *Histogram) Count() uint64 {
+	var total uint64
+	for i := range h.buckets {
+		total += h.buckets[i].Load()
+	}
+	return total
+}
+
+// HistoSnapshot is a histogram's consistent-enough point-in-time summary
+// (individual fields are read atomically; a snapshot taken mid-burst may be
+// off by in-flight observations, which monitoring tolerates).
+type HistoSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+	// Buckets lists the non-empty buckets as (upper bound, count) pairs;
+	// the overflow bucket's bound is -1.
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot.
+type Bucket struct {
+	Bound int64  `json:"le"` // inclusive upper bound, -1 for overflow
+	Count uint64 `json:"n"`
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistoSnapshot {
+	var counts [numBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistoSnapshot{Count: total, Sum: h.sum.Load()}
+	if total == 0 {
+		return s
+	}
+	s.Min = h.min.Load()
+	s.Max = h.max.Load()
+	s.Mean = float64(s.Sum) / float64(total)
+	s.P50 = h.quantile(0.50, counts[:], total, s.Min, s.Max)
+	s.P95 = h.quantile(0.95, counts[:], total, s.Min, s.Max)
+	s.P99 = h.quantile(0.99, counts[:], total, s.Min, s.Max)
+	for i, n := range counts {
+		if n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Bound: BucketBound(i), Count: n})
+		}
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed values.
+func (h *Histogram) Quantile(q float64) int64 {
+	var counts [numBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	return h.quantile(q, counts[:], total, h.min.Load(), h.max.Load())
+}
+
+// quantile walks the cumulative bucket counts to the bucket holding the
+// target rank, interpolates linearly across that bucket's span, and clamps
+// to the observed extremes (so single-bucket histograms report exact
+// values).
+func (h *Histogram) quantile(q float64, counts []uint64, total uint64, min, max int64) int64 {
+	target := uint64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var cum uint64
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if cum+n < target {
+			cum += n
+			continue
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = BucketBound(i - 1)
+		}
+		hi := BucketBound(i)
+		if hi < 0 { // overflow bucket: no upper bound, report the observed max
+			return max
+		}
+		frac := float64(target-cum) / float64(n)
+		v := lo + int64(frac*float64(hi-lo))
+		if v < min {
+			v = min
+		}
+		if v > max {
+			v = max
+		}
+		return v
+	}
+	return max
+}

@@ -1,0 +1,256 @@
+// Package telemetry is the system's unified observability substrate: a
+// lock-cheap metrics registry (atomic counters, gauges and fixed-bucket
+// latency histograms with quantile snapshots), a per-tuple trace context
+// that rides tuple metadata through the topology, and exporters (periodic
+// JSON lines, HTTP snapshot + pprof).
+//
+// The paper's whole evaluation (§5) is metrics-driven — per-bolt throughput
+// and latency sampled every 40 s, per-engine tuple latency, overload knees —
+// so every layer of the stack publishes into one registry here instead of
+// growing its own ad-hoc snapshot API. Components implement Source and are
+// walked by Registry.Gather; hot paths write straight into pre-created
+// counters and histograms, which cost one atomic add per observation.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind discriminates metric types in snapshots.
+type Kind string
+
+// Metric kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Counter is a monotonically increasing atomic counter. Hot paths call Add
+// or Inc; collect-style sources that mirror an existing counter call Store.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Store overwrites the counter with an externally tracked cumulative value.
+func (c *Counter) Store(v uint64) { c.v.Store(v) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an atomic float64 point-in-time value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Source is the one interface every instrumented subsystem implements:
+// Describe names the source for operators, Collect publishes its current
+// state into the registry. Registry.Gather walks all registered sources, so
+// a single registry walk replaces the per-package snapshot methods
+// (storm.TaskMetricsSnapshot, cep.EngineMetrics, statement counters).
+type Source interface {
+	Describe() string
+	Collect(r *Registry)
+}
+
+// Registry is a concurrency-safe metric namespace. Metric constructors are
+// get-or-create: the first call for a name allocates, later calls return the
+// same instance, so hot paths can resolve their metrics once at setup time
+// and pay only atomic operations afterwards.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	sources  []Source
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+// Registering a name as two different kinds panics: metric names are a
+// program-wide namespace and a kind clash is a wiring bug.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	r.checkFree(name, KindCounter)
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	r.checkFree(name, KindGauge)
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed. By convention duration histograms are named with an _ns suffix and
+// observe nanoseconds.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	r.checkFree(name, KindHistogram)
+	h = newHistogram()
+	r.hists[name] = h
+	return h
+}
+
+// checkFree panics if name is already taken by another kind. Called with the
+// write lock held.
+func (r *Registry) checkFree(name string, want Kind) {
+	var have Kind
+	switch {
+	case r.counters[name] != nil:
+		have = KindCounter
+	case r.gauges[name] != nil:
+		have = KindGauge
+	case r.hists[name] != nil:
+		have = KindHistogram
+	default:
+		return
+	}
+	panic(fmt.Sprintf("telemetry: metric %q already registered as %s, requested as %s", name, have, want))
+}
+
+// Register adds a source to be collected on every Gather. Registering the
+// same source twice is a no-op.
+func (r *Registry) Register(s Source) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, have := range r.sources {
+		if have == s {
+			return
+		}
+	}
+	r.sources = append(r.sources, s)
+}
+
+// Sources returns the registered sources' descriptions, in registration
+// order.
+func (r *Registry) Sources() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.sources))
+	for i, s := range r.sources {
+		out[i] = s.Describe()
+	}
+	return out
+}
+
+// Gather collects every registered source into the registry and returns a
+// snapshot — the single registry walk that replaces the per-package
+// snapshot methods.
+func (r *Registry) Gather() Snapshot {
+	r.mu.RLock()
+	sources := append([]Source(nil), r.sources...)
+	r.mu.RUnlock()
+	for _, s := range sources {
+		s.Collect(r)
+	}
+	return r.Snapshot()
+}
+
+// Snapshot captures every metric's current value, sorted by name. It does
+// not run sources; use Gather for that.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	snap := Snapshot{At: time.Now()}
+	for name, c := range r.counters {
+		snap.Metrics = append(snap.Metrics, Metric{Name: name, Kind: KindCounter, Value: float64(c.Load())})
+	}
+	for name, g := range r.gauges {
+		snap.Metrics = append(snap.Metrics, Metric{Name: name, Kind: KindGauge, Value: g.Load()})
+	}
+	for name, h := range r.hists {
+		hs := h.Snapshot()
+		snap.Metrics = append(snap.Metrics, Metric{Name: name, Kind: KindHistogram, Histogram: &hs})
+	}
+	sort.Slice(snap.Metrics, func(i, j int) bool { return snap.Metrics[i].Name < snap.Metrics[j].Name })
+	return snap
+}
+
+// Snapshot is one point-in-time view of a registry.
+type Snapshot struct {
+	At      time.Time `json:"at"`
+	Metrics []Metric  `json:"metrics"`
+}
+
+// Metric is one metric within a snapshot.
+type Metric struct {
+	Name string `json:"name"`
+	Kind Kind   `json:"kind"`
+	// Value holds the counter or gauge value.
+	Value float64 `json:"value,omitempty"`
+	// Rate is the counter's per-second delta since the previous export;
+	// filled by the Exporter, zero in plain snapshots.
+	Rate      float64        `json:"rate,omitempty"`
+	Histogram *HistoSnapshot `json:"histogram,omitempty"`
+}
+
+// Get returns the named metric of a snapshot.
+func (s Snapshot) Get(name string) (Metric, bool) {
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
