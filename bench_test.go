@@ -10,6 +10,7 @@ package trafficcep
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -416,9 +417,65 @@ func BenchmarkStormPipelineTelemetry(b *testing.B) {
 	}
 }
 
+// BenchmarkStormPipelineFaults measures the fault-tolerance tax on the same
+// pipeline: baseline (FailFast, no ack tracking — the hot path must be
+// unchanged), the Degrade policy, and full ack tracking with anchored spout
+// emissions (at-least-once, the most expensive mode).
+func BenchmarkStormPipelineFaults(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts []storm.Option
+	}{
+		{"baseline", nil},
+		{"degrade", []storm.Option{storm.WithFailurePolicy(storm.Degrade)}},
+		{"acked", []storm.Option{storm.WithAckTimeout(time.Second)}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var rt *storm.Runtime
+			var err error
+			if mode.name == "acked" {
+				rt, err = benchPipelineSpout(func() storm.Spout { return &benchAckSpout{n: b.N} }, mode.opts...)
+			} else {
+				rt, err = benchPipeline(b.N, mode.opts...)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if err := rt.Run(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+type benchAckSpout struct{ n, i int }
+
+func (s *benchAckSpout) Open(storm.TaskContext) error { return nil }
+func (s *benchAckSpout) Close() error                 { return nil }
+func (s *benchAckSpout) Ack(string)                   {}
+func (s *benchAckSpout) Fail(string)                  {}
+func (s *benchAckSpout) NextTuple(col storm.Collector) (bool, error) {
+	if s.i >= s.n {
+		return false, nil
+	}
+	vals := map[string]any{"k": s.i % 64, "v": s.i}
+	if ac, ok := col.(storm.AnchorCollector); ok && ac.Acking() {
+		ac.EmitAnchored(strconv.Itoa(s.i), vals)
+	} else {
+		col.Emit(vals)
+	}
+	s.i++
+	return s.i < s.n, nil
+}
+
 func benchPipeline(n int, opts ...storm.Option) (*storm.Runtime, error) {
+	return benchPipelineSpout(func() storm.Spout { return &benchSpout{n: n} }, opts...)
+}
+
+func benchPipelineSpout(spout storm.SpoutFactory, opts ...storm.Option) (*storm.Runtime, error) {
 	bldr := storm.NewTopologyBuilder("bench")
-	bldr.SetSpout("src", func() storm.Spout { return &benchSpout{n: n} }, 1, 1)
+	bldr.SetSpout("src", spout, 1, 1)
 	bldr.SetBolt("m1", func() storm.Bolt { return &benchBolt{} }, 2, 2).ShuffleGrouping("src")
 	bldr.SetBolt("m2", func() storm.Bolt { return &benchBolt{} }, 2, 2).FieldsGrouping("m1", "k")
 	bldr.SetBolt("sink", func() storm.Bolt { return &benchBolt{drop: true} }, 1, 1).ShuffleGrouping("m2")

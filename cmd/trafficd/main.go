@@ -13,7 +13,9 @@
 package main
 
 import (
+	"context"
 	_ "embed"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +47,11 @@ type options struct {
 	telemetryAddr     string
 	telemetryInterval time.Duration
 	noTelemetry       bool
+
+	ackTimeout    time.Duration
+	ackRetries    int
+	failurePolicy string
+	runDeadline   time.Duration
 }
 
 func main() {
@@ -57,6 +64,10 @@ func main() {
 	flag.StringVar(&opt.telemetryAddr, "telemetry.addr", "", "serve live telemetry snapshots + pprof on this address (e.g. :8077)")
 	flag.DurationVar(&opt.telemetryInterval, "telemetry.interval", 5*time.Second, "period between telemetry JSON-lines snapshots on stdout")
 	flag.BoolVar(&opt.noTelemetry, "telemetry.off", false, "disable the telemetry registry and tuple tracing entirely")
+	flag.DurationVar(&opt.ackTimeout, "ack.timeout", 0, "enable at-least-once delivery: replay anchored tuples not acked within this timeout (0 = off)")
+	flag.IntVar(&opt.ackRetries, "ack.retries", 3, "replays per anchored tuple before it expires as dropped")
+	flag.StringVar(&opt.failurePolicy, "failure.policy", "failfast", "task failure policy: failfast (first error fails the run) or degrade (quarantine failing tasks, keep running)")
+	flag.DurationVar(&opt.runDeadline, "run.deadline", 0, "cancel the run gracefully after this duration (0 = no deadline)")
 	flag.Parse()
 
 	if opt.tracesPath == "" {
@@ -209,11 +220,28 @@ func run(opt options) error {
 		return err
 	}
 
-	rt, err := storm.New(topo,
+	var policy storm.FailurePolicy
+	switch opt.failurePolicy {
+	case "", "failfast":
+		policy = storm.FailFast
+	case "degrade":
+		policy = storm.Degrade
+	default:
+		return fmt.Errorf("unknown -failure.policy %q (want failfast or degrade)", opt.failurePolicy)
+	}
+	stormOpts := []storm.Option{
 		storm.WithNodes(nodes),
-		storm.WithMonitorInterval(time.Duration(monitorSec)*time.Second),
+		storm.WithMonitorInterval(time.Duration(monitorSec) * time.Second),
 		storm.WithTelemetry(tel),
-	)
+		storm.WithFailurePolicy(policy),
+	}
+	if opt.ackTimeout > 0 {
+		stormOpts = append(stormOpts,
+			storm.WithAckTimeout(opt.ackTimeout),
+			storm.WithMaxRetries(opt.ackRetries),
+		)
+	}
+	rt, err := storm.New(topo, stormOpts...)
 	if err != nil {
 		return err
 	}
@@ -239,21 +267,34 @@ func run(opt options) error {
 		}
 	}
 
+	ctx := context.Background()
+	if opt.runDeadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.runDeadline)
+		defer cancel()
+	}
 	start := time.Now()
-	runErr := rt.Run()
+	runErr := rt.RunContext(ctx)
 	elapsed := time.Since(start)
 	if exporter != nil {
 		exporter.Stop()
 	}
-	if runErr != nil {
+	if runErr != nil && !errors.Is(runErr, context.DeadlineExceeded) {
 		return runErr
+	}
+	if runErr != nil {
+		fmt.Printf("\nrun deadline reached after %v; in-flight tuples drained\n", elapsed.Round(time.Millisecond))
 	}
 
 	fmt.Printf("\nprocessed %d traces in %v (%.0f tuples/s end-to-end)\n",
 		len(traces), elapsed.Round(time.Millisecond), float64(len(traces))/elapsed.Seconds())
 	for _, tot := range rt.Monitor().TotalsByComponent() {
-		fmt.Printf("  %-16s executed=%-8d emitted=%-8d errors=%-4d avg latency=%v\n",
-			tot.Component, tot.Executed, tot.Emitted, tot.Errors, tot.AvgLatency)
+		fmt.Printf("  %-16s executed=%-8d emitted=%-8d errors=%-4d dropped=%-4d avg latency=%v\n",
+			tot.Component, tot.Executed, tot.Emitted, tot.Errors, tot.Dropped, tot.AvgLatency)
+	}
+	if ft := rt.FaultTotals(); ft != (storm.FaultTotals{}) {
+		fmt.Printf("faults: panics=%d replays=%d acked=%d dropped=%d quarantined=%d missing_field=%d\n",
+			ft.Panics, ft.Replays, ft.Acked, ft.Dropped, ft.Quarantined, ft.MissingField)
 	}
 	if tel != nil {
 		snap := tel.Gather()

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -233,8 +234,7 @@ func (s *busReaderSpout) NextTuple(col storm.Collector) (bool, error) {
 		return false, nil
 	}
 	tr := &s.traces[s.idx]
-	s.idx += s.step
-	col.Emit(map[string]any{
+	vals := map[string]any{
 		"ts":         float64(tr.Timestamp.Unix()),
 		"hour":       float64(tr.Hour()),
 		"day":        busdata.DayTypeOf(tr.Timestamp).String(),
@@ -246,9 +246,25 @@ func (s *busReaderSpout) NextTuple(col storm.Collector) (bool, error) {
 		"congestion": boolToFloat(tr.Congestion),
 		"busStop":    tr.BusStop,
 		"vehicleId":  tr.VehicleID,
-	})
+	}
+	// With ack tracking on (trafficd -ack.timeout) anchor each trace under
+	// its position in the feed, so lost tuples are replayed at-least-once.
+	if ac, ok := col.(storm.AnchorCollector); ok && ac.Acking() {
+		ac.EmitAnchored(strconv.Itoa(s.idx), vals)
+	} else {
+		col.Emit(vals)
+	}
+	s.idx += s.step
 	return s.idx < len(s.traces), nil
 }
+
+// Ack implements storm.AckingSpout; the trace feed keeps no redelivery
+// state, so a drained tuple tree needs no action.
+func (s *busReaderSpout) Ack(string) {}
+
+// Fail implements storm.AckingSpout: expired tuples were already counted as
+// dropped by the runtime.
+func (s *busReaderSpout) Fail(string) {}
 
 func boolToFloat(b bool) float64 {
 	if b {

@@ -6,8 +6,13 @@
 // monitor that reports per-bolt throughput and latency every 40 seconds the
 // way the paper's enhanced Storm does (§5).
 //
-// Tuples are delivered at-most-once (no acker); the paper's evaluation does
-// not exercise Storm's replay path.
+// Delivery is at-most-once by default. Enabling ack tracking (WithAckTimeout)
+// upgrades anchored spout emissions (AnchorCollector.EmitAnchored) to
+// at-least-once: an acker-style tracker follows each tuple tree and replays
+// it on failure or timeout with bounded retries, mirroring Storm's reliability
+// API. Component invocations are panic-isolated, and the FailFast/Degrade
+// failure policies (WithFailurePolicy) choose between surfacing the first
+// task error and quarantining repeatedly failing tasks; see faults.go.
 package storm
 
 import (
@@ -26,6 +31,11 @@ type Tuple struct {
 	// a telemetry registry is attached (zero value otherwise). Bolts that
 	// re-emit through their Collector propagate it automatically.
 	Trace telemetry.TupleTrace
+
+	// ack ties the tuple to its anchored root in the ack tracker (zero when
+	// unanchored). Bolts that re-emit propagate it automatically, extending
+	// the tuple tree.
+	ack uint64
 }
 
 // DefaultStream is the stream id used by plain Emit.

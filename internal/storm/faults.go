@@ -1,0 +1,468 @@
+package storm
+
+// Fault tolerance for the runtime: panic isolation, the Storm-style
+// ack/replay reliability machinery, and failure policies.
+//
+// Storm's production deployments lean on three mechanisms the paper takes
+// for granted: supervised workers (a crashing bolt does not kill the
+// topology), the acker (every spout tuple is tracked through the tuple tree
+// and replayed on loss), and operator-visible failure accounting. This file
+// supplies all three for the simulated runtime:
+//
+//   - Every user callback (Open/NextTuple/Close, Prepare/Execute/Cleanup)
+//     runs behind a recover that converts a panic into a *PanicError
+//     carrying the stack, counted under storm.<comp>.panics.
+//   - Spouts may emit *anchored* tuples with a message id (EmitAnchored).
+//     An ackTracker follows the tuple tree — every downstream delivery
+//     increments an outstanding count, every completed Execute decrements
+//     it — and acks the spout when the tree drains cleanly, or replays the
+//     root tuple with exponential backoff when a hop fails, drops it, or
+//     the tree times out. After MaxRetries the tuple expires: it is counted
+//     as dropped and the spout's Fail callback fires.
+//   - A FailurePolicy decides what a task error means: FailFast (default,
+//     the runtime's historical behavior) records it as the run error;
+//     Degrade counts it, and after QuarantineAfter consecutive errors the
+//     task is quarantined — groupings route around it and its queued
+//     envelopes are counted as dropped — so one poisoned task degrades the
+//     component instead of failing the run.
+//
+// Delivery remains at-most-once for plain emissions; anchored emissions are
+// at-least-once (a timeout replay can duplicate a tuple that was merely
+// slow, exactly like Storm's acker).
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// FailurePolicy selects how the runtime treats task-level failures
+// (errors and recovered panics in user callbacks).
+type FailurePolicy int
+
+const (
+	// FailFast records the first task error as the run error (Run still
+	// drains the topology). This is the historical behavior and the default.
+	FailFast FailurePolicy = iota
+	// Degrade counts task errors without failing the run; after
+	// QuarantineAfter consecutive errors a task is quarantined: groupings
+	// route around it, envelopes already queued to it are counted as
+	// dropped, and the monitor reports it under storm.<comp>.quarantined.
+	Degrade
+)
+
+func (p FailurePolicy) String() string {
+	switch p {
+	case FailFast:
+		return "failfast"
+	case Degrade:
+		return "degrade"
+	}
+	return fmt.Sprintf("FailurePolicy(%d)", int(p))
+}
+
+// PanicError is a panic recovered from a component callback, converted into
+// a per-task error so one bad tuple degrades a task instead of crashing the
+// process.
+type PanicError struct {
+	Component string
+	TaskID    int
+	Op        string // the callback that panicked: Open, NextTuple, Execute, ...
+	Value     any    // the recovered panic value
+	Stack     []byte // debug.Stack() at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("storm: %s task %d: panic in %s: %v", e.Component, e.TaskID, e.Op, e.Value)
+}
+
+// AnchorCollector is implemented by the runtime's spout collectors. Spouts
+// that want at-least-once delivery type-assert their Collector and emit
+// anchored tuples; when ack tracking is disabled (no WithAckTimeout) or the
+// collector belongs to a bolt, EmitAnchored behaves exactly like Emit.
+type AnchorCollector interface {
+	Collector
+	// EmitAnchored emits values on the default stream anchored under msgID:
+	// the runtime tracks the tuple tree and replays the tuple on failure.
+	EmitAnchored(msgID string, values map[string]any)
+	// Acking reports whether anchored emissions are actually tracked, so
+	// spouts can skip building message ids when tracking is off.
+	Acking() bool
+}
+
+// AckingSpout is optionally implemented by spouts emitting anchored tuples.
+// Ack is invoked when a tuple's tree fully drains without failure; Fail when
+// the tuple expired after MaxRetries replays (or the run was cancelled).
+// Both may be called from runtime goroutines concurrently with NextTuple.
+type AckingSpout interface {
+	Spout
+	Ack(msgID string)
+	Fail(msgID string)
+}
+
+// FaultTotals sums the runtime's fault counters across all components.
+type FaultTotals struct {
+	Panics       uint64
+	Replays      uint64
+	Acked        uint64
+	Dropped      uint64 // skipped envelopes + routing drops + expired anchors
+	Quarantined  uint64
+	MissingField uint64
+}
+
+// FaultTotals returns the whole-run fault counters. The same values are
+// published per component into an attached telemetry registry as
+// storm.<comp>.{panics,replays,acked,dropped,quarantined,missing_field}.
+func (r *Runtime) FaultTotals() FaultTotals {
+	var ft FaultTotals
+	for _, rc := range r.comps {
+		ft.Panics += rc.panics.Load()
+		ft.Replays += rc.replays.Load()
+		ft.Acked += rc.acked.Load()
+		ft.Quarantined += rc.quarantinedN.Load()
+		ft.MissingField += rc.missingField.Load()
+		ft.Dropped += rc.dropped.Load() + rc.expired.Load()
+		for _, ts := range rc.tasks {
+			ft.Dropped += ts.dropped.Load()
+		}
+	}
+	return ft
+}
+
+// quarantine marks a task as quarantined (idempotently) and publishes the
+// fact on its component so grouping routes can skip it.
+func (r *Runtime) quarantine(rc *runningComponent, ts *taskState) {
+	if ts.quarantined.Swap(true) {
+		return
+	}
+	rc.anyQuarantined.Store(true)
+	rc.quarantinedN.Add(1)
+}
+
+// taskFailed applies the failure policy to one task error: FailFast records
+// it as the run error; Degrade counts consecutive errors toward quarantine.
+// It returns true when the task was quarantined by this failure.
+func (r *Runtime) taskFailed(rc *runningComponent, ts *taskState, err error) bool {
+	ts.errors.Add(1)
+	if r.policy != Degrade {
+		r.recordErr(err)
+		return false
+	}
+	ts.consecErr++
+	if ts.consecErr >= r.quarK && !ts.quarantined.Load() {
+		r.quarantine(rc, ts)
+		return true
+	}
+	return false
+}
+
+// --- panic-isolating callback wrappers ---
+//
+// Cold lifecycle calls (Open/Close/Prepare/Cleanup) each run behind their
+// own recover. The hot per-tuple calls (NextTuple/Execute) are guarded at
+// the executor-loop level in runtime.go instead, so the steady-state path
+// pays no defer.
+
+func (r *Runtime) panicErr(rc *runningComponent, ts *taskState, op string, v any) *PanicError {
+	rc.panics.Add(1)
+	return &PanicError{Component: rc.spec.id, TaskID: ts.ctx.TaskID, Op: op, Value: v, Stack: debug.Stack()}
+}
+
+func (r *Runtime) spoutOpen(rc *runningComponent, ts *taskState) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = r.panicErr(rc, ts, "Open", p)
+		}
+	}()
+	return ts.spout.Open(ts.ctx)
+}
+
+func (r *Runtime) spoutClose(rc *runningComponent, ts *taskState) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = r.panicErr(rc, ts, "Close", p)
+		}
+	}()
+	return ts.spout.Close()
+}
+
+func (r *Runtime) boltPrepare(rc *runningComponent, ts *taskState) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = r.panicErr(rc, ts, "Prepare", p)
+		}
+	}()
+	return ts.bolt.Prepare(ts.ctx)
+}
+
+func (r *Runtime) boltCleanup(rc *runningComponent, ts *taskState) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = r.panicErr(rc, ts, "Cleanup", p)
+		}
+	}()
+	return ts.bolt.Cleanup()
+}
+
+// --- ack tracker ---
+
+// pendingTuple is one in-flight anchored root tuple and its tree state.
+type pendingTuple struct {
+	id    uint64
+	rc    *runningComponent // spout component that anchored the tuple
+	ts    *taskState        // spout task (Ack/Fail callbacks, drain waits)
+	msgID string
+	tuple Tuple // root tuple with ack id stamped, cached for replay
+
+	outstanding int  // live deliveries + emitter/replay holds
+	failed      bool // some hop failed or dropped the tuple
+	retries     int
+	deadline    time.Time
+}
+
+// ackTracker follows anchored tuple trees: sends increment a per-root
+// outstanding count, completed executions decrement it. A drained tree acks
+// the spout; a failed or timed-out tree is replayed from the cached root
+// tuple with exponential backoff until MaxRetries, then expires as dropped.
+type ackTracker struct {
+	r          *Runtime
+	timeout    time.Duration
+	maxRetries int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending map[uint64]*pendingTuple
+	byTask  map[*taskState]int // pending roots per spout task, for drain waits
+	nextID  uint64
+	stopped bool
+
+	// shuffle counters for replay deliveries; only the tracker loop
+	// goroutine delivers replays, so these are never shared with task
+	// collectors (whose counters live on the emitting taskState).
+	shuffle map[*subscription]*uint64
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+func newAckTracker(r *Runtime, timeout time.Duration, maxRetries int) *ackTracker {
+	a := &ackTracker{
+		r:          r,
+		timeout:    timeout,
+		maxRetries: maxRetries,
+		pending:    make(map[uint64]*pendingTuple),
+		byTask:     make(map[*taskState]int),
+		shuffle:    make(map[*subscription]*uint64),
+		stopCh:     make(chan struct{}),
+	}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+func (a *ackTracker) start(done <-chan struct{}) {
+	a.wg.Add(1)
+	go a.loop(done)
+}
+
+func (a *ackTracker) stop() {
+	close(a.stopCh)
+	a.wg.Wait()
+}
+
+func (a *ackTracker) loop(done <-chan struct{}) {
+	defer a.wg.Done()
+	tick := a.timeout / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	if tick > 100*time.Millisecond {
+		tick = 100 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			a.sweep()
+		case <-done:
+			a.cancelAll()
+			return
+		case <-a.stopCh:
+			return
+		}
+	}
+}
+
+// begin registers a new anchored root tuple, stamping its ack id, with one
+// outstanding "emitter hold" so the tree cannot drain to zero before every
+// initial delivery was issued. Returns 0 when the tracker is stopped (the
+// emission proceeds unanchored).
+func (a *ackTracker) begin(rc *runningComponent, ts *taskState, msgID string, t *Tuple) uint64 {
+	a.mu.Lock()
+	if a.stopped {
+		a.mu.Unlock()
+		return 0
+	}
+	a.nextID++
+	id := a.nextID
+	t.ack = id
+	a.pending[id] = &pendingTuple{
+		id: id, rc: rc, ts: ts, msgID: msgID, tuple: *t,
+		outstanding: 1, deadline: time.Now().Add(a.timeout),
+	}
+	a.byTask[ts]++
+	a.mu.Unlock()
+	return id
+}
+
+// inc counts one delivery of an anchored tuple's tree.
+func (a *ackTracker) inc(id uint64) {
+	a.mu.Lock()
+	if p, ok := a.pending[id]; ok {
+		p.outstanding++
+	}
+	a.mu.Unlock()
+}
+
+// markFailed flags a tree as failed without touching the outstanding count
+// (used for routing drops, which never issued a matching inc). A deliver is
+// always nested inside an emitter/execute hold, so the entry cannot resolve
+// concurrently.
+func (a *ackTracker) markFailed(id uint64) {
+	a.mu.Lock()
+	if p, ok := a.pending[id]; ok {
+		p.failed = true
+	}
+	a.mu.Unlock()
+}
+
+// finish ends one delivery (or releases a hold) of an anchored tuple's
+// tree. When the tree drains it either acks the spout or — if any hop
+// failed — schedules a backoff replay, expiring the tuple past maxRetries.
+func (a *ackTracker) finish(id uint64, failed bool) {
+	var ackSpout, failSpout AckingSpout
+	var msgID string
+	a.mu.Lock()
+	p, ok := a.pending[id]
+	if !ok {
+		a.mu.Unlock()
+		return
+	}
+	p.outstanding--
+	if failed {
+		p.failed = true
+	}
+	if p.outstanding > 0 {
+		a.mu.Unlock()
+		return
+	}
+	switch {
+	case !p.failed:
+		a.removeLocked(p)
+		p.rc.acked.Add(1)
+		if s, isAck := p.ts.spout.(AckingSpout); isAck {
+			ackSpout, msgID = s, p.msgID
+		}
+	case p.retries >= a.maxRetries:
+		a.removeLocked(p)
+		p.rc.expired.Add(1)
+		if s, isAck := p.ts.spout.(AckingSpout); isAck {
+			failSpout, msgID = s, p.msgID
+		}
+	default:
+		// Drained but failed: eligible for replay once the backoff passes.
+		p.deadline = time.Now().Add(a.backoff(p.retries))
+	}
+	a.mu.Unlock()
+	if ackSpout != nil {
+		ackSpout.Ack(msgID)
+	}
+	if failSpout != nil {
+		failSpout.Fail(msgID)
+	}
+}
+
+// removeLocked drops a pending entry and wakes drain waiters. Callers hold mu.
+func (a *ackTracker) removeLocked(p *pendingTuple) {
+	delete(a.pending, p.id)
+	a.byTask[p.ts]--
+	a.cond.Broadcast()
+}
+
+func (a *ackTracker) backoff(retries int) time.Duration {
+	shift := uint(retries)
+	if shift > 10 {
+		shift = 10
+	}
+	return a.timeout << shift
+}
+
+// sweep replays every pending tuple whose deadline passed — failed trees
+// waiting out their backoff, and in-flight trees that timed out (those may
+// duplicate a slow tuple: at-least-once). Tuples out of retries expire.
+func (a *ackTracker) sweep() {
+	now := time.Now()
+	var replays, expired []*pendingTuple
+	a.mu.Lock()
+	for _, p := range a.pending {
+		if now.Before(p.deadline) {
+			continue
+		}
+		if p.retries >= a.maxRetries {
+			a.removeLocked(p)
+			p.rc.expired.Add(1)
+			expired = append(expired, p)
+			continue
+		}
+		p.retries++
+		p.failed = false
+		p.outstanding++ // replay hold, released after redelivery below
+		p.deadline = now.Add(a.backoff(p.retries))
+		p.rc.replays.Add(1)
+		replays = append(replays, p)
+	}
+	a.mu.Unlock()
+	for _, p := range expired {
+		if s, ok := p.ts.spout.(AckingSpout); ok {
+			s.Fail(p.msgID)
+		}
+	}
+	for _, p := range replays {
+		col := &taskCollector{r: a.r, rc: p.rc, ts: p.ts, shuffle: a.shuffle}
+		for _, sub := range p.rc.subs[p.tuple.Stream] {
+			col.deliver(sub, p.tuple, -1)
+		}
+		a.finish(p.id, false)
+	}
+}
+
+// cancelAll expires every pending tuple (run cancellation): drain waiters
+// wake, Fail callbacks fire, and later begin calls emit unanchored.
+func (a *ackTracker) cancelAll() {
+	var failed []*pendingTuple
+	a.mu.Lock()
+	a.stopped = true
+	for _, p := range a.pending {
+		a.removeLocked(p)
+		p.rc.expired.Add(1)
+		failed = append(failed, p)
+	}
+	a.mu.Unlock()
+	for _, p := range failed {
+		if s, ok := p.ts.spout.(AckingSpout); ok {
+			s.Fail(p.msgID)
+		}
+	}
+}
+
+// waitTask blocks until the task has no pending anchored tuples, keeping
+// its spout executor — and therefore its downstream channels — alive while
+// replays are still possible.
+func (a *ackTracker) waitTask(ts *taskState) {
+	a.mu.Lock()
+	for a.byTask[ts] > 0 {
+		a.cond.Wait()
+	}
+	a.mu.Unlock()
+}

@@ -33,17 +33,20 @@ type TaskWindow struct {
 	Executed   uint64
 	Emitted    uint64
 	Errors     uint64
+	Dropped    uint64
 	AvgLatency time.Duration
 }
 
 // ComponentStats aggregates a component's tasks over one window.
 type ComponentStats struct {
-	Executed   uint64
-	Emitted    uint64
-	Errors     uint64
-	Throughput float64 // tuples per second over the window
-	AvgLatency time.Duration
-	Tasks      []TaskWindow
+	Executed    uint64
+	Emitted     uint64
+	Errors      uint64
+	Dropped     uint64
+	Quarantined uint64  // tasks quarantined so far (absolute, not a delta)
+	Throughput  float64 // tuples per second over the window
+	AvgLatency  time.Duration
+	Tasks       []TaskWindow
 }
 
 // Report is one monitoring window across all components.
@@ -123,6 +126,7 @@ func (m *Monitor) SnapshotNow() Report {
 				Executed: tm.Executed - p.Executed,
 				Emitted:  tm.Emitted - p.Emitted,
 				Errors:   tm.Errors - p.Errors,
+				Dropped:  tm.Dropped - p.Dropped,
 			}
 			if tw.Executed > 0 {
 				tw.AvgLatency = time.Duration((tm.ProcNanos - p.ProcNanos) / tw.Executed)
@@ -130,8 +134,10 @@ func (m *Monitor) SnapshotNow() Report {
 			cs.Executed += tw.Executed
 			cs.Emitted += tw.Emitted
 			cs.Errors += tw.Errors
+			cs.Dropped += tw.Dropped
 			cs.Tasks = append(cs.Tasks, tw)
 		}
+		cs.Quarantined = m.r.comps[id].quarantinedN.Load()
 		var totalNanos uint64
 		for i, tm := range tasks {
 			var p TaskMetrics
@@ -167,22 +173,39 @@ func (m *Monitor) Describe() string {
 // absolute counters plus a mean processing-latency gauge under
 // storm.<component>.*. Combined with the runtime's hop/end-to-end
 // histograms this makes one registry walk the complete replacement for
-// TaskMetricsSnapshot.
+// TaskMetricsSnapshot. Fault counters (panics, replays, acked, dropped,
+// quarantined, missing_field) are published only once non-zero, so a clean
+// run's registry stays free of fault noise.
 func (m *Monitor) Collect(reg *telemetry.Registry) {
-	for id, tasks := range m.r.TaskMetricsSnapshot() {
-		var executed, emitted, errors, nanos uint64
-		for _, tm := range tasks {
+	for id, rc := range m.r.comps {
+		var executed, emitted, errors, dropped, nanos uint64
+		for _, ts := range rc.tasks {
+			tm := ts.metrics()
 			executed += tm.Executed
 			emitted += tm.Emitted
 			errors += tm.Errors
+			dropped += tm.Dropped
 			nanos += tm.ProcNanos
 		}
+		dropped += rc.dropped.Load() + rc.expired.Load()
 		prefix := "storm." + id + "."
 		reg.Counter(prefix + "executed").Store(executed)
 		reg.Counter(prefix + "emitted").Store(emitted)
 		reg.Counter(prefix + "errors").Store(errors)
 		if executed > 0 {
 			reg.Gauge(prefix + "proc_latency_ns").Set(float64(nanos) / float64(executed))
+		}
+		for name, v := range map[string]uint64{
+			"dropped":       dropped,
+			"panics":        rc.panics.Load(),
+			"replays":       rc.replays.Load(),
+			"acked":         rc.acked.Load(),
+			"quarantined":   rc.quarantinedN.Load(),
+			"missing_field": rc.missingField.Load(),
+		} {
+			if v > 0 {
+				reg.Counter(prefix + name).Store(v)
+			}
 		}
 	}
 }
@@ -211,8 +234,11 @@ func (m *Monitor) TotalsByComponent() []ComponentTotal {
 			t.Executed += tm.Executed
 			t.Emitted += tm.Emitted
 			t.Errors += tm.Errors
+			t.Dropped += tm.Dropped
 			nanos += tm.ProcNanos
 		}
+		rc := m.r.comps[id]
+		t.Dropped += rc.dropped.Load() + rc.expired.Load()
 		if t.Executed > 0 {
 			t.AvgLatency = time.Duration(nanos / t.Executed)
 		}
@@ -227,5 +253,6 @@ type ComponentTotal struct {
 	Executed   uint64
 	Emitted    uint64
 	Errors     uint64
+	Dropped    uint64
 	AvgLatency time.Duration
 }

@@ -32,6 +32,26 @@ func WithMonitorInterval(d time.Duration) Option { return func(c *Config) { c.Mo
 // is registered as a telemetry.Source publishing per-component counters.
 func WithTelemetry(reg *telemetry.Registry) Option { return func(c *Config) { c.Telemetry = reg } }
 
+// WithFailurePolicy selects how task errors and recovered panics are
+// handled: FailFast (the default) records the first one as the run error,
+// Degrade absorbs them into the counters and quarantines tasks that fail
+// repeatedly.
+func WithFailurePolicy(p FailurePolicy) Option { return func(c *Config) { c.FailurePolicy = p } }
+
+// WithQuarantineAfter sets how many consecutive errors quarantine a task
+// under the Degrade policy. Defaults to 5.
+func WithQuarantineAfter(k int) Option { return func(c *Config) { c.QuarantineAfter = k } }
+
+// WithAckTimeout enables ack tracking for anchored spout emissions: a tuple
+// tree not fully processed within d — or failed at any hop — is replayed
+// with exponential backoff. Zero (the default) keeps the reliability
+// machinery, and its hot-path cost, entirely off.
+func WithAckTimeout(d time.Duration) Option { return func(c *Config) { c.AckTimeout = d } }
+
+// WithMaxRetries bounds replays per anchored tuple; past it the tuple
+// expires as dropped and the spout's Fail callback fires. Defaults to 3.
+func WithMaxRetries(n int) Option { return func(c *Config) { c.MaxRetries = n } }
+
 // New prepares a runtime (placement + task construction) from functional
 // options without starting it.
 func New(topo *Topology, opts ...Option) (*Runtime, error) {

@@ -1,6 +1,7 @@
 package storm
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -14,7 +15,8 @@ import (
 //
 // Deprecated: construct runtimes with New and functional options
 // (WithNodes, WithWorkersPerNode, WithChannelBuffer, WithMonitorInterval,
-// WithTelemetry). The struct remains supported for existing callers.
+// WithTelemetry, WithFailurePolicy, WithAckTimeout, WithMaxRetries,
+// WithQuarantineAfter). The struct remains supported for existing callers.
 type Config struct {
 	// Nodes is the number of simulated cluster nodes. Defaults to 1.
 	Nodes int
@@ -35,6 +37,22 @@ type Config struct {
 	// monitor registers as a telemetry.Source. Nil keeps the hot path
 	// free of any tracing work.
 	Telemetry *telemetry.Registry
+	// FailurePolicy selects how task errors and recovered panics are
+	// treated: FailFast (default) records them as the run error, Degrade
+	// counts them and quarantines repeatedly failing tasks.
+	FailurePolicy FailurePolicy
+	// QuarantineAfter is the number of consecutive errors after which a
+	// task is quarantined under the Degrade policy. Defaults to 5.
+	QuarantineAfter int
+	// AckTimeout, when positive, enables ack tracking for anchored spout
+	// emissions (AnchorCollector.EmitAnchored): a tuple tree that has not
+	// drained within the timeout — or that failed at any hop — is replayed
+	// with exponential backoff. Zero keeps the reliability machinery, and
+	// its hot-path cost, entirely off.
+	AckTimeout time.Duration
+	// MaxRetries bounds replays per anchored tuple; past it the tuple
+	// expires as dropped and the spout's Fail callback fires. Defaults to 3.
+	MaxRetries int
 }
 
 func (c *Config) fill() {
@@ -46,6 +64,12 @@ func (c *Config) fill() {
 	}
 	if c.ChannelBuffer <= 0 {
 		c.ChannelBuffer = 1024
+	}
+	if c.QuarantineAfter <= 0 {
+		c.QuarantineAfter = 5
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
 	}
 }
 
@@ -64,6 +88,7 @@ type TaskMetrics struct {
 	Executed  uint64
 	Emitted   uint64
 	Errors    uint64
+	Dropped   uint64
 	ProcNanos uint64
 }
 
@@ -75,10 +100,19 @@ type taskState struct {
 	executed  atomic.Uint64
 	emitted   atomic.Uint64
 	errors    atomic.Uint64
+	dropped   atomic.Uint64 // envelopes discarded at this task (failed/quarantined)
 	procNanos atomic.Uint64
 
+	// consecErr counts consecutive failures toward quarantine; touched only
+	// by the executor goroutine that owns the task.
+	consecErr int
+	// quarantined is set under the Degrade policy after QuarantineAfter
+	// consecutive errors; grouping routes read it to skip the task.
+	quarantined atomic.Bool
+
 	// shuffle round-robin counters, one per downstream subscription.
-	shuffle map[*subscription]*int
+	// uint64 so wraparound stays a valid (non-negative) modulus operand.
+	shuffle map[*subscription]*uint64
 }
 
 func (ts *taskState) metrics() TaskMetrics {
@@ -86,6 +120,7 @@ func (ts *taskState) metrics() TaskMetrics {
 		Executed:  ts.executed.Load(),
 		Emitted:   ts.emitted.Load(),
 		Errors:    ts.errors.Load(),
+		Dropped:   ts.dropped.Load(),
 		ProcNanos: ts.procNanos.Load(),
 	}
 }
@@ -119,6 +154,19 @@ type runningComponent struct {
 	// zero the component's input channels are closed.
 	producers atomic.Int32
 
+	// Fault accounting, published by the monitor as
+	// storm.<comp>.{panics,replays,acked,dropped,quarantined,missing_field}.
+	panics       atomic.Uint64
+	replays      atomic.Uint64 // anchored-tuple replays (spout components)
+	acked        atomic.Uint64 // anchored tuples fully processed
+	expired      atomic.Uint64 // anchored tuples dropped after MaxRetries
+	dropped      atomic.Uint64 // tuples dropped at routing (no live task / bad direct target)
+	quarantinedN atomic.Uint64 // tasks quarantined so far
+	missingField atomic.Uint64 // fields-grouping hashes over absent fields
+	// anyQuarantined short-circuits the per-delivery quarantine scan; it is
+	// sticky so routing pays one atomic load until the first quarantine.
+	anyQuarantined atomic.Bool
+
 	// Telemetry histograms, pre-resolved at construction so the hot path
 	// pays one atomic Observe per tuple. Both are nil when telemetry is
 	// disabled; e2eHist is set only on sinks (no downstream subscribers).
@@ -131,7 +179,14 @@ type Runtime struct {
 	topo    *Topology
 	cfg     Config
 	tracing bool // cfg.Telemetry != nil: stamp tuples with trace contexts
+	policy  FailurePolicy
+	quarK   int
 	comps   map[string]*runningComponent
+
+	// tracker is non-nil while a run with AckTimeout > 0 is active; done is
+	// the run context's cancellation channel (nil for Run/Background).
+	tracker *ackTracker
+	done    <-chan struct{}
 
 	placements []Placement
 	monitor    *Monitor
@@ -147,7 +202,11 @@ type Runtime struct {
 // callers holding a Config.
 func NewRuntime(topo *Topology, cfg Config) (*Runtime, error) {
 	cfg.fill()
-	r := &Runtime{topo: topo, cfg: cfg, tracing: cfg.Telemetry != nil, comps: make(map[string]*runningComponent)}
+	r := &Runtime{
+		topo: topo, cfg: cfg, tracing: cfg.Telemetry != nil,
+		policy: cfg.FailurePolicy, quarK: cfg.QuarantineAfter,
+		comps: make(map[string]*runningComponent),
+	}
 
 	totalWorkers := cfg.Nodes * cfg.WorkersPerNode
 	nextWorker := 0
@@ -178,7 +237,7 @@ func NewRuntime(topo *Topology, cfg Config) (*Runtime, error) {
 						Worker:    worker,
 						Node:      node,
 					},
-					shuffle: make(map[*subscription]*int),
+					shuffle: make(map[*subscription]*uint64),
 				}
 				nextTaskID++
 				if spec.isSpout {
@@ -257,9 +316,24 @@ func (r *Runtime) Monitor() *Monitor { return r.monitor }
 
 // Run executes the topology to completion: spouts run until exhausted, the
 // tuple wave drains through the bolts, and every component is cleaned up.
-// It returns the first component error encountered (processing continues
-// past per-tuple errors; they are also counted in the metrics).
+// Under FailFast it returns the first component error encountered
+// (processing continues past per-tuple errors; they are also counted in the
+// metrics); under Degrade per-task failures are absorbed into the counters.
 func (r *Runtime) Run() error {
+	return r.RunContext(context.Background())
+}
+
+// RunContext is Run with graceful cancellation: when ctx is cancelled the
+// spouts stop emitting, pending anchored tuples are expired, and the
+// in-flight tuple wave drains through the bolts before RunContext returns
+// ctx's error. Cancellation never abandons queued tuples mid-pipeline.
+func (r *Runtime) RunContext(ctx context.Context) error {
+	r.done = ctx.Done()
+	if r.cfg.AckTimeout > 0 {
+		r.tracker = newAckTracker(r, r.cfg.AckTimeout, r.cfg.MaxRetries)
+		r.tracker.start(r.done)
+	}
+
 	var wg sync.WaitGroup
 	r.monitor.start()
 	defer r.monitor.stop()
@@ -294,10 +368,17 @@ func (r *Runtime) Run() error {
 		}
 	}
 	wg.Wait()
+	if r.tracker != nil {
+		r.tracker.stop()
+	}
 
 	r.errMu.Lock()
-	defer r.errMu.Unlock()
-	return r.firstErr
+	err := r.firstErr
+	r.errMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
 }
 
 func (r *Runtime) recordErr(err error) {
@@ -308,100 +389,224 @@ func (r *Runtime) recordErr(err error) {
 	r.errMu.Unlock()
 }
 
+// canceled reports whether the run context was cancelled.
+func (r *Runtime) canceled() bool {
+	if r.done == nil {
+		return false
+	}
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
 // runSpoutExecutor drives the executor's spout tasks round-robin until all
-// report exhaustion.
+// report exhaustion (or the run is cancelled), then — when ack tracking is
+// on — stays alive until every anchored tuple its tasks emitted resolved,
+// so replays still have open downstream channels.
+//
+// Panic isolation is hoisted out of the per-tuple path: one recover guards
+// each entry into the round-robin loop (paid only when a NextTuple actually
+// panics), and the loop is re-entered afterwards, so the per-call cost is
+// three scalar writes instead of a defer per tuple.
 func (r *Runtime) runSpoutExecutor(rc *runningComponent, ex *executor) {
 	active := make([]bool, len(ex.tasks))
 	nActive := 0
+	closeTask := func(i int, ts *taskState) {
+		active[i] = false
+		nActive--
+		if err := r.spoutClose(rc, ts); err != nil {
+			r.taskFailed(rc, ts, fmt.Errorf("storm: spout %s task %d close: %w", rc.spec.id, ts.ctx.TaskID, err))
+		}
+	}
 	for i, ts := range ex.tasks {
-		if err := ts.spout.Open(ts.ctx); err != nil {
-			r.recordErr(fmt.Errorf("storm: spout %s task %d open: %w", rc.spec.id, ts.ctx.TaskID, err))
-			ts.errors.Add(1)
+		if err := r.spoutOpen(rc, ts); err != nil {
+			r.taskFailed(rc, ts, fmt.Errorf("storm: spout %s task %d open: %w", rc.spec.id, ts.ctx.TaskID, err))
 			continue
 		}
 		active[i] = true
 		nActive++
 	}
-	for nActive > 0 {
-		for i, ts := range ex.tasks {
-			if !active[i] {
-				continue
+	// cur is the NextTuple call in flight, for the panic handler.
+	var cur struct {
+		i      int
+		ts     *taskState
+		inCall bool
+	}
+	loop := func() (finished bool) {
+		defer func() {
+			p := recover()
+			if p == nil || !cur.inCall {
+				if p != nil {
+					panic(p) // not ours: let it crash
+				}
+				return
 			}
-			col := &taskCollector{r: r, rc: rc, ts: ts}
-			start := time.Now()
-			if r.tracing {
-				// Emissions from this NextTuple call start traces stamped
-				// with the call's start — no extra clock reads per emit.
-				col.root = true
-				col.nowNanos = start.UnixNano()
+			cur.inCall = false
+			err := r.panicErr(rc, cur.ts, "NextTuple", p)
+			wrapped := fmt.Errorf("storm: spout %s task %d: %w", rc.spec.id, cur.ts.ctx.TaskID, err)
+			// A panicking source may or may not have more tuples: under
+			// Degrade keep polling it until quarantine, under FailFast stop
+			// the task like any fatal spout error.
+			if quarantined := r.taskFailed(rc, cur.ts, wrapped); quarantined || r.policy != Degrade {
+				closeTask(cur.i, cur.ts)
 			}
-			more, err := ts.spout.NextTuple(col)
-			ts.procNanos.Add(uint64(time.Since(start)))
-			if err != nil {
-				ts.errors.Add(1)
-				r.recordErr(fmt.Errorf("storm: spout %s task %d: %w", rc.spec.id, ts.ctx.TaskID, err))
-				more = false
-			} else {
-				ts.executed.Add(1)
-			}
-			if !more {
-				active[i] = false
-				nActive--
-				if err := ts.spout.Close(); err != nil {
-					r.recordErr(fmt.Errorf("storm: spout %s task %d close: %w", rc.spec.id, ts.ctx.TaskID, err))
+		}()
+		for nActive > 0 && !r.canceled() {
+			for i, ts := range ex.tasks {
+				if !active[i] {
+					continue
+				}
+				col := &taskCollector{r: r, rc: rc, ts: ts}
+				start := time.Now()
+				if r.tracing {
+					// Emissions from this NextTuple call start traces stamped
+					// with the call's start — no extra clock reads per emit.
+					col.root = true
+					col.nowNanos = start.UnixNano()
+				}
+				cur.i, cur.ts, cur.inCall = i, ts, true
+				more, err := ts.spout.NextTuple(col)
+				cur.inCall = false
+				ts.procNanos.Add(uint64(time.Since(start)))
+				if err != nil {
+					wrapped := fmt.Errorf("storm: spout %s task %d: %w", rc.spec.id, ts.ctx.TaskID, err)
+					if quarantined := r.taskFailed(rc, ts, wrapped); quarantined || r.policy != Degrade {
+						more = false
+					}
+				} else {
+					ts.executed.Add(1)
+					ts.consecErr = 0
+				}
+				if !more {
+					closeTask(i, ts)
 				}
 			}
+		}
+		return true
+	}
+	for !loop() {
+	}
+	// Cancelled with tasks still active: close them without further emits.
+	for i, ts := range ex.tasks {
+		if active[i] {
+			closeTask(i, ts)
+		}
+	}
+	if r.tracker != nil {
+		for _, ts := range ex.tasks {
+			r.tracker.waitTask(ts)
 		}
 	}
 }
 
 // runBoltExecutor prepares the executor's bolt tasks, processes its input
-// queue until closed, then cleans up.
+// queue until closed, then cleans up. Envelopes routed to a task whose
+// Prepare failed — or that was quarantined — are counted as dropped rather
+// than silently discarded, and the first such drop records an error under
+// FailFast so the run cannot report success with vanished data.
 func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
 	prepared := make([]bool, len(ex.tasks))
+	dropLogged := make([]bool, len(ex.tasks))
 	for i, ts := range ex.tasks {
-		if err := ts.bolt.Prepare(ts.ctx); err != nil {
-			r.recordErr(fmt.Errorf("storm: bolt %s task %d prepare: %w", rc.spec.id, ts.ctx.TaskID, err))
+		if err := r.boltPrepare(rc, ts); err != nil {
 			ts.errors.Add(1)
+			if r.policy == Degrade {
+				// Quarantine immediately so grouping routes avoid the task.
+				r.quarantine(rc, ts)
+			} else {
+				r.recordErr(fmt.Errorf("storm: bolt %s task %d prepare: %w", rc.spec.id, ts.ctx.TaskID, err))
+			}
 			continue
 		}
 		prepared[i] = true
 	}
-	for env := range ex.in {
-		ts := ex.tasks[env.local]
-		if !prepared[env.local] {
-			continue
-		}
-		col := &taskCollector{r: r, rc: rc, ts: ts}
-		start := time.Now()
-		traced := r.tracing && env.tuple.Trace.Active()
-		if traced {
-			// One UnixNano conversion per tuple stamps the hop observation
-			// and every downstream emission; no extra clock reads.
-			col.in = env.tuple.Trace
-			col.nowNanos = start.UnixNano()
-			if rc.hopHist != nil {
-				rc.hopHist.Observe(col.nowNanos - env.tuple.Trace.EmitNanos)
+	// cur is the Execute call in flight, for the panic handler. Recovery is
+	// hoisted to the loop level — one defer per loop entry rather than per
+	// tuple — so the isolation costs three scalar writes on the hot path and
+	// a loop re-entry only when a bolt actually panics.
+	var cur struct {
+		ts     *taskState
+		ack    uint64
+		inCall bool
+	}
+	loop := func() (finished bool) {
+		defer func() {
+			p := recover()
+			if p == nil || !cur.inCall {
+				if p != nil {
+					panic(p) // not ours: let it crash
+				}
+				return
+			}
+			cur.inCall = false
+			err := r.panicErr(rc, cur.ts, "Execute", p)
+			// The tuple was attempted: count it executed so per-edge
+			// accounting (emitted upstream == executed + dropped) still
+			// reconciles, and fail its anchor so the tracker replays it.
+			cur.ts.executed.Add(1)
+			r.taskFailed(rc, cur.ts, fmt.Errorf("storm: bolt %s task %d: %w", rc.spec.id, cur.ts.ctx.TaskID, err))
+			if cur.ack != 0 {
+				r.tracker.finish(cur.ack, true)
+			}
+		}()
+		for env := range ex.in {
+			ts := ex.tasks[env.local]
+			if !prepared[env.local] || ts.quarantined.Load() {
+				ts.dropped.Add(1)
+				if !dropLogged[env.local] {
+					dropLogged[env.local] = true
+					if r.policy != Degrade {
+						r.recordErr(fmt.Errorf("storm: bolt %s task %d: dropping tuples routed to a failed task", rc.spec.id, ts.ctx.TaskID))
+					}
+				}
+				if env.tuple.ack != 0 {
+					r.tracker.finish(env.tuple.ack, true)
+				}
+				continue
+			}
+			col := &taskCollector{r: r, rc: rc, ts: ts, inAck: env.tuple.ack}
+			start := time.Now()
+			traced := r.tracing && env.tuple.Trace.Active()
+			if traced {
+				// One UnixNano conversion per tuple stamps the hop observation
+				// and every downstream emission; no extra clock reads.
+				col.in = env.tuple.Trace
+				col.nowNanos = start.UnixNano()
+				if rc.hopHist != nil {
+					rc.hopHist.Observe(col.nowNanos - env.tuple.Trace.EmitNanos)
+				}
+			}
+			cur.ts, cur.ack, cur.inCall = ts, env.tuple.ack, true
+			err := ts.bolt.Execute(env.tuple, col)
+			cur.inCall = false
+			elapsed := time.Since(start)
+			ts.procNanos.Add(uint64(elapsed))
+			ts.executed.Add(1)
+			if traced && rc.e2eHist != nil {
+				rc.e2eHist.Observe(col.nowNanos + int64(elapsed) - env.tuple.Trace.StartNanos)
+			}
+			if err != nil {
+				r.taskFailed(rc, ts, fmt.Errorf("storm: bolt %s task %d: %w", rc.spec.id, ts.ctx.TaskID, err))
+			} else {
+				ts.consecErr = 0
+			}
+			if env.tuple.ack != 0 {
+				r.tracker.finish(env.tuple.ack, err != nil)
 			}
 		}
-		err := ts.bolt.Execute(env.tuple, col)
-		elapsed := time.Since(start)
-		ts.procNanos.Add(uint64(elapsed))
-		ts.executed.Add(1)
-		if traced && rc.e2eHist != nil {
-			rc.e2eHist.Observe(col.nowNanos + int64(elapsed) - env.tuple.Trace.StartNanos)
-		}
-		if err != nil {
-			ts.errors.Add(1)
-			r.recordErr(fmt.Errorf("storm: bolt %s task %d: %w", rc.spec.id, ts.ctx.TaskID, err))
-		}
+		return true
+	}
+	for !loop() {
 	}
 	for i, ts := range ex.tasks {
 		if !prepared[i] {
 			continue
 		}
-		if err := ts.bolt.Cleanup(); err != nil {
-			r.recordErr(fmt.Errorf("storm: bolt %s task %d cleanup: %w", rc.spec.id, ts.ctx.TaskID, err))
+		if err := r.boltCleanup(rc, ts); err != nil {
+			r.taskFailed(rc, ts, fmt.Errorf("storm: bolt %s task %d cleanup: %w", rc.spec.id, ts.ctx.TaskID, err))
 		}
 	}
 }
@@ -422,6 +627,12 @@ type taskCollector struct {
 	root     bool
 	in       telemetry.TupleTrace
 	nowNanos int64
+	// inAck anchors a bolt's emissions to the input tuple's tracked tree.
+	inAck uint64
+	// shuffle overrides the task's round-robin counters; set only on the
+	// ack tracker's replay collector, which runs on a different goroutine
+	// than the task's own executor.
+	shuffle map[*subscription]*uint64
 }
 
 // outTrace stamps the trace context for one emission.
@@ -441,7 +652,7 @@ func (c *taskCollector) Emit(values map[string]any) { c.EmitTo(DefaultStream, va
 // EmitTo implements Collector.
 func (c *taskCollector) EmitTo(stream string, values map[string]any) {
 	c.ts.emitted.Add(1)
-	t := Tuple{Stream: stream, Values: values, Trace: c.outTrace()}
+	t := Tuple{Stream: stream, Values: values, Trace: c.outTrace(), ack: c.inAck}
 	for _, sub := range c.rc.subs[stream] {
 		c.deliver(sub, t, -1)
 	}
@@ -450,7 +661,7 @@ func (c *taskCollector) EmitTo(stream string, values map[string]any) {
 // EmitDirect implements Collector.
 func (c *taskCollector) EmitDirect(stream string, task int, values map[string]any) {
 	c.ts.emitted.Add(1)
-	t := Tuple{Stream: stream, Values: values, Trace: c.outTrace()}
+	t := Tuple{Stream: stream, Values: values, Trace: c.outTrace(), ack: c.inAck}
 	for _, sub := range c.rc.subs[stream] {
 		if sub.grouping.Type == DirectGrouping {
 			c.deliver(sub, t, task)
@@ -458,40 +669,146 @@ func (c *taskCollector) EmitDirect(stream string, task int, values map[string]an
 	}
 }
 
+// EmitAnchored implements AnchorCollector: on a spout collector with ack
+// tracking enabled the emission is registered with the tracker before
+// delivery (one "emitter hold" keeps the tree alive until every initial
+// send was issued); everywhere else it is a plain Emit.
+func (c *taskCollector) EmitAnchored(msgID string, values map[string]any) {
+	tr := c.r.tracker
+	if tr == nil || c.ts.spout == nil {
+		c.Emit(values)
+		return
+	}
+	c.ts.emitted.Add(1)
+	t := Tuple{Stream: DefaultStream, Values: values, Trace: c.outTrace()}
+	id := tr.begin(c.rc, c.ts, msgID, &t)
+	for _, sub := range c.rc.subs[DefaultStream] {
+		c.deliver(sub, t, -1)
+	}
+	if id != 0 {
+		tr.finish(id, false)
+	}
+}
+
+// Acking implements AnchorCollector.
+func (c *taskCollector) Acking() bool { return c.r.tracker != nil && c.ts.spout != nil }
+
 // deliver routes one tuple to the tasks selected by the subscription's
-// grouping. directTask is only used for direct groupings.
+// grouping. directTask is only used for direct groupings. Quarantined tasks
+// are skipped: shuffle advances to the next live task, fields groupings
+// probe linearly from the hashed task (key affinity is traded for liveness
+// while a task is quarantined), all/global skip dead replicas. A tuple with
+// no live target is counted as dropped on the receiving component.
 func (c *taskCollector) deliver(sub *subscription, t Tuple, directTask int) {
 	target := sub.target
 	n := len(target.tasks)
+	quar := target.anyQuarantined.Load()
 	switch sub.grouping.Type {
 	case ShuffleGrouping:
-		ctr, ok := c.ts.shuffle[sub]
-		if !ok {
-			ctr = new(int)
-			c.ts.shuffle[sub] = ctr
+		ctr := c.shuffleCtr(sub)
+		for tries := 0; tries < n; tries++ {
+			idx := int(*ctr % uint64(n))
+			*ctr++
+			if quar && target.tasks[idx].quarantined.Load() {
+				continue
+			}
+			c.send(target, idx, t)
+			return
 		}
-		c.send(target, (*ctr)%n, t)
-		*ctr++
+		c.dropRouted(target, t)
 	case FieldsGrouping:
 		h := fnv.New32a()
+		missing := false
 		for _, f := range sub.grouping.Fields {
-			fmt.Fprintf(h, "%v\x1f", t.Values[f])
+			v, ok := t.Values[f]
+			if !ok {
+				missing = true
+			}
+			// An absent field hashes as the literal <nil>, so every tuple
+			// missing the same fields funnels to one task. The counter
+			// makes that visible; the routing stays deterministic.
+			fmt.Fprintf(h, "%v\x1f", v)
 		}
-		c.send(target, int(h.Sum32()%uint32(n)), t)
+		if missing {
+			c.rc.missingField.Add(1)
+		}
+		idx := int(h.Sum32() % uint32(n))
+		if quar {
+			for tries := 0; tries < n && target.tasks[idx].quarantined.Load(); tries++ {
+				idx = (idx + 1) % n
+			}
+			if target.tasks[idx].quarantined.Load() {
+				c.dropRouted(target, t)
+				return
+			}
+		}
+		c.send(target, idx, t)
 	case AllGrouping:
 		for i := 0; i < n; i++ {
+			if quar && target.tasks[i].quarantined.Load() {
+				c.dropRouted(target, t)
+				continue
+			}
 			c.send(target, i, t)
 		}
 	case GlobalGrouping:
-		c.send(target, 0, t)
-	case DirectGrouping:
-		if directTask >= 0 && directTask < n {
-			c.send(target, directTask, t)
+		idx := 0
+		if quar {
+			for idx < n && target.tasks[idx].quarantined.Load() {
+				idx++
+			}
+			if idx == n {
+				c.dropRouted(target, t)
+				return
+			}
 		}
+		c.send(target, idx, t)
+	case DirectGrouping:
+		if directTask < 0 || directTask >= n {
+			c.dropRouted(target, t)
+			if c.r.policy != Degrade {
+				c.r.recordErr(fmt.Errorf("storm: %s task %d: direct emit to %s task %d out of range [0,%d)",
+					c.rc.spec.id, c.ts.ctx.TaskID, target.spec.id, directTask, n))
+			}
+			return
+		}
+		if quar && target.tasks[directTask].quarantined.Load() {
+			c.dropRouted(target, t)
+			return
+		}
+		c.send(target, directTask, t)
+	}
+}
+
+// shuffleCtr returns the round-robin counter for a subscription, from the
+// replay override when set, else from the emitting task's state.
+func (c *taskCollector) shuffleCtr(sub *subscription) *uint64 {
+	m := c.shuffle
+	if m == nil {
+		m = c.ts.shuffle
+	}
+	ctr, ok := m[sub]
+	if !ok {
+		ctr = new(uint64)
+		m[sub] = ctr
+	}
+	return ctr
+}
+
+// dropRouted counts a tuple that could not be routed to any live task of
+// the target component, and fails its anchored tree (if any) so the ack
+// tracker replays or expires it instead of waiting for a timeout.
+func (c *taskCollector) dropRouted(target *runningComponent, t Tuple) {
+	target.dropped.Add(1)
+	if t.ack != 0 {
+		c.r.tracker.markFailed(t.ack)
 	}
 }
 
 func (c *taskCollector) send(target *runningComponent, taskIdx int, t Tuple) {
+	if t.ack != 0 {
+		c.r.tracker.inc(t.ack)
+	}
 	route := target.taskRoute[taskIdx]
 	target.execs[route.exec].in <- envelope{local: route.local, tuple: t}
 }

@@ -409,6 +409,70 @@ func TestExecuteErrorRecordedRunContinues(t *testing.T) {
 	}
 }
 
+// TestAccountingReconcilesUnderInjectedErrors runs the Figure 8 pipeline
+// with bolts that error on a slice of tuples and asserts the delivery
+// accounting on every edge: tuples emitted upstream equal tuples executed
+// plus tuples dropped downstream, under both failure policies.
+func TestAccountingReconcilesUnderInjectedErrors(t *testing.T) {
+	const n = 500
+	cases := []struct {
+		name    string
+		policy  FailurePolicy
+		wantErr bool
+	}{
+		{"failfast", FailFast, true},
+		{"degrade", Degrade, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			esper := func() Bolt {
+				return &funcBolt{exec: func(tp Tuple, col Collector) error {
+					if tp.Values["i"].(int)%7 == 0 {
+						return fmt.Errorf("injected error")
+					}
+					col.Emit(tp.Values)
+					return nil
+				}}
+			}
+			sink := func() Bolt {
+				return &funcBolt{exec: func(Tuple, Collector) error { return nil }}
+			}
+			topo, err := figure8(n, esper, sink).Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt, err := New(topo, WithFailurePolicy(c.policy), WithQuarantineAfter(1000))
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = rt.Run()
+			if c.wantErr && (err == nil || !strings.Contains(err.Error(), "injected error")) {
+				t.Fatalf("err = %v, want injected error", err)
+			}
+			if !c.wantErr && err != nil {
+				t.Fatalf("err = %v, want nil under Degrade", err)
+			}
+			chain := []string{"busreader", "preprocess", "areatracker", "busstops", "splitter", "esper", "storer"}
+			for i := 0; i < len(chain)-1; i++ {
+				edgeReconciles(t, rt, chain[i], chain[i+1])
+			}
+			// The erroring stage still executed every routed tuple; only its
+			// emissions shrank. Errors are visible in the totals.
+			totals := rt.Monitor().TotalsByComponent()
+			for _, tot := range totals {
+				if tot.Component == "esper" {
+					if tot.Errors == 0 {
+						t.Fatal("esper errors not counted")
+					}
+					if tot.Emitted != tot.Executed-tot.Errors {
+						t.Fatalf("esper emitted %d, want executed %d - errors %d", tot.Emitted, tot.Executed, tot.Errors)
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestMonitorReportsWindows(t *testing.T) {
 	_, _, _, sink := newSink()
 	b := NewTopologyBuilder("t")
