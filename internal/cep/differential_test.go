@@ -1,0 +1,261 @@
+package cep
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Differential harness: every scenario drives the same random event feed
+// through two engines — incremental evaluation on (the default) and off —
+// and asserts the emitted outputs are identical batch by batch. Fields are
+// integer-valued so maintained sums cancel exactly under retraction and
+// the comparison can demand equality, not tolerance. Batches are compared
+// as sorted multisets: group emission order is documented to differ
+// between the modes once groups die and are re-created.
+
+func canonFields(f map[string]Value) string {
+	keys := make([]string, 0, len(f))
+	for k := range f {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(valueKey(f[k]))
+	}
+	return sb.String()
+}
+
+// diffRig is one engine plus its collected output batches.
+type diffRig struct {
+	eng     *Engine
+	batches [][]string
+}
+
+func newDiffRig(t *testing.T, stmts map[string]string, opts ...Option) *diffRig {
+	t.Helper()
+	rig := &diffRig{eng: New(opts...)}
+	names := make([]string, 0, len(stmts))
+	for name := range stmts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st, err := rig.eng.AddStatement(name, stmts[name])
+		if err != nil {
+			t.Fatalf("add %s: %v", name, err)
+		}
+		st.AddListener(func(_ *Statement, outs []Output) {
+			batch := make([]string, len(outs))
+			for i, o := range outs {
+				batch[i] = canonFields(o.Fields)
+			}
+			sort.Strings(batch)
+			rig.batches = append(rig.batches, batch)
+		})
+	}
+	return rig
+}
+
+type diffEvent struct {
+	stream string
+	fields map[string]Value
+}
+
+func runDifferential(t *testing.T, label string, stmts map[string]string, feed []diffEvent) {
+	t.Helper()
+	inc := newDiffRig(t, stmts)
+	rec := newDiffRig(t, stmts, WithIncremental(false))
+	for i, ev := range feed {
+		errInc := inc.eng.SendEvent(ev.stream, ev.fields)
+		errRec := rec.eng.SendEvent(ev.stream, ev.fields)
+		if (errInc == nil) != (errRec == nil) {
+			t.Fatalf("%s: event %d error mismatch: inc=%v rec=%v", label, i, errInc, errRec)
+		}
+		if len(inc.batches) != len(rec.batches) {
+			t.Fatalf("%s: event %d: incremental emitted %d batches, recompute %d",
+				label, i, len(inc.batches), len(rec.batches))
+		}
+		for bi := len(inc.batches) - 1; bi >= 0; bi-- {
+			a, b := inc.batches[bi], rec.batches[bi]
+			if len(a) != len(b) {
+				t.Fatalf("%s: event %d batch %d: %d vs %d outputs\n inc: %v\n rec: %v",
+					label, i, bi, len(a), len(b), a, b)
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("%s: event %d batch %d output %d:\n inc: %s\n rec: %s",
+						label, i, bi, j, a[j], b[j])
+				}
+			}
+		}
+	}
+	total := 0
+	for _, b := range inc.batches {
+		total += len(b)
+	}
+	if total == 0 {
+		t.Fatalf("%s: scenario produced no outputs; it exercises nothing", label)
+	}
+}
+
+// randViews generates a window view chain that reports insert deltas.
+func randView(rng *rand.Rand) string {
+	k := 1 + rng.Intn(4)
+	switch rng.Intn(6) {
+	case 0:
+		return "std:lastevent()"
+	case 1:
+		return fmt.Sprintf("win:length(%d)", k)
+	case 2:
+		return "win:keepall()"
+	case 3:
+		return "std:unique(loc)"
+	case 4:
+		return fmt.Sprintf("std:groupwin(loc).win:length(%d)", k)
+	default:
+		return fmt.Sprintf("win:length_batch(%d)", k)
+	}
+}
+
+func randAggList(rng *rand.Rand) string {
+	pool := []string{
+		"avg(w.a) AS f0", "sum(w.a) AS f1", "count(*) AS f2", "count(w.b) AS f3",
+		"min(w.a) AS f4", "max(w.a) AS f5", "stddev(w.a) AS f6",
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	n := 1 + rng.Intn(len(pool)-1)
+	return strings.Join(pool[:n], ", ")
+}
+
+func randBusEvent(rng *rand.Rand, stream string) diffEvent {
+	f := map[string]Value{
+		"loc":  fmt.Sprintf("L%d", rng.Intn(3)),
+		"hour": float64(rng.Intn(3)),
+		"day":  "wd",
+		"a":    float64(rng.Intn(8)),
+	}
+	if rng.Intn(10) < 7 {
+		f["b"] = float64(rng.Intn(5))
+	}
+	return diffEvent{stream: stream, fields: f}
+}
+
+func TestDifferentialGroupedSingleWindow(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		where := ""
+		if rng.Intn(2) == 0 {
+			where = "WHERE w.a >= 2"
+		}
+		having := ""
+		if rng.Intn(2) == 0 {
+			having = fmt.Sprintf("HAVING sum(w.a) > %d", rng.Intn(8))
+		}
+		src := fmt.Sprintf("SELECT w.loc AS loc, %s FROM s0.%s AS w %s GROUP BY w.loc %s",
+			randAggList(rng), randView(rng), where, having)
+		feed := make([]diffEvent, 300)
+		for i := range feed {
+			feed[i] = randBusEvent(rng, "s0")
+		}
+		runDifferential(t, fmt.Sprintf("grouped/seed=%d [%s]", seed, src), map[string]string{"r": src}, feed)
+	}
+}
+
+func TestDifferentialUngroupedSingleWindow(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(200 + seed))
+		src := fmt.Sprintf("SELECT %s FROM s0.%s AS w", randAggList(rng), randView(rng))
+		feed := make([]diffEvent, 300)
+		for i := range feed {
+			feed[i] = randBusEvent(rng, "s0")
+		}
+		runDifferential(t, fmt.Sprintf("ungrouped/seed=%d [%s]", seed, src), map[string]string{"r": src}, feed)
+	}
+}
+
+func TestDifferentialTwoWindowJoin(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(300 + seed))
+		src := fmt.Sprintf(`SELECT l.loc AS loc, avg(r.a) AS x, count(*) AS c, sum(l.a) AS y
+			FROM s0.%s AS l, s1.%s AS r WHERE l.loc = r.loc GROUP BY l.loc`,
+			randView(rng), randView(rng))
+		feed := make([]diffEvent, 300)
+		for i := range feed {
+			if rng.Intn(2) == 0 {
+				feed[i] = randBusEvent(rng, "s0")
+			} else {
+				feed[i] = randBusEvent(rng, "s1")
+			}
+		}
+		runDifferential(t, fmt.Sprintf("join/seed=%d [%s]", seed, src), map[string]string{"r": src}, feed)
+	}
+}
+
+func TestDifferentialListing1Shape(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(400 + seed))
+		uni := ""
+		if rng.Intn(2) == 0 {
+			uni = "UNIDIRECTIONAL"
+		}
+		src := fmt.Sprintf(`SELECT bd2.loc AS loc, avg(bd2.a) AS cur, avg(th.value) AS thr
+			FROM bus.std:lastevent() AS bd %s,
+			     bus.std:groupwin(loc).win:length(%d) AS bd2,
+			     thr.win:keepall() AS th
+			WHERE bd.hour = th.hour AND bd.day = th.day AND bd.loc = th.location AND bd.loc = bd2.loc
+			GROUP BY bd2.loc
+			HAVING avg(bd2.a) > avg(th.value)`, uni, 1+rng.Intn(5))
+		var feed []diffEvent
+		for loc := 0; loc < 3; loc++ {
+			for h := 0; h < 3; h++ {
+				feed = append(feed, diffEvent{stream: "thr", fields: map[string]Value{
+					"location": fmt.Sprintf("L%d", loc), "hour": float64(h),
+					"day": "wd", "value": float64(rng.Intn(5)),
+				}})
+			}
+		}
+		for i := 0; i < 300; i++ {
+			feed = append(feed, randBusEvent(rng, "bus"))
+		}
+		runDifferential(t, fmt.Sprintf("listing1/seed=%d", seed), map[string]string{"r": src}, feed)
+	}
+}
+
+func TestDifferentialInsertIntoCascade(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(500 + seed))
+		stmts := map[string]string{
+			"upstream": fmt.Sprintf(`INSERT INTO derived SELECT w.loc AS loc, sum(w.a) AS a
+				FROM s0.%s AS w GROUP BY w.loc`, randView(rng)),
+			"downstream": fmt.Sprintf(`SELECT g.loc AS loc, avg(g.a) AS m, max(g.a) AS hi
+				FROM derived.%s AS g GROUP BY g.loc`, randView(rng)),
+		}
+		feed := make([]diffEvent, 250)
+		for i := range feed {
+			feed[i] = randBusEvent(rng, "s0")
+		}
+		runDifferential(t, fmt.Sprintf("cascade/seed=%d", seed), stmts, feed)
+	}
+}
+
+func TestDifferentialOrderBy(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(600 + seed))
+		src := fmt.Sprintf(`SELECT w.loc AS loc, sum(w.a) AS s FROM s0.%s AS w
+			GROUP BY w.loc ORDER BY w.loc`, randView(rng))
+		feed := make([]diffEvent, 250)
+		for i := range feed {
+			feed[i] = randBusEvent(rng, "s0")
+		}
+		runDifferential(t, fmt.Sprintf("orderby/seed=%d", seed), map[string]string{"r": src}, feed)
+	}
+}

@@ -30,6 +30,12 @@ type Engine struct {
 	// Kept for the join-strategy ablation benchmark.
 	disableIndexJoins bool
 
+	// incremental arms delta-driven evaluation for eligible statements
+	// compiled while it is set (the default): windows' add/remove deltas
+	// maintain join and aggregate state so evaluation cost is independent
+	// of window length. Ineligible statements recompute as before.
+	incremental bool
+
 	// name prefixes this engine's metric names in the telemetry registry;
 	// latHist records per-event processing latency when a registry is
 	// attached.
@@ -48,6 +54,14 @@ type Option func(*Engine)
 // as filtered nested loops (the join-strategy ablation).
 func WithIndexJoins(enabled bool) Option {
 	return func(e *Engine) { e.disableIndexJoins = !enabled }
+}
+
+// WithIncremental enables or disables incremental evaluation for the
+// engine's statements. It is on by default; disabling it recomputes the
+// full join and all aggregates on every evaluation (the evaluation-
+// strategy ablation).
+func WithIncremental(enabled bool) Option {
+	return func(e *Engine) { e.incremental = enabled }
 }
 
 // WithRegistry attaches a telemetry registry: the engine records a
@@ -70,8 +84,9 @@ func New(opts ...Option) *Engine {
 	e := &Engine{
 		stmts:    make(map[string]*Statement),
 		byStream: make(map[string][]*Statement),
-		funcs:    make(map[string]ScalarFunc),
-		name:     "cep",
+		funcs:       make(map[string]ScalarFunc),
+		name:        "cep",
+		incremental: true,
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -296,6 +311,8 @@ func (e *Engine) Collect(reg *telemetry.Registry) {
 		reg.Counter(sp + "evaluations").Store(m.Evaluations)
 		reg.Counter(sp + "firings").Store(m.Firings)
 		reg.Counter(sp + "errors").Store(m.Errors)
+		reg.Counter(sp + "incremental_evals").Store(m.IncrementalEvals)
+		reg.Counter(sp + "recompute_fallbacks").Store(m.RecomputeFallbacks)
 	}
 }
 

@@ -42,6 +42,13 @@ func (e *Event) String() string {
 
 // Output is one rule firing: the projected fields of a match, plus the
 // underlying join row (alias → event) for listeners that need raw access.
+//
+// For grouped or aggregated statements the Row is a representative of the
+// group, not a full enumeration: the recompute path binds the group's last
+// join row, and incremental evaluation binds the most recently added row
+// of the maintained group state. The two representatives can differ even
+// though Fields are identical; listeners must not read group-varying
+// fields through Row.
 type Output struct {
 	Fields map[string]Value
 	Row    map[string]*Event

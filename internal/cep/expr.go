@@ -58,9 +58,16 @@ func oneNumeric(name string, args []Value) (float64, error) {
 // evalContext is the environment for evaluating one expression: the bound
 // join row, pre-computed aggregate values (keyed by the aggregate
 // expression's rendering), and the scalar function registry.
+//
+// Join rows are position-indexed: row[i] is the event bound to the i-th
+// FROM item (nil while unbound). aliasOrder names the positions. bind is
+// the statement's compile-time FieldRef→position resolution; field
+// references not in bind (or when bind is nil) fall back to scanning
+// aliasOrder.
 type evalContext struct {
-	row        map[string]*Event
-	aliasOrder []string // FROM order, for unqualified field resolution
+	row        []*Event
+	aliasOrder []string // FROM order, parallel to row
+	bind       map[*epl.FieldRef]int
 	aggs       map[string]Value
 	funcs      map[string]ScalarFunc
 }
@@ -133,15 +140,25 @@ func eval(e epl.Expr, ctx *evalContext) (Value, error) {
 
 func evalField(ref *epl.FieldRef, ctx *evalContext) (Value, error) {
 	if ref.Alias != "" {
-		ev, ok := ctx.row[ref.Alias]
-		if !ok || ev == nil {
+		if idx, ok := ctx.bind[ref]; ok {
+			if ev := ctx.row[idx]; ev != nil {
+				return ev.Get(ref.Field), nil
+			}
 			return nil, fmt.Errorf("cep: alias %q is not bound", ref.Alias)
 		}
-		return ev.Get(ref.Field), nil
+		for i, alias := range ctx.aliasOrder {
+			if alias == ref.Alias {
+				if ev := ctx.row[i]; ev != nil {
+					return ev.Get(ref.Field), nil
+				}
+				break
+			}
+		}
+		return nil, fmt.Errorf("cep: alias %q is not bound", ref.Alias)
 	}
 	// Unqualified: first FROM item whose bound event has the field.
-	for _, alias := range ctx.aliasOrder {
-		if ev := ctx.row[alias]; ev != nil {
+	for _, ev := range ctx.row {
+		if ev != nil {
 			if v, ok := ev.Fields[ref.Field]; ok {
 				return v, nil
 			}
@@ -242,7 +259,7 @@ func evalBool(e epl.Expr, ctx *evalContext) (bool, error) {
 
 // computeAggregates evaluates every aggregate call in aggCalls over the
 // given group of rows and returns expr-rendering → value.
-func computeAggregates(aggCalls []*epl.CallExpr, rows []map[string]*Event, base *evalContext) (map[string]Value, error) {
+func computeAggregates(aggCalls []*epl.CallExpr, rows [][]*Event, base *evalContext) (map[string]Value, error) {
 	out := make(map[string]Value, len(aggCalls))
 	for _, call := range aggCalls {
 		key := call.String()
@@ -258,7 +275,7 @@ func computeAggregates(aggCalls []*epl.CallExpr, rows []map[string]*Event, base 
 	return out, nil
 }
 
-func computeAggregate(call *epl.CallExpr, rows []map[string]*Event, base *evalContext) (Value, error) {
+func computeAggregate(call *epl.CallExpr, rows [][]*Event, base *evalContext) (Value, error) {
 	if call.Func == "count" && call.Star {
 		return float64(len(rows)), nil
 	}
@@ -270,8 +287,9 @@ func computeAggregate(call *epl.CallExpr, rows []map[string]*Event, base *evalCo
 		sum, sumSq float64
 		min, max   float64
 	)
+	ctx := &evalContext{aliasOrder: base.aliasOrder, bind: base.bind, funcs: base.funcs}
 	for _, row := range rows {
-		ctx := &evalContext{row: row, aliasOrder: base.aliasOrder, funcs: base.funcs}
+		ctx.row = row
 		v, err := eval(call.Args[0], ctx)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,1240 @@
+package cep
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"trafficcep/internal/epl"
+)
+
+// This file implements incremental statement evaluation: instead of
+// re-enumerating the full window join and recomputing every aggregate on
+// each arrival, the engine maintains running aggregate state from the
+// add/remove deltas every window reports on insert.
+//
+// Two strategies exist, tried in order at compile time:
+//
+//   - trigger factorization (incTriggerPlan): when one FROM item is a
+//     std:lastevent() view whose fields reach — through the equi-join
+//     equivalence classes of the WHERE clause — every joined field, the
+//     join factorizes per item: each other item keeps per-join-key
+//     accumulators (count, sum, sum of squares, value counts for min/max),
+//     and an evaluation is a hash probe per item plus O(1) arithmetic.
+//     This covers Listing 1 and the paper's threshold-rule family, making
+//     per-event cost independent of the window length l.
+//
+//   - delta joins with maintained groups (incDeltaPlan): otherwise, each
+//     window delta is joined only against the other windows (the event's
+//     position is pinned), and the resulting signed rows update maintained
+//     per-group aggregate accumulators. Evaluation emits the live groups
+//     without touching the join.
+//
+// Queries using features the incremental path cannot prove correct —
+// DISTINCT over retractions, SELECT *, impure functions inside maintained
+// expressions, field references that do not resolve through the group key
+// or trigger event — transparently fall back to full recompute; the
+// fallback is counted in the statement's RecomputeFallbacks metric.
+//
+// Caveats (documented in DESIGN.md): aggregates over non-integer float
+// data may differ from a recompute in the last ulp, because sums are
+// maintained by subtraction on eviction instead of re-added in window
+// order; and when several groups fire in one evaluation, groups are
+// emitted in group-creation order, which can differ from the recompute's
+// first-row-appearance order once groups die and are re-created.
+
+// incState is a statement's incremental-evaluation runtime. Exactly one of
+// trig/delta is set. broken flips when maintenance fails; the statement
+// then falls back to recompute permanently.
+type incState struct {
+	st     *Statement
+	broken bool
+	trig   *incTriggerPlan
+	delta  *incDeltaPlan
+
+	// row/ctx are the emit and strategy-1 maintenance scratch; deltaCtx
+	// evaluates over the statement's join scratch during delta joins.
+	row        []*Event
+	ctx        *evalContext
+	deltaCtx   *evalContext
+	aggScratch map[string]Value
+	pinScratch [1]*Event
+	groupVals  []Value
+	keyBufA    []byte
+	keyBufB    []byte
+}
+
+// aggSpec is one distinct aggregate call (deduplicated by rendering).
+type aggSpec struct {
+	call      *epl.CallExpr
+	key       string
+	star      bool // count(*)
+	countOnly bool // count(expr): argument need not be numeric
+	track     bool // min/max: keep value counts for eviction rescans
+	anchor    int  // trigger strategy: item the argument reads; -1 = emit-time
+	slot      int  // trigger strategy: accumulator position within the anchor item
+}
+
+// aggAcc is one maintained aggregate accumulator.
+type aggAcc struct {
+	n          int
+	sum, sumSq float64
+	min, max   float64
+	vals       map[float64]int // only when the spec tracks min/max
+}
+
+func (a *aggAcc) add(f float64, track bool) {
+	if a.n == 0 || f < a.min {
+		a.min = f
+	}
+	if a.n == 0 || f > a.max {
+		a.max = f
+	}
+	a.n++
+	a.sum += f
+	a.sumSq += f * f
+	if track {
+		if a.vals == nil {
+			a.vals = make(map[float64]int)
+		}
+		a.vals[f]++
+	}
+}
+
+func (a *aggAcc) remove(f float64, track bool) {
+	a.n--
+	a.sum -= f
+	a.sumSq -= f * f
+	if a.n == 0 {
+		// Integer-valued streams cancel exactly; clear any float residue so
+		// an emptied accumulator restarts clean either way.
+		a.sum, a.sumSq = 0, 0
+	}
+	if track {
+		if c := a.vals[f] - 1; c <= 0 {
+			delete(a.vals, f)
+		} else {
+			a.vals[f] = c
+		}
+		if a.n > 0 && (f <= a.min || f >= a.max) {
+			first := true
+			for v := range a.vals {
+				if first {
+					a.min, a.max = v, v
+					first = false
+					continue
+				}
+				if v < a.min {
+					a.min = v
+				}
+				if v > a.max {
+					a.max = v
+				}
+			}
+		}
+	}
+}
+
+// anchoredAggValue derives sum/avg/min/max/stddev from an accumulator whose
+// rows each appear m times in the join (m multiplies counts and sums; it
+// cancels out of avg/min/max).
+func anchoredAggValue(spec *aggSpec, a *aggAcc, m float64) Value {
+	if a.n == 0 {
+		return nil
+	}
+	switch spec.call.Func {
+	case "sum":
+		return a.sum * m
+	case "avg":
+		return a.sum / float64(a.n)
+	case "min":
+		return a.min
+	case "max":
+		return a.max
+	case "stddev":
+		nTot := float64(a.n) * m
+		if nTot < 2 {
+			return nil
+		}
+		mean := a.sum / float64(a.n)
+		variance := (m*a.sumSq - nTot*mean*mean) / (nTot - 1)
+		if variance < 0 {
+			variance = 0
+		}
+		return math.Sqrt(variance)
+	}
+	return nil
+}
+
+// fieldNode identifies one (FROM item, field) endpoint of an equi-join.
+type fieldNode struct {
+	item  int
+	field string
+}
+
+// unionFind tracks equivalence classes of join fields in insertion order.
+type unionFind struct {
+	parent map[fieldNode]fieldNode
+	nodes  []fieldNode
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: make(map[fieldNode]fieldNode)}
+}
+
+func (u *unionFind) find(n fieldNode) fieldNode {
+	p, ok := u.parent[n]
+	if !ok {
+		u.parent[n] = n
+		u.nodes = append(u.nodes, n)
+		return n
+	}
+	if p == n {
+		return n
+	}
+	root := u.find(p)
+	u.parent[n] = root
+	return root
+}
+
+// lookup resolves a node's class without registering new nodes.
+func (u *unionFind) lookup(n fieldNode) (fieldNode, bool) {
+	if _, ok := u.parent[n]; !ok {
+		return fieldNode{}, false
+	}
+	return u.find(n), true
+}
+
+func (u *unionFind) union(a, b fieldNode) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}
+
+// pureExpr reports whether an expression can be evaluated at window-
+// maintenance time: no aggregates and no engine-registered (potentially
+// impure or later-registered) functions — built-ins only.
+func pureExpr(e epl.Expr) bool {
+	pure := true
+	epl.WalkExpr(e, func(x epl.Expr) {
+		if c, ok := x.(*epl.CallExpr); ok {
+			if epl.AggregateFuncs[c.Func] {
+				pure = false
+				return
+			}
+			if _, builtin := builtinFuncs[c.Func]; !builtin {
+				pure = false
+			}
+		}
+	})
+	return pure
+}
+
+// walkNonAgg visits every field reference outside aggregate-call subtrees.
+func walkNonAgg(e epl.Expr, f func(*epl.FieldRef)) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *epl.FieldRef:
+		f(x)
+	case *epl.BinaryExpr:
+		walkNonAgg(x.Left, f)
+		walkNonAgg(x.Right, f)
+	case *epl.UnaryExpr:
+		walkNonAgg(x.Expr, f)
+	case *epl.CallExpr:
+		if epl.AggregateFuncs[x.Func] {
+			return
+		}
+		for _, a := range x.Args {
+			walkNonAgg(a, f)
+		}
+	}
+}
+
+// equiConjunct recognizes "a.x = b.y" with both aliases known.
+func equiConjunct(c epl.Expr, aliasToIdx map[string]int) (fieldNode, fieldNode, bool) {
+	b, ok := c.(*epl.BinaryExpr)
+	if !ok || b.Op != "=" {
+		return fieldNode{}, fieldNode{}, false
+	}
+	lr, lok := b.Left.(*epl.FieldRef)
+	rr, rok := b.Right.(*epl.FieldRef)
+	if !lok || !rok || lr.Alias == "" || rr.Alias == "" {
+		return fieldNode{}, fieldNode{}, false
+	}
+	li, lok := aliasToIdx[lr.Alias]
+	ri, rok := aliasToIdx[rr.Alias]
+	if !lok || !rok {
+		return fieldNode{}, fieldNode{}, false
+	}
+	return fieldNode{li, lr.Field}, fieldNode{ri, rr.Field}, true
+}
+
+// singleItemConjunct reports the one item a conjunct's references cover
+// (-1 when it has no field references at all).
+func singleItemConjunct(c epl.Expr, aliasToIdx map[string]int) (int, bool) {
+	item := -1
+	for _, r := range epl.FieldRefs(c) {
+		if r.Alias == "" {
+			return 0, false
+		}
+		idx, known := aliasToIdx[r.Alias]
+		if !known {
+			return 0, false
+		}
+		if item == -1 {
+			item = idx
+		} else if item != idx {
+			return 0, false
+		}
+	}
+	return item, true
+}
+
+// planIncremental analyzes a compiled statement and arms an incremental
+// evaluation strategy when one is provably equivalent to recompute. It
+// never fails compilation: an ineligible query just returns nil.
+func planIncremental(st *Statement, aliasToIdx map[string]int) *incState {
+	q := st.Query
+	if q.Distinct {
+		return nil // retractions would resurrect suppressed duplicates
+	}
+	if !st.hasAgg && len(q.GroupBy) == 0 {
+		return nil // per-row output queries gain nothing from group state
+	}
+	for _, s := range q.Select {
+		if s.Star {
+			return nil
+		}
+	}
+	aggs, ok := planAggSpecs(st)
+	if !ok {
+		return nil
+	}
+	if p := planTrigger(st, aliasToIdx, aggs); p != nil {
+		return newIncState(st, p, nil)
+	}
+	if p := planDelta(st, aliasToIdx, aggs); p != nil {
+		return newIncState(st, nil, p)
+	}
+	return nil
+}
+
+// planAggSpecs deduplicates the statement's aggregate calls and verifies
+// each can be maintained: known shape, pure argument.
+func planAggSpecs(st *Statement) ([]*aggSpec, bool) {
+	var specs []*aggSpec
+	seen := make(map[string]bool)
+	for _, call := range st.aggCalls {
+		key := call.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		s := &aggSpec{call: call, key: key, anchor: -1}
+		if call.Star {
+			if call.Func != "count" {
+				return nil, false
+			}
+			s.star = true
+			specs = append(specs, s)
+			continue
+		}
+		if len(call.Args) != 1 {
+			return nil, false // recompute surfaces the arity error
+		}
+		if !pureExpr(call.Args[0]) {
+			return nil, false
+		}
+		s.countOnly = call.Func == "count"
+		s.track = call.Func == "min" || call.Func == "max"
+		specs = append(specs, s)
+	}
+	return specs, true
+}
+
+func newIncState(st *Statement, trig *incTriggerPlan, delta *incDeltaPlan) *incState {
+	s := &incState{st: st, trig: trig, delta: delta}
+	s.row = make([]*Event, len(st.items))
+	s.ctx = &evalContext{row: s.row, aliasOrder: st.aliasOrder, bind: st.bind, funcs: st.engine.funcs}
+	s.deltaCtx = &evalContext{row: st.rowScratch, aliasOrder: st.aliasOrder, bind: st.bind, funcs: st.engine.funcs}
+	if n := len(st.Query.GroupBy); n > 0 {
+		s.groupVals = make([]Value, n)
+	}
+	return s
+}
+
+// disable drops the maintained state; evaluate() then recomputes.
+func (s *incState) disable() {
+	s.broken = true
+	s.trig = nil
+	s.delta = nil
+}
+
+// strategy names the armed plan, for tests and diagnostics.
+func (s *incState) strategy() string {
+	switch {
+	case s.broken:
+		return "broken"
+	case s.trig != nil:
+		return "trigger"
+	case s.delta != nil:
+		return "delta"
+	}
+	return ""
+}
+
+// IncrementalStrategy reports which incremental plan the statement runs:
+// "trigger" (factorized per-item accumulators around a lastevent item),
+// "delta" (delta joins into maintained groups), "broken" (maintenance
+// failed, recomputing), or "" (recompute: engine incremental evaluation
+// disabled or query ineligible).
+func (st *Statement) IncrementalStrategy() string {
+	if st.inc == nil {
+		return ""
+	}
+	return st.inc.strategy()
+}
+
+// applyDelta folds one FROM item's window delta into the maintained state.
+// Called while the arriving event is being inserted, before later items'
+// windows are touched — the ordering the sequential delta-join identity
+// requires.
+func (s *incState) applyDelta(idx int, added, removed []*Event) error {
+	if s.trig != nil {
+		ip := s.trig.items[idx]
+		if ip == nil {
+			return nil // the trigger item's single event is read at emit
+		}
+		for _, ev := range removed {
+			if err := s.trigApply(ip, ev, -1); err != nil {
+				return err
+			}
+		}
+		for _, ev := range added {
+			if err := s.trigApply(ip, ev, +1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, ev := range removed {
+		if err := s.deltaJoin(idx, ev, -1); err != nil {
+			return err
+		}
+	}
+	for _, ev := range added {
+		if err := s.deltaJoin(idx, ev, +1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *incState) evaluate() ([]Output, error) {
+	if s.trig != nil {
+		return s.trigEvaluate()
+	}
+	return s.deltaEvaluate()
+}
+
+// ---------------------------------------------------------------------------
+// Strategy 1: trigger factorization.
+
+// incTriggerPlan factorizes the join around one std:lastevent item T whose
+// fields reach every equi-join class: every join row contains exactly T's
+// current event, so each other item contributes an independent multiset of
+// matches, found by probing per-item accumulators keyed by the class
+// fields. Aggregates combine per-item sums with multiplicities.
+type incTriggerPlan struct {
+	trigIdx int
+	trigWin *lastEventWin
+	// pairChecks are trigger-field pairs an equi class constrains to be
+	// equal among themselves (WHERE t.a = i.x AND t.b = i.x).
+	pairChecks [][2]string
+	// emitFilters are conjuncts over the trigger item only (or with no
+	// field references); they are checked once per evaluation.
+	emitFilters []epl.Expr
+	items       []*incItemState // indexed by FROM position; nil at trigIdx
+	aggs        []*aggSpec
+}
+
+// incItemState is one non-trigger item's maintained accumulators.
+type incItemState struct {
+	idx       int
+	filters   []epl.Expr // pure, item-local conjuncts applied on maintenance
+	keyFields []string   // this item's fields forming the accumulator key
+	srcFields []string   // trigger fields probing each keyField
+	aggIdx    []int      // positions in plan.aggs anchored at this item
+	accs      map[string]*itemAcc
+	keyBuf    []byte
+	probed    *itemAcc // evaluation scratch: result of the latest probe
+}
+
+// itemAcc accumulates one join key's matching events within an item.
+type itemAcc struct {
+	rows int
+	last *Event // most recently added match, the emit representative
+	aggs []aggAcc
+}
+
+func (ip *incItemState) eventKey(ev *Event) []byte {
+	buf := ip.keyBuf[:0]
+	for i, f := range ip.keyFields {
+		if i > 0 {
+			buf = append(buf, keySep)
+		}
+		buf = appendValueKey(buf, ev.Get(f))
+	}
+	ip.keyBuf = buf
+	return buf
+}
+
+func (ip *incItemState) probeKey(e *Event) []byte {
+	buf := ip.keyBuf[:0]
+	for i, f := range ip.srcFields {
+		if i > 0 {
+			buf = append(buf, keySep)
+		}
+		buf = appendValueKey(buf, e.Get(f))
+	}
+	ip.keyBuf = buf
+	return buf
+}
+
+// planTrigger attempts strategy 1. See incTriggerPlan.
+func planTrigger(st *Statement, aliasToIdx map[string]int, aggs []*aggSpec) *incTriggerPlan {
+	q := st.Query
+	uf := newUnionFind()
+	singles := make([][]epl.Expr, len(st.items))
+	var free []epl.Expr
+	for _, c := range st.conjuncts {
+		if l, r, ok := equiConjunct(c, aliasToIdx); ok && l.item != r.item {
+			uf.union(l, r)
+			continue
+		}
+		item, ok := singleItemConjunct(c, aliasToIdx)
+		if !ok {
+			return nil
+		}
+		if item < 0 {
+			free = append(free, c)
+		} else {
+			singles[item] = append(singles[item], c)
+		}
+	}
+
+	classes := make(map[fieldNode][]fieldNode)
+	var classOrder []fieldNode
+	for _, n := range uf.nodes {
+		root := uf.find(n)
+		if _, ok := classes[root]; !ok {
+			classOrder = append(classOrder, root)
+		}
+		classes[root] = append(classes[root], n)
+	}
+
+	// The trigger: a std:lastevent item whose fields reach every class.
+	trig := -1
+	for i, it := range st.items {
+		if _, ok := it.win.(*lastEventWin); !ok {
+			continue
+		}
+		covers := true
+		for _, root := range classOrder {
+			has := false
+			for _, m := range classes[root] {
+				if m.item == i {
+					has = true
+					break
+				}
+			}
+			if !has {
+				covers = false
+				break
+			}
+		}
+		if covers {
+			trig = i
+			break
+		}
+	}
+	if trig < 0 {
+		return nil
+	}
+
+	// Every non-aggregate field reference must resolve through the
+	// trigger event, directly or via its equi class.
+	resolvable := func(r *epl.FieldRef) bool {
+		if r.Alias == "" {
+			return false
+		}
+		idx, known := aliasToIdx[r.Alias]
+		if !known {
+			return false
+		}
+		if idx == trig {
+			return true
+		}
+		root, present := uf.lookup(fieldNode{idx, r.Field})
+		if !present {
+			return false
+		}
+		for _, m := range classes[root] {
+			if m.item == trig {
+				return true
+			}
+		}
+		return false
+	}
+	ok := true
+	check := func(r *epl.FieldRef) {
+		if !resolvable(r) {
+			ok = false
+		}
+	}
+	for _, sel := range q.Select {
+		walkNonAgg(sel.Expr, check)
+	}
+	for _, g := range q.GroupBy {
+		if !pureExpr(g) {
+			return nil
+		}
+		walkNonAgg(g, check)
+	}
+	walkNonAgg(q.Having, check)
+	for _, o := range q.OrderBy {
+		walkNonAgg(o.Expr, check)
+	}
+	if !ok {
+		return nil
+	}
+
+	// Anchor every aggregate argument on a single item.
+	for _, spec := range aggs {
+		spec.anchor = -1
+		if spec.star {
+			continue
+		}
+		anchor := -1
+		for _, r := range epl.FieldRefs(spec.call.Args[0]) {
+			if r.Alias == "" {
+				return nil
+			}
+			idx, known := aliasToIdx[r.Alias]
+			if !known {
+				return nil
+			}
+			if anchor == -1 {
+				anchor = idx
+			} else if anchor != idx {
+				return nil
+			}
+		}
+		if anchor == trig {
+			anchor = -1
+		}
+		spec.anchor = anchor
+	}
+
+	// Non-trigger local filters run at maintenance time: must be pure.
+	for i, fs := range singles {
+		if i == trig {
+			continue
+		}
+		for _, f := range fs {
+			if !pureExpr(f) {
+				return nil
+			}
+		}
+	}
+
+	p := &incTriggerPlan{
+		trigIdx: trig,
+		trigWin: st.items[trig].win.(*lastEventWin),
+		aggs:    aggs,
+		items:   make([]*incItemState, len(st.items)),
+	}
+	p.emitFilters = append(p.emitFilters, free...)
+	p.emitFilters = append(p.emitFilters, singles[trig]...)
+	for i := range st.items {
+		if i == trig {
+			continue
+		}
+		p.items[i] = &incItemState{idx: i, filters: singles[i], accs: make(map[string]*itemAcc)}
+	}
+	for _, root := range classOrder {
+		members := classes[root]
+		trigField := ""
+		for _, m := range members {
+			if m.item != trig {
+				continue
+			}
+			if trigField == "" {
+				trigField = m.field
+			} else {
+				p.pairChecks = append(p.pairChecks, [2]string{trigField, m.field})
+			}
+		}
+		for _, m := range members {
+			if m.item == trig {
+				continue
+			}
+			ip := p.items[m.item]
+			ip.keyFields = append(ip.keyFields, m.field)
+			ip.srcFields = append(ip.srcFields, trigField)
+		}
+	}
+	for ai, spec := range aggs {
+		if spec.anchor >= 0 {
+			ip := p.items[spec.anchor]
+			spec.slot = len(ip.aggIdx)
+			ip.aggIdx = append(ip.aggIdx, ai)
+		}
+	}
+	return p
+}
+
+// trigApply folds one added/removed event into an item's accumulators.
+func (s *incState) trigApply(ip *incItemState, ev *Event, sign int) error {
+	if len(ip.filters) > 0 {
+		s.row[ip.idx] = ev
+		pass := true
+		for _, f := range ip.filters {
+			okf, err := evalBool(f, s.ctx)
+			if err != nil {
+				s.row[ip.idx] = nil
+				return err
+			}
+			if !okf {
+				pass = false
+				break
+			}
+		}
+		s.row[ip.idx] = nil
+		if !pass {
+			return nil
+		}
+	}
+	buf := ip.eventKey(ev)
+	acc, ok := ip.accs[string(buf)]
+	if !ok {
+		if sign < 0 {
+			return fmt.Errorf("cep: incremental state inconsistency: retraction for unknown join key")
+		}
+		acc = &itemAcc{aggs: make([]aggAcc, len(ip.aggIdx))}
+		ip.accs[string(buf)] = acc
+	}
+	acc.rows += sign
+	if acc.rows < 0 {
+		return fmt.Errorf("cep: incremental state inconsistency: negative join-key cardinality")
+	}
+	if sign > 0 {
+		acc.last = ev
+	}
+	for j, ai := range ip.aggIdx {
+		spec := s.trig.aggs[ai]
+		s.row[ip.idx] = ev
+		v, err := eval(spec.call.Args[0], s.ctx)
+		s.row[ip.idx] = nil
+		if err != nil {
+			return err
+		}
+		if v == nil {
+			continue
+		}
+		if spec.countOnly {
+			acc.aggs[j].n += sign
+			continue
+		}
+		f, okn := numeric(v)
+		if !okn {
+			return fmt.Errorf("cep: aggregate %s over non-numeric value %v", spec.call.Func, v)
+		}
+		if sign > 0 {
+			acc.aggs[j].add(f, spec.track)
+		} else {
+			acc.aggs[j].remove(f, spec.track)
+		}
+	}
+	if acc.rows == 0 {
+		delete(ip.accs, string(buf))
+	}
+	return nil
+}
+
+// trigEvaluate emits the (single) group for the current trigger event:
+// probe each item's accumulators, combine, filter, project.
+func (s *incState) trigEvaluate() ([]Output, error) {
+	p := s.trig
+	e := p.trigWin.ev
+	if e == nil {
+		return nil, nil
+	}
+	row := s.row
+	for i := range row {
+		row[i] = nil
+	}
+	row[p.trigIdx] = e
+	ctx := s.ctx
+	ctx.aggs = nil
+	for _, f := range p.emitFilters {
+		pass, err := evalBool(f, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !pass {
+			return nil, nil
+		}
+	}
+	for _, pc := range p.pairChecks {
+		if !valueEq(e.Get(pc[0]), e.Get(pc[1])) {
+			return nil, nil
+		}
+	}
+	rowsTotal := 1.0
+	for _, ip := range p.items {
+		if ip == nil {
+			continue
+		}
+		acc, ok := ip.accs[string(ip.probeKey(e))]
+		if !ok {
+			return nil, nil
+		}
+		ip.probed = acc
+		rowsTotal *= float64(acc.rows)
+		row[ip.idx] = acc.last
+	}
+
+	if s.aggScratch == nil {
+		s.aggScratch = make(map[string]Value, len(p.aggs))
+	}
+	for _, spec := range p.aggs {
+		var v Value
+		switch {
+		case spec.star:
+			v = rowsTotal
+		case spec.anchor < 0:
+			// The argument reads only the trigger event (or constants):
+			// every join row carries the same value.
+			av, err := eval(spec.call.Args[0], ctx)
+			if err != nil {
+				return nil, err
+			}
+			v, err = constAggValue(spec, av, rowsTotal)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			ip := p.items[spec.anchor]
+			m := 1.0
+			for _, other := range p.items {
+				if other != nil && other != ip {
+					m *= float64(other.probed.rows)
+				}
+			}
+			a := &ip.probed.aggs[spec.slot]
+			if spec.countOnly {
+				v = float64(a.n) * m
+			} else {
+				v = anchoredAggValue(spec, a, m)
+			}
+		}
+		s.aggScratch[spec.key] = v
+	}
+	ctx.aggs = s.aggScratch
+
+	if s.st.Query.Having != nil {
+		pass, err := evalBool(s.st.Query.Having, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !pass {
+			return nil, nil
+		}
+	}
+	out, err := s.st.project(ctx, row)
+	if err != nil {
+		return nil, err
+	}
+	outputs := []Output{out}
+	if len(s.st.Query.OrderBy) > 0 {
+		if err := s.st.orderOutputs(outputs); err != nil {
+			return nil, err
+		}
+	}
+	return outputs, nil
+}
+
+// constAggValue derives an aggregate whose argument is identical on every
+// join row (value av, rowsTotal rows).
+func constAggValue(spec *aggSpec, av Value, rowsTotal float64) (Value, error) {
+	if av == nil {
+		if spec.countOnly {
+			return 0.0, nil
+		}
+		return nil, nil
+	}
+	if spec.countOnly {
+		return rowsTotal, nil
+	}
+	f, ok := numeric(av)
+	if !ok {
+		return nil, fmt.Errorf("cep: aggregate %s over non-numeric value %v", spec.call.Func, av)
+	}
+	switch spec.call.Func {
+	case "sum":
+		return f * rowsTotal, nil
+	case "avg", "min", "max":
+		return f, nil
+	case "stddev":
+		if rowsTotal < 2 {
+			return nil, nil
+		}
+		return 0.0, nil
+	}
+	return nil, fmt.Errorf("cep: unknown aggregate %q", spec.call.Func)
+}
+
+// ---------------------------------------------------------------------------
+// Strategy 2: delta joins with maintained groups.
+
+// incDeltaPlan maintains per-group aggregate accumulators from signed delta
+// joins: each window add/remove is joined against the other windows with
+// the event's own position pinned, and every resulting row updates its
+// group's state. Evaluation walks the live groups.
+type incDeltaPlan struct {
+	aggs      []*aggSpec
+	groups    map[string]*groupState
+	order     []*groupState // creation order; dead entries are skipped
+	deadCount int
+}
+
+// groupState is one group's maintained aggregates.
+type groupState struct {
+	key     string
+	rows    int
+	lastRow []*Event // most recently added row: the emit representative
+	aggs    []aggAcc
+	dead    bool
+}
+
+// planDelta attempts strategy 2. The query must be fully maintainable:
+// pure WHERE and GROUP BY (they run at maintenance time) and every
+// non-aggregate output reference resolvable through the group key, so any
+// row of the group is a valid representative.
+func planDelta(st *Statement, aliasToIdx map[string]int, aggs []*aggSpec) *incDeltaPlan {
+	q := st.Query
+	if q.InsertInto != "" && len(q.GroupBy) > 0 {
+		// Maintained groups emit in creation order, which can diverge from
+		// the recompute's window-contents order once a group empties and
+		// is re-created. For listeners that is presentation; through an
+		// INSERT INTO cascade it changes downstream window *state*, so
+		// grouped derived-stream statements stay on recompute.
+		return nil
+	}
+	for _, c := range st.conjuncts {
+		if !pureExpr(c) {
+			return nil
+		}
+	}
+	for _, g := range q.GroupBy {
+		if !pureExpr(g) {
+			return nil
+		}
+	}
+
+	uf := newUnionFind()
+	for _, c := range st.conjuncts {
+		if l, r, ok := equiConjunct(c, aliasToIdx); ok {
+			uf.union(l, r)
+		}
+	}
+	groupExact := make(map[string]bool, len(q.GroupBy))
+	var groupRoots []fieldNode
+	for _, g := range q.GroupBy {
+		groupExact[g.String()] = true
+		if r, ok := g.(*epl.FieldRef); ok && r.Alias != "" {
+			if idx, known := aliasToIdx[r.Alias]; known {
+				groupRoots = append(groupRoots, uf.find(fieldNode{idx, r.Field}))
+			}
+		}
+	}
+
+	var stable func(e epl.Expr) bool
+	stable = func(e epl.Expr) bool {
+		if e == nil {
+			return true
+		}
+		if groupExact[e.String()] {
+			return true
+		}
+		switch x := e.(type) {
+		case *epl.NumberLit, *epl.StringLit, *epl.BoolLit, *epl.DurationLit:
+			return true
+		case *epl.FieldRef:
+			if x.Alias == "" {
+				return false
+			}
+			idx, known := aliasToIdx[x.Alias]
+			if !known {
+				return false
+			}
+			root, present := uf.lookup(fieldNode{idx, x.Field})
+			if !present {
+				return false
+			}
+			for _, gr := range groupRoots {
+				if gr == root {
+					return true
+				}
+			}
+			return false
+		case *epl.UnaryExpr:
+			return stable(x.Expr)
+		case *epl.BinaryExpr:
+			return stable(x.Left) && stable(x.Right)
+		case *epl.CallExpr:
+			if epl.AggregateFuncs[x.Func] {
+				return true // pre-computed from maintained state
+			}
+			for _, a := range x.Args {
+				if !stable(a) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	}
+	for _, sel := range q.Select {
+		if !stable(sel.Expr) {
+			return nil
+		}
+	}
+	if q.Having != nil && !stable(q.Having) {
+		return nil
+	}
+	for _, o := range q.OrderBy {
+		if !stable(o.Expr) {
+			return nil
+		}
+	}
+	return &incDeltaPlan{aggs: aggs, groups: make(map[string]*groupState)}
+}
+
+// deltaJoin enumerates the join rows containing ev at position pin —
+// reusing the statement's per-level filters and hash indexes — and applies
+// each with the given sign.
+func (s *incState) deltaJoin(pin int, pinEv *Event, sign int) error {
+	st := s.st
+	row := st.rowScratch
+	for i := range row {
+		row[i] = nil
+	}
+	ctx := s.deltaCtx
+	var rec func(level int) error
+	rec = func(level int) error {
+		if level == len(st.items) {
+			return s.deltaRow(row, sign)
+		}
+		it := st.items[level]
+		var candidates []*Event
+		if level == pin {
+			if it.index != nil {
+				// The pinned event stands in for an index probe: verify it
+				// matches what the probe would have looked up.
+				for k, pe := range it.probeExprs {
+					v, err := eval(pe, ctx)
+					if err != nil {
+						return err
+					}
+					s.keyBufA = appendValueKey(s.keyBufA[:0], v)
+					s.keyBufB = appendValueKey(s.keyBufB[:0], pinEv.Get(it.indexFields[k]))
+					if !bytes.Equal(s.keyBufA, s.keyBufB) {
+						return nil
+					}
+				}
+			}
+			s.pinScratch[0] = pinEv
+			candidates = s.pinScratch[:]
+		} else if it.index != nil {
+			buf := st.keyBuf[:0]
+			for i, pe := range it.probeExprs {
+				v, err := eval(pe, ctx)
+				if err != nil {
+					return err
+				}
+				if i > 0 {
+					buf = append(buf, keySep)
+				}
+				buf = appendValueKey(buf, v)
+			}
+			st.keyBuf = buf
+			candidates = it.index[string(buf)]
+		} else {
+			candidates = it.win.contents()
+		}
+		for _, ev := range candidates {
+			row[level] = ev
+			pass := true
+			for _, f := range st.filters[level] {
+				okf, err := evalBool(f, ctx)
+				if err != nil {
+					row[level] = nil
+					return err
+				}
+				if !okf {
+					pass = false
+					break
+				}
+			}
+			if pass {
+				if err := rec(level + 1); err != nil {
+					row[level] = nil
+					return err
+				}
+			}
+		}
+		row[level] = nil
+		return nil
+	}
+	return rec(0)
+}
+
+// deltaRow folds one signed join row into its group's accumulators.
+func (s *incState) deltaRow(row []*Event, sign int) error {
+	p := s.delta
+	st := s.st
+	buf := s.keyBufA[:0]
+	if len(st.Query.GroupBy) > 0 {
+		for i, g := range st.Query.GroupBy {
+			v, err := eval(g, s.deltaCtx)
+			if err != nil {
+				return err
+			}
+			s.groupVals[i] = v
+		}
+		buf = appendCompositeKey(buf, s.groupVals)
+	}
+	s.keyBufA = buf
+	gs, ok := p.groups[string(buf)]
+	if !ok {
+		if sign < 0 {
+			return fmt.Errorf("cep: incremental state inconsistency: retraction for unknown group")
+		}
+		gs = &groupState{key: string(buf), aggs: make([]aggAcc, len(p.aggs)), lastRow: make([]*Event, len(row))}
+		p.groups[gs.key] = gs
+		p.order = append(p.order, gs)
+	}
+	gs.rows += sign
+	if gs.rows < 0 {
+		return fmt.Errorf("cep: incremental state inconsistency: negative group cardinality")
+	}
+	if sign > 0 {
+		copy(gs.lastRow, row)
+	}
+	for j, spec := range p.aggs {
+		if spec.star {
+			continue
+		}
+		v, err := eval(spec.call.Args[0], s.deltaCtx)
+		if err != nil {
+			return err
+		}
+		if v == nil {
+			continue
+		}
+		if spec.countOnly {
+			gs.aggs[j].n += sign
+			continue
+		}
+		f, okn := numeric(v)
+		if !okn {
+			return fmt.Errorf("cep: aggregate %s over non-numeric value %v", spec.call.Func, v)
+		}
+		if sign > 0 {
+			gs.aggs[j].add(f, spec.track)
+		} else {
+			gs.aggs[j].remove(f, spec.track)
+		}
+	}
+	if gs.rows == 0 {
+		delete(p.groups, gs.key)
+		gs.dead = true
+		p.deadCount++
+	}
+	return nil
+}
+
+// deltaEvaluate emits every live group from its maintained state.
+func (s *incState) deltaEvaluate() ([]Output, error) {
+	p := s.delta
+	st := s.st
+	if p.deadCount > 32 && p.deadCount*2 > len(p.order) {
+		live := p.order[:0]
+		for _, gs := range p.order {
+			if !gs.dead {
+				live = append(live, gs)
+			}
+		}
+		for i := len(live); i < len(p.order); i++ {
+			p.order[i] = nil
+		}
+		p.order = live
+		p.deadCount = 0
+	}
+	if len(p.order) == p.deadCount {
+		return nil, nil
+	}
+	if s.aggScratch == nil {
+		s.aggScratch = make(map[string]Value, len(p.aggs))
+	}
+	ctx := s.ctx
+	ctx.aggs = s.aggScratch
+	var outputs []Output
+	for _, gs := range p.order {
+		if gs.dead {
+			continue
+		}
+		for j, spec := range p.aggs {
+			switch {
+			case spec.star:
+				s.aggScratch[spec.key] = float64(gs.rows)
+			case spec.countOnly:
+				s.aggScratch[spec.key] = float64(gs.aggs[j].n)
+			default:
+				s.aggScratch[spec.key] = anchoredAggValue(spec, &gs.aggs[j], 1)
+			}
+		}
+		ctx.row = gs.lastRow
+		if st.Query.Having != nil {
+			pass, err := evalBool(st.Query.Having, ctx)
+			if err != nil {
+				ctx.row = s.row
+				return nil, err
+			}
+			if !pass {
+				continue
+			}
+		}
+		out, err := st.project(ctx, gs.lastRow)
+		if err != nil {
+			ctx.row = s.row
+			return nil, err
+		}
+		outputs = append(outputs, out)
+	}
+	ctx.row = s.row
+	if len(outputs) == 0 {
+		return nil, nil
+	}
+	if len(st.Query.OrderBy) > 0 {
+		if err := st.orderOutputs(outputs); err != nil {
+			return nil, err
+		}
+	}
+	return outputs, nil
+}

@@ -12,7 +12,7 @@ import (
 func EvalScalar(e epl.Expr, alias string, row map[string]Value, funcs map[string]ScalarFunc) (Value, error) {
 	ev := &Event{Stream: alias, Fields: row}
 	ctx := &evalContext{
-		row:        map[string]*Event{alias: ev},
+		row:        []*Event{ev},
 		aliasOrder: []string{alias},
 		funcs:      funcs,
 	}

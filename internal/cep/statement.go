@@ -23,6 +23,15 @@ type Statement struct {
 	itemsByStream map[string][]int
 	aliasOrder    []string
 
+	// bind resolves alias-qualified field references to their FROM-item
+	// position at compile time, so evaluation indexes a slice instead of
+	// hashing an alias per field access.
+	bind map[*epl.FieldRef]int
+
+	// conjuncts is the full WHERE decomposition, before any conjunct is
+	// consumed as an index probe; the incremental planner analyzes it.
+	conjuncts []epl.Expr
+
 	// filters[i] holds the WHERE conjuncts evaluable once items 0..i are
 	// bound (and not already consumed as join-index probes).
 	filters [][]epl.Expr
@@ -35,17 +44,33 @@ type Statement struct {
 	// then only arrivals on such items trigger evaluation.
 	unidirectional bool
 
+	// inc holds the statement's incremental-evaluation state when the
+	// planner proved the query safe for delta-driven evaluation; nil when
+	// the engine runs with incremental evaluation disabled or the query
+	// uses features the incremental path cannot prove correct.
+	inc *incState
+
+	// rowScratch and keyBuf are reusable buffers for the join hot path.
+	rowScratch []*Event
+	keyBuf     []byte
+
 	metrics StatementMetrics
 }
 
-// StatementMetrics counts a statement's work. Latencies accumulate wall
-// time spent inside process().
+// StatementMetrics counts a statement's work. ProcTime accumulates wall
+// time spent inside process(), sampled only when the engine has a telemetry
+// registry attached (clock reads are skipped otherwise).
 type StatementMetrics struct {
 	EventsIn    uint64
 	Evaluations uint64
 	Firings     uint64
 	Errors      uint64
-	ProcTime    time.Duration
+	// IncrementalEvals counts evaluations served by the incremental path;
+	// RecomputeFallbacks counts evaluations that fell back to a full join
+	// recompute while the engine had incremental evaluation enabled.
+	IncrementalEvals   uint64
+	RecomputeFallbacks uint64
+	ProcTime           time.Duration
 }
 
 // fromItemState is the runtime state of one FROM item.
@@ -59,6 +84,7 @@ type fromItemState struct {
 	indexFields []string
 	probeExprs  []epl.Expr
 	index       map[string][]*Event
+	keyBuf      []byte
 }
 
 // compile builds a Statement from a parsed query.
@@ -86,11 +112,37 @@ func compile(name string, q *epl.Query, eng *Engine) (*Statement, error) {
 			st.unidirectional = true
 		}
 	}
+	st.rowScratch = make([]*Event, len(st.items))
+
+	// Resolve alias-qualified field references to item positions once.
+	st.bind = make(map[*epl.FieldRef]int)
+	bindRefs := func(e epl.Expr) {
+		epl.WalkExpr(e, func(x epl.Expr) {
+			if r, ok := x.(*epl.FieldRef); ok && r.Alias != "" {
+				if idx, known := aliasToIdx[r.Alias]; known {
+					st.bind[r] = idx
+				}
+			}
+		})
+	}
+	for _, s := range q.Select {
+		if !s.Star {
+			bindRefs(s.Expr)
+		}
+	}
+	bindRefs(q.Where)
+	for _, g := range q.GroupBy {
+		bindRefs(g)
+	}
+	bindRefs(q.Having)
+	for _, o := range q.OrderBy {
+		bindRefs(o.Expr)
+	}
 
 	// Decompose WHERE into conjuncts and plan the join.
-	conjuncts := splitConjuncts(q.Where)
+	st.conjuncts = splitConjuncts(q.Where)
 	st.filters = make([][]epl.Expr, len(q.From))
-	for _, c := range conjuncts {
+	for _, c := range st.conjuncts {
 		if !eng.disableIndexJoins && st.tryIndexConjunct(c, aliasToIdx) {
 			continue
 		}
@@ -117,6 +169,10 @@ func compile(name string, q *epl.Query, eng *Engine) (*Statement, error) {
 		collectAggregates(o.Expr, &st.aggCalls)
 	}
 	st.hasAgg = len(st.aggCalls) > 0
+
+	if eng.incremental {
+		st.inc = planIncremental(st, aliasToIdx)
+	}
 	return st, nil
 }
 
@@ -133,7 +189,8 @@ func splitConjuncts(e epl.Expr) []epl.Expr {
 
 // tryIndexConjunct turns "a.x = b.y" conjuncts into join-index probes when
 // one side belongs to a later FROM item than the other. Returns true when
-// the conjunct was consumed.
+// the conjunct was consumed. Conjuncts naming an unknown alias are left
+// alone so bindingPosition can surface the error.
 func (st *Statement) tryIndexConjunct(c epl.Expr, aliasToIdx map[string]int) bool {
 	b, ok := c.(*epl.BinaryExpr)
 	if !ok || b.Op != "=" {
@@ -144,7 +201,11 @@ func (st *Statement) tryIndexConjunct(c epl.Expr, aliasToIdx map[string]int) boo
 	if !lok || !rok || lr.Alias == "" || rr.Alias == "" || lr.Alias == rr.Alias {
 		return false
 	}
-	li, ri := aliasToIdx[lr.Alias], aliasToIdx[rr.Alias]
+	li, lok := aliasToIdx[lr.Alias]
+	ri, rok := aliasToIdx[rr.Alias]
+	if !lok || !rok {
+		return false
+	}
 	// Index the later item on its own field; probe with the earlier side.
 	inner, outer := lr, rr
 	innerIdx := li
@@ -199,10 +260,15 @@ func (st *Statement) WindowSizes() map[string]int {
 // evaluation, listener dispatch. Outputs of INSERT INTO statements are
 // handed to derive as fresh events. Called with the engine lock held.
 func (st *Statement) process(ev *Event, derive func(*Event)) error {
-	start := time.Now()
+	sample := st.engine.reg != nil
+	var start time.Time
+	if sample {
+		start = time.Now()
+	}
 	st.metrics.EventsIn++
 
 	triggered := false
+	var maintErr error
 	for _, idx := range st.itemsByStream[ev.Stream] {
 		it := st.items[idx]
 		added, removed := it.win.insert(ev)
@@ -212,6 +278,14 @@ func (st *Statement) process(ev *Event, derive func(*Event)) error {
 			}
 			for _, a := range added {
 				it.indexAdd(a)
+			}
+		}
+		if st.inc != nil && !st.inc.broken {
+			if err := st.inc.applyDelta(idx, added, removed); err != nil {
+				// Incremental state can no longer be trusted; fall back to
+				// full recompute permanently for this statement.
+				st.inc.disable()
+				maintErr = err
 			}
 		}
 		if !st.unidirectional || it.spec.Unidirectional {
@@ -237,27 +311,38 @@ func (st *Statement) process(ev *Event, derive func(*Event)) error {
 				}
 			}
 		}
+	} else if maintErr != nil {
+		// No evaluation follows to reproduce the failure, so surface the
+		// maintenance error itself.
+		st.metrics.Errors++
+		err = maintErr
 	}
-	st.metrics.ProcTime += time.Since(start)
+	if sample {
+		st.metrics.ProcTime += time.Since(start)
+	}
 	return err
 }
 
-func (it *fromItemState) indexKeyOf(ev *Event) string {
-	vals := make([]Value, len(it.indexFields))
+func (it *fromItemState) indexKey(ev *Event) []byte {
+	buf := it.keyBuf[:0]
 	for i, f := range it.indexFields {
-		vals[i] = ev.Get(f)
+		if i > 0 {
+			buf = append(buf, keySep)
+		}
+		buf = appendValueKey(buf, ev.Get(f))
 	}
-	return compositeKey(vals)
+	it.keyBuf = buf
+	return buf
 }
 
 func (it *fromItemState) indexAdd(ev *Event) {
-	k := it.indexKeyOf(ev)
+	k := string(it.indexKey(ev))
 	it.index[k] = append(it.index[k], ev)
 }
 
 func (it *fromItemState) indexRemove(ev *Event) {
-	k := it.indexKeyOf(ev)
-	bucket := it.index[k]
+	k := it.indexKey(ev)
+	bucket := it.index[string(k)]
 	for i, e := range bucket {
 		if e == ev {
 			bucket[i] = bucket[len(bucket)-1]
@@ -266,15 +351,23 @@ func (it *fromItemState) indexRemove(ev *Event) {
 		}
 	}
 	if len(bucket) == 0 {
-		delete(it.index, k)
+		delete(it.index, string(k))
 	} else {
-		it.index[k] = bucket
+		it.index[string(k)] = bucket
 	}
 }
 
-// evaluate computes the join over the current window contents and produces
-// the statement's outputs.
+// evaluate produces the statement's outputs: through the incremental path
+// when the planner armed one, otherwise by recomputing the join over the
+// current window contents.
 func (st *Statement) evaluate() ([]Output, error) {
+	if st.inc != nil && !st.inc.broken {
+		st.metrics.IncrementalEvals++
+		return st.inc.evaluate()
+	}
+	if st.engine.incremental {
+		st.metrics.RecomputeFallbacks++
+	}
 	rows, err := st.joinRows()
 	if err != nil {
 		return nil, err
@@ -282,7 +375,7 @@ func (st *Statement) evaluate() ([]Output, error) {
 	if len(rows) == 0 {
 		return nil, nil
 	}
-	base := &evalContext{aliasOrder: st.aliasOrder, funcs: st.engine.funcs}
+	base := &evalContext{aliasOrder: st.aliasOrder, bind: st.bind, funcs: st.engine.funcs}
 
 	var outputs []Output
 	if st.hasAgg || len(st.Query.GroupBy) > 0 {
@@ -297,7 +390,7 @@ func (st *Statement) evaluate() ([]Output, error) {
 		outputs = distinctOutputs(outputs)
 	}
 	if len(st.Query.OrderBy) > 0 {
-		if err := st.orderOutputs(outputs, base); err != nil {
+		if err := st.orderOutputs(outputs); err != nil {
 			return nil, err
 		}
 	}
@@ -306,43 +399,49 @@ func (st *Statement) evaluate() ([]Output, error) {
 
 // joinRows enumerates the join of all FROM items' windows, applying filters
 // as early as their aliases allow and using hash indexes for equi-joins.
-func (st *Statement) joinRows() ([]map[string]*Event, error) {
-	var rows []map[string]*Event
-	row := make(map[string]*Event, len(st.items))
-	probeCtx := &evalContext{row: row, aliasOrder: st.aliasOrder, funcs: st.engine.funcs}
+// Rows are position-indexed by FROM item.
+func (st *Statement) joinRows() ([][]*Event, error) {
+	var rows [][]*Event
+	row := st.rowScratch
+	for i := range row {
+		row[i] = nil
+	}
+	probeCtx := &evalContext{row: row, aliasOrder: st.aliasOrder, bind: st.bind, funcs: st.engine.funcs}
 
 	var rec func(level int) error
 	rec = func(level int) error {
 		if level == len(st.items) {
-			cp := make(map[string]*Event, len(row))
-			for k, v := range row {
-				cp[k] = v
-			}
+			cp := make([]*Event, len(row))
+			copy(cp, row)
 			rows = append(rows, cp)
 			return nil
 		}
 		it := st.items[level]
 		var candidates []*Event
 		if it.index != nil {
-			vals := make([]Value, len(it.probeExprs))
+			buf := st.keyBuf[:0]
 			for i, pe := range it.probeExprs {
 				v, err := eval(pe, probeCtx)
 				if err != nil {
 					return err
 				}
-				vals[i] = v
+				if i > 0 {
+					buf = append(buf, keySep)
+				}
+				buf = appendValueKey(buf, v)
 			}
-			candidates = it.index[compositeKey(vals)]
+			st.keyBuf = buf
+			candidates = it.index[string(buf)]
 		} else {
 			candidates = it.win.contents()
 		}
 		for _, ev := range candidates {
-			row[it.spec.Alias] = ev
+			row[level] = ev
 			ok := true
 			for _, f := range st.filters[level] {
 				pass, err := evalBool(f, probeCtx)
 				if err != nil {
-					delete(row, it.spec.Alias)
+					row[level] = nil
 					return err
 				}
 				if !pass {
@@ -352,12 +451,12 @@ func (st *Statement) joinRows() ([]map[string]*Event, error) {
 			}
 			if ok {
 				if err := rec(level + 1); err != nil {
-					delete(row, it.spec.Alias)
+					row[level] = nil
 					return err
 				}
 			}
 		}
-		delete(row, it.spec.Alias)
+		row[level] = nil
 		return nil
 	}
 	if err := rec(0); err != nil {
@@ -367,38 +466,42 @@ func (st *Statement) joinRows() ([]map[string]*Event, error) {
 }
 
 // evaluateGrouped handles queries with GROUP BY and/or aggregates.
-func (st *Statement) evaluateGrouped(rows []map[string]*Event, base *evalContext) ([]Output, error) {
+func (st *Statement) evaluateGrouped(rows [][]*Event, base *evalContext) ([]Output, error) {
 	type group struct {
-		rows []map[string]*Event
+		rows [][]*Event
 	}
 	groups := make(map[string]*group)
-	var order []string
+	var order []*group
+	keyCtx := &evalContext{aliasOrder: st.aliasOrder, bind: st.bind, funcs: st.engine.funcs}
+	var vals []Value
+	if n := len(st.Query.GroupBy); n > 0 {
+		vals = make([]Value, n)
+	}
 	for _, row := range rows {
-		key := ""
+		buf := st.keyBuf[:0]
 		if len(st.Query.GroupBy) > 0 {
-			ctx := &evalContext{row: row, aliasOrder: st.aliasOrder, funcs: st.engine.funcs}
-			vals := make([]Value, len(st.Query.GroupBy))
+			keyCtx.row = row
 			for i, g := range st.Query.GroupBy {
-				v, err := eval(g, ctx)
+				v, err := eval(g, keyCtx)
 				if err != nil {
 					return nil, err
 				}
 				vals[i] = v
 			}
-			key = compositeKey(vals)
+			buf = appendCompositeKey(buf, vals)
 		}
-		grp, ok := groups[key]
+		st.keyBuf = buf
+		grp, ok := groups[string(buf)]
 		if !ok {
 			grp = &group{}
-			groups[key] = grp
-			order = append(order, key)
+			groups[string(buf)] = grp
+			order = append(order, grp)
 		}
 		grp.rows = append(grp.rows, row)
 	}
 
 	var outputs []Output
-	for _, key := range order {
-		grp := groups[key]
+	for _, grp := range order {
 		aggs, err := computeAggregates(st.aggCalls, grp.rows, base)
 		if err != nil {
 			return nil, err
@@ -406,7 +509,7 @@ func (st *Statement) evaluateGrouped(rows []map[string]*Event, base *evalContext
 		// The representative row for non-aggregated expressions is the
 		// most recent row of the group.
 		repr := grp.rows[len(grp.rows)-1]
-		ctx := &evalContext{row: repr, aliasOrder: st.aliasOrder, aggs: aggs, funcs: st.engine.funcs}
+		ctx := &evalContext{row: repr, aliasOrder: st.aliasOrder, bind: st.bind, aggs: aggs, funcs: st.engine.funcs}
 		if st.Query.Having != nil {
 			pass, err := evalBool(st.Query.Having, ctx)
 			if err != nil {
@@ -426,10 +529,12 @@ func (st *Statement) evaluateGrouped(rows []map[string]*Event, base *evalContext
 }
 
 // evaluateRows handles aggregate-free queries: one output per join row.
-func (st *Statement) evaluateRows(rows []map[string]*Event, base *evalContext) ([]Output, error) {
+func (st *Statement) evaluateRows(rows [][]*Event, base *evalContext) ([]Output, error) {
 	var outputs []Output
+	ctx := &evalContext{aliasOrder: st.aliasOrder, bind: st.bind, funcs: st.engine.funcs}
 	for _, row := range rows {
-		ctx := &evalContext{row: row, aliasOrder: st.aliasOrder, funcs: st.engine.funcs}
+		ctx.row = row
+		ctx.aggs = nil
 		if st.Query.Having != nil {
 			pass, err := evalBool(st.Query.Having, ctx)
 			if err != nil {
@@ -448,8 +553,20 @@ func (st *Statement) evaluateRows(rows []map[string]*Event, base *evalContext) (
 	return outputs, nil
 }
 
+// rowMap exposes a position-indexed row as the alias→event map carried on
+// outputs for listeners that need raw access.
+func (st *Statement) rowMap(row []*Event) map[string]*Event {
+	m := make(map[string]*Event, len(row))
+	for i, ev := range row {
+		if ev != nil {
+			m[st.aliasOrder[i]] = ev
+		}
+	}
+	return m
+}
+
 // project builds one output from the SELECT clause.
-func (st *Statement) project(ctx *evalContext, row map[string]*Event) (Output, error) {
+func (st *Statement) project(ctx *evalContext, row []*Event) (Output, error) {
 	fields := make(map[string]Value)
 	for _, s := range st.Query.Select {
 		if s.Star {
@@ -466,23 +583,23 @@ func (st *Statement) project(ctx *evalContext, row map[string]*Event) (Output, e
 		}
 		fields[name] = v
 	}
-	return Output{Fields: fields, Row: row}, nil
+	return Output{Fields: fields, Row: st.rowMap(row)}, nil
 }
 
 // projectStar copies event fields into the output. With a single FROM item
 // the fields appear unqualified; with a join they are prefixed alias.field
 // to avoid collisions.
-func (st *Statement) projectStar(into map[string]Value, row map[string]*Event) {
+func (st *Statement) projectStar(into map[string]Value, row []*Event) {
 	if len(st.items) == 1 {
-		if ev := row[st.items[0].spec.Alias]; ev != nil {
+		if ev := row[0]; ev != nil {
 			for k, v := range ev.Fields {
 				into[k] = v
 			}
 		}
 		return
 	}
-	for _, it := range st.items {
-		ev := row[it.spec.Alias]
+	for i, it := range st.items {
+		ev := row[i]
 		if ev == nil {
 			continue
 		}
@@ -496,18 +613,23 @@ func (st *Statement) projectStar(into map[string]Value, row map[string]*Event) {
 func distinctOutputs(outputs []Output) []Output {
 	seen := make(map[string]bool, len(outputs))
 	var out []Output
+	var keys []string
+	var sig []byte
 	for _, o := range outputs {
-		keys := make([]string, 0, len(o.Fields))
+		keys = keys[:0]
 		for k := range o.Fields {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		sig := ""
+		sig = sig[:0]
 		for _, k := range keys {
-			sig += k + "=" + valueKey(o.Fields[k]) + ";"
+			sig = append(sig, k...)
+			sig = append(sig, '=')
+			sig = appendValueKey(sig, o.Fields[k])
+			sig = append(sig, ';')
 		}
-		if !seen[sig] {
-			seen[sig] = true
+		if !seen[string(sig)] {
+			seen[string(sig)] = true
 			out = append(out, o)
 		}
 	}
@@ -517,13 +639,18 @@ func distinctOutputs(outputs []Output) []Output {
 // orderOutputs sorts outputs by the ORDER BY keys. Order keys are evaluated
 // against each output's underlying row; aggregate order keys use values
 // already projected into the output.
-func (st *Statement) orderOutputs(outputs []Output, base *evalContext) error {
+func (st *Statement) orderOutputs(outputs []Output) error {
 	type keyed struct {
 		keys []Value
 	}
 	keysOf := make([]keyed, len(outputs))
+	row := make([]*Event, len(st.items))
+	ctx := &evalContext{row: row, aliasOrder: st.aliasOrder, bind: st.bind, funcs: st.engine.funcs}
 	for i, o := range outputs {
-		ctx := &evalContext{row: o.Row, aliasOrder: st.aliasOrder, funcs: st.engine.funcs, aggs: outputAggs(o)}
+		for j, alias := range st.aliasOrder {
+			row[j] = o.Row[alias]
+		}
+		ctx.aggs = outputAggs(o)
 		for _, item := range st.Query.OrderBy {
 			v, err := eval(item.Expr, ctx)
 			if err != nil {

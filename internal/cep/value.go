@@ -118,6 +118,9 @@ func valueKey(v Value) string {
 	}
 }
 
+// keySep separates the components of a composite hash key.
+const keySep = '\x1f'
+
 // compositeKey joins multiple value keys into a single hash key.
 func compositeKey(vals []Value) string {
 	switch len(vals) {
@@ -128,7 +131,43 @@ func compositeKey(vals []Value) string {
 	}
 	out := valueKey(vals[0])
 	for _, v := range vals[1:] {
-		out += "\x1f" + valueKey(v)
+		out += string(keySep) + valueKey(v)
 	}
 	return out
+}
+
+// appendValueKey appends valueKey(v) to buf without intermediate string
+// allocations for the common numeric and string cases. The rendering must
+// stay byte-identical to valueKey: hot paths build keys with this function
+// and look them up in maps populated via either path.
+func appendValueKey(buf []byte, v Value) []byte {
+	if n, ok := numeric(v); ok {
+		if n == math.Trunc(n) && math.Abs(n) < 1e15 {
+			buf = append(buf, 'n')
+			return strconv.AppendInt(buf, int64(n), 10)
+		}
+		buf = append(buf, 'f')
+		return strconv.AppendFloat(buf, n, 'g', -1, 64)
+	}
+	switch x := v.(type) {
+	case string:
+		buf = append(buf, 's')
+		return append(buf, x...)
+	case nil:
+		return append(buf, '_')
+	default:
+		return fmt.Appendf(buf, "o%v", x)
+	}
+}
+
+// appendCompositeKey appends compositeKey(vals) to buf; same contract as
+// appendValueKey.
+func appendCompositeKey(buf []byte, vals []Value) []byte {
+	for i, v := range vals {
+		if i > 0 {
+			buf = append(buf, keySep)
+		}
+		buf = appendValueKey(buf, v)
+	}
+	return buf
 }

@@ -9,8 +9,16 @@ import (
 
 // window is the runtime state behind one FROM item: the set of events the
 // item's view chain currently retains. insert returns the events added to
-// and removed from the retained set so that join indexes can be maintained
-// incrementally.
+// and removed from the retained set so that join indexes and incremental
+// aggregate state can be maintained from deltas alone.
+//
+// The delta contract every implementation must honor (and that
+// TestWindowDeltaContract enforces): after insert, the new contents equal
+// the old contents minus `removed` plus `added` as an exact multiset; no
+// event appears in both slices; and an event is only ever removed after a
+// prior insert reported it added. Incremental evaluation retracts removed
+// events from running sums before folding in added ones, so a window that
+// under- or over-reports deltas silently corrupts aggregates.
 type window interface {
 	insert(ev *Event) (added, removed []*Event)
 	contents() []*Event

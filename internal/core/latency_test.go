@@ -4,7 +4,7 @@ import (
 	"testing"
 )
 
-func TestMeasureRuleLatencyGrowsWithWindow(t *testing.T) {
+func TestMeasureRuleLatencyFlatInWindow(t *testing.T) {
 	if testing.Short() {
 		t.Skip("live measurement")
 	}
@@ -19,10 +19,12 @@ func TestMeasureRuleLatencyGrowsWithWindow(t *testing.T) {
 	if small <= 0 || big <= 0 {
 		t.Fatalf("latencies must be positive: %v, %v", small, big)
 	}
-	// A 1000-tuple window aggregates far more per evaluation than a
-	// 1-tuple window; allow generous noise headroom.
-	if big < small {
-		t.Fatalf("window=1000 latency %v below window=1 latency %v", big, small)
+	// With incremental evaluation the per-event cost no longer scales with
+	// the window length: the 1000-tuple window must stay within an order
+	// of magnitude of the 1-tuple window (generous headroom for timing
+	// noise, not a growth curve).
+	if big > small*10 {
+		t.Fatalf("window=1000 latency %v not flat vs window=1 latency %v", big, small)
 	}
 }
 

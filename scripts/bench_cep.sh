@@ -1,0 +1,36 @@
+#!/bin/sh
+# Runs the CEP hot-path benchmarks and records ns/op per series into
+# BENCH_cep.json at the repo root. Non-blocking: meant for tracking the
+# incremental-evaluation numbers over time, not as a pass/fail gate.
+#
+# Usage: scripts/bench_cep.sh [benchtime]   (default 1s)
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-1s}"
+out="BENCH_cep.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' \
+	-bench 'BenchmarkListing1_RuleEvaluation|BenchmarkAblationJoinStrategy' \
+	-benchtime "$benchtime" . | tee "$raw"
+
+awk -v benchtime="$benchtime" '
+	BEGIN { n = 0 }
+	/^Benchmark/ && $4 == "ns/op" {
+		name = $1
+		sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix
+		names[n] = name
+		nsop[n++] = $3 + 0
+	}
+	END {
+		if (n == 0) { print "bench_cep.sh: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+		printf "{\n  \"benchtime\": \"%s\",\n  \"ns_per_op\": {\n", benchtime
+		for (i = 0; i < n; i++)
+			printf "    \"%s\": %s%s\n", names[i], nsop[i], (i < n-1 ? "," : "")
+		printf "  }\n}\n"
+	}
+' "$raw" > "$out"
+
+echo "wrote $out"
