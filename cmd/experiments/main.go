@@ -31,6 +31,7 @@ var exps = []struct {
 	{"fig14", "Figures 14-15: workload mixes", runFig14},
 	{"fig16", "Figures 16-17: VM scalability", runFig16},
 	{"table6", "Table 6: rule template parameters", runTable6},
+	{"rebalance", "Skew-shift recovery: live rebalancing vs static routing (§4.2.1 dynamic loop)", runRebalance},
 }
 
 func main() {
@@ -179,5 +180,25 @@ func runTable6() error {
 	for _, row := range experiments.Table6() {
 		fmt.Printf("%-16s %s\n", row[0], row[1])
 	}
+	return nil
+}
+
+func runRebalance() error {
+	res, err := experiments.SkewShift(experiments.SkewShiftConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("skew trigger threshold (max/mean): %.2f\n", res.Threshold)
+	fmt.Printf("final-window skew, static routing:  %.3f\n", res.StaticSkew)
+	fmt.Printf("final-window skew, live rebalance:  %.3f\n", res.RebalancedSkew)
+	fmt.Printf("routing swaps: %d, locations moved: %d\n", res.Swaps, res.Moves)
+	fmt.Printf("rebalance cycle duration: %v\n", res.RebalanceDuration)
+	// Machine-readable lines for scripts/bench_rebalance.sh.
+	fmt.Printf("threshold=%g\n", res.Threshold)
+	fmt.Printf("static_skew=%g\n", res.StaticSkew)
+	fmt.Printf("rebalanced_skew=%g\n", res.RebalancedSkew)
+	fmt.Printf("swaps=%d\n", res.Swaps)
+	fmt.Printf("moves=%d\n", res.Moves)
+	fmt.Printf("rebalance_us=%d\n", res.RebalanceDuration.Microseconds())
 	return nil
 }

@@ -52,6 +52,9 @@ type options struct {
 	ackRetries    int
 	failurePolicy string
 	runDeadline   time.Duration
+
+	rebalanceInterval time.Duration
+	rebalanceSkew     float64
 }
 
 func main() {
@@ -68,6 +71,8 @@ func main() {
 	flag.IntVar(&opt.ackRetries, "ack.retries", 3, "replays per anchored tuple before it expires as dropped")
 	flag.StringVar(&opt.failurePolicy, "failure.policy", "failfast", "task failure policy: failfast (first error fails the run) or degrade (quarantine failing tasks, keep running)")
 	flag.DurationVar(&opt.runDeadline, "run.deadline", 0, "cancel the run gracefully after this duration (0 = no deadline)")
+	flag.DurationVar(&opt.rebalanceInterval, "rebalance.interval", 0, "re-run the rules partitioning over live rate estimates this often and swap the routing table when skewed (0 = static routing)")
+	flag.Float64Var(&opt.rebalanceSkew, "rebalance.skew", 2, "skew trigger for live rebalancing: swap when max/mean per-engine rate reaches this")
 	flag.Parse()
 
 	if opt.tracesPath == "" {
@@ -195,6 +200,28 @@ func run(opt options) error {
 		return err
 	}
 	deps.Config.Routing = routing
+
+	// Live rebalancing (§4.2.1 dynamic loop): the splitter feeds observed
+	// locations into the rebalancer's rate estimators; every interval (or
+	// when max/mean per-engine rate crosses the skew trigger) Algorithm 1
+	// re-runs on the live snapshot, rules migrate make-before-break, and
+	// the routing table is swapped atomically.
+	var reb *core.Rebalancer
+	if opt.rebalanceInterval > 0 {
+		mig := &core.RuleMigrator{Rules: rules, Store: store, Manager: manager}
+		reb, err = core.NewRebalancer(core.RebalancerConfig{
+			Routing:       routing,
+			SkewThreshold: opt.rebalanceSkew,
+			Migrator:      mig,
+			Telemetry:     tel,
+		})
+		if err != nil {
+			return err
+		}
+		deps.Config.Rebalancer = reb
+		fmt.Printf("rebalancing: every %v, skew trigger %.2f\n", opt.rebalanceInterval, opt.rebalanceSkew)
+	}
+
 	deps.Config.EngineSetup = func(task int, eng *cep.Engine) ([]*core.InstalledRule, error) {
 		var installs []*core.InstalledRule
 		for _, r := range rules {
@@ -244,6 +271,28 @@ func run(opt options) error {
 	rt, err := storm.New(topo, stormOpts...)
 	if err != nil {
 		return err
+	}
+	if reb != nil {
+		// Drain barrier for routing swaps: tuples the splitter emitted
+		// that the engines have not yet executed or dropped.
+		mon := rt.Monitor()
+		reb.SetInFlight(func() int {
+			var emitted, done uint64
+			for _, tot := range mon.TotalsByComponent() {
+				switch tot.Component {
+				case core.CompSplitter:
+					emitted = tot.Emitted
+				case core.CompEsper:
+					done = tot.Executed + tot.Dropped
+				}
+			}
+			if emitted > done {
+				return int(emitted - done)
+			}
+			return 0
+		})
+		reb.Start(opt.rebalanceInterval)
+		defer reb.Stop()
 	}
 	rt.Monitor().Subscribe(func(rep storm.Report) {
 		cs := rep.Components[core.CompEsper]
@@ -295,6 +344,16 @@ func run(opt options) error {
 	if ft := rt.FaultTotals(); ft != (storm.FaultTotals{}) {
 		fmt.Printf("faults: panics=%d replays=%d acked=%d dropped=%d quarantined=%d missing_field=%d\n",
 			ft.Panics, ft.Replays, ft.Acked, ft.Dropped, ft.Quarantined, ft.MissingField)
+	}
+	if reb != nil {
+		reb.Stop()
+		tot := reb.Totals()
+		fmt.Printf("rebalancing: cycles=%d swaps=%d moves=%d drained=%d\n",
+			tot.Cycles, tot.Swaps, tot.Moves, tot.Drained)
+		if rep := reb.LastReport(); rep.Swapped {
+			fmt.Printf("  last swap: %d moves, skew %.2f → %.2f, took %v (drained %d in-flight)\n",
+				len(rep.Moves), rep.SkewBefore, rep.SkewAfter, rep.Duration, rep.InFlightDrained)
+		}
 	}
 	if tel != nil {
 		snap := tel.Gather()

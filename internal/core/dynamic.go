@@ -255,6 +255,20 @@ func (m *DynamicManager) Register(inst *InstalledRule) {
 	m.mu.Unlock()
 }
 
+// Unregister removes a rule installation from the refresh set; used when a
+// live rebalance drains the last location off an engine and removes the
+// statement. Unknown installations are ignored.
+func (m *DynamicManager) Unregister(inst *InstalledRule) {
+	m.mu.Lock()
+	for i, have := range m.installs {
+		if have == inst {
+			m.installs = append(m.installs[:i], m.installs[i+1:]...)
+			break
+		}
+	}
+	m.mu.Unlock()
+}
+
 // AppendHistory persists one record for the batch layer.
 func (m *DynamicManager) AppendHistory(rec HistoryRecord) error {
 	if err := m.FS.AppendLine(m.historyPath(), rec.MarshalLine()); err != nil {

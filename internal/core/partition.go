@@ -100,12 +100,21 @@ func (p *Partition) TotalRate() float64 {
 // RateEstimator tracks per-location input rates incrementally: the system
 // has "some initial knowledge about these rates (e.g. from historical data)
 // and incrementally update[s] them while the application runs" (§4.2.1).
-// It keeps an exponentially-weighted count per location; Snapshot converts
-// the counts into RegionRates. Safe for concurrent use.
+// It keeps an exponentially-weighted count per location plus the matching
+// exponentially-weighted number of completed estimation windows, so Snapshot
+// can report true *rates* — tuples per estimation window (the interval
+// between Decay calls) — rather than raw EWMA counts. Two estimators with
+// different Decay cadences or smoothing factors observing the same steady
+// stream therefore report the same per-window rate, which keeps Algorithm
+// 1's balance objective scale-correct. Safe for concurrent use.
 type RateEstimator struct {
 	mu     sync.Mutex
 	alpha  float64 // smoothing factor per Decay call
 	counts map[string]float64
+	// windows is the EWMA-weighted count of completed estimation windows
+	// (updated by Decay with the same recurrence as counts), i.e. the
+	// normalization denominator that turns counts into per-window rates.
+	windows float64
 }
 
 // NewRateEstimator creates an estimator seeded with prior rates (may be
@@ -128,23 +137,33 @@ func (e *RateEstimator) Observe(location string) {
 	e.mu.Unlock()
 }
 
-// Decay ages all counts by the smoothing factor; call once per estimation
+// Decay closes one estimation window: all counts age by the smoothing
+// factor, and the window normalizer ages with them. Call once per estimation
 // window.
 func (e *RateEstimator) Decay() {
 	e.mu.Lock()
 	for k := range e.counts {
 		e.counts[k] *= e.alpha
 	}
+	e.windows = (e.windows + 1) * e.alpha
 	e.mu.Unlock()
 }
 
-// Snapshot returns the current rates sorted by descending rate then
-// location.
+// Snapshot returns the current rates, in tuples per estimation window,
+// sorted by descending rate then location. Counts are normalized by the
+// EWMA-weighted number of completed windows; before the first Decay the
+// normalizer is 1, so raw counts (and seeded prior rates) are returned
+// unchanged — the bootstrap reading. A snapshot taken mid-window includes
+// the current window's un-aged counts and is correspondingly approximate.
 func (e *RateEstimator) Snapshot() []RegionRate {
 	e.mu.Lock()
+	norm := e.windows
+	if norm == 0 {
+		norm = 1
+	}
 	out := make([]RegionRate, 0, len(e.counts))
 	for k, v := range e.counts {
-		out = append(out, RegionRate{Location: k, Rate: v})
+		out = append(out, RegionRate{Location: k, Rate: v / norm})
 	}
 	e.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {

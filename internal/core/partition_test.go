@@ -161,10 +161,36 @@ func TestRateEstimator(t *testing.T) {
 	if snap[1].Location != "b" || snap[1].Rate != 6 {
 		t.Fatalf("observed count wrong: %v", snap)
 	}
+	// Decay closes the first estimation window. Counts age to 5 and 3, but
+	// the window normalizer ages to 0.5 with them, so the reported *rates*
+	// (tuples per window) are unchanged: a steady source keeps a steady rate.
 	e.Decay()
 	snap = e.Snapshot()
-	if snap[0].Rate != 5 || snap[1].Rate != 3 {
-		t.Fatalf("decay wrong: %v", snap)
+	if snap[0].Rate != 10 || snap[1].Rate != 6 {
+		t.Fatalf("normalized rates after decay wrong: %v", snap)
+	}
+}
+
+func TestRateEstimatorScaleCorrect(t *testing.T) {
+	// Two estimators with different smoothing factors watch the same steady
+	// stream: 6 tuples per window for 8 windows. Both must converge on the
+	// same per-window rate, so Algorithm 1's balance objective does not
+	// depend on the Decay cadence or alpha (the PR-4 unit bugfix).
+	for _, alpha := range []float64{0.25, 0.5, 0.9} {
+		e := NewRateEstimator(nil, alpha)
+		for w := 0; w < 8; w++ {
+			for i := 0; i < 6; i++ {
+				e.Observe("loc")
+			}
+			e.Decay()
+		}
+		snap := e.Snapshot()
+		if len(snap) != 1 {
+			t.Fatalf("alpha=%v: snapshot = %v", alpha, snap)
+		}
+		if math.Abs(snap[0].Rate-6) > 1e-9 {
+			t.Fatalf("alpha=%v: steady rate = %v, want 6", alpha, snap[0].Rate)
+		}
 	}
 }
 

@@ -1,0 +1,748 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trafficcep/internal/cep"
+	"trafficcep/internal/sqlstore"
+	"trafficcep/internal/telemetry"
+)
+
+// This file closes the dynamic loop of §4.2.1: the paper asks for input
+// rates to be "incrementally update[d] while the application runs", so the
+// Splitter feeds its observed locations into per-field RateEstimators and a
+// Rebalancer periodically (or on a skew trigger) re-runs Algorithm 1 from
+// the live snapshot, diffs the resulting routing table against the
+// installed one, migrates the affected rule statements, and swaps the table
+// atomically. Readers never block and never see a half-built table.
+
+// RoutingHandle is an atomically swappable reference to an immutable
+// RoutingTable. The Splitter loads it on every tuple; the Rebalancer swaps
+// in freshly built tables. Tables must not be mutated after installation.
+type RoutingHandle struct {
+	p atomic.Pointer[RoutingTable]
+}
+
+// NewRoutingHandle installs an initial table.
+func NewRoutingHandle(rt *RoutingTable) *RoutingHandle {
+	h := &RoutingHandle{}
+	h.p.Store(rt)
+	return h
+}
+
+// Load returns the current table.
+func (h *RoutingHandle) Load() *RoutingTable { return h.p.Load() }
+
+// Swap installs a new table and returns the previous one.
+func (h *RoutingHandle) Swap(rt *RoutingTable) *RoutingTable { return h.p.Swap(rt) }
+
+// Move records one location changing engines during a rebalance.
+type Move struct {
+	Field    string
+	Location string
+	From     []int // engine tasks that served the location before
+	To       []int // engine tasks that serve it after
+}
+
+// RebalanceReport summarizes one rebalance cycle.
+type RebalanceReport struct {
+	// Swapped is true when a new routing table was installed.
+	Swapped bool
+	// Moves lists the locations that changed engines (empty when the fresh
+	// partition matched the installed one).
+	Moves []Move
+	// SkewBefore/SkewAfter are the max/mean per-engine input-rate ratios
+	// under the old and new tables, measured on the same rate snapshot.
+	SkewBefore, SkewAfter float64
+	// Duration is the wall-clock cost of the cycle, including migration.
+	Duration time.Duration
+	// InFlightDrained is how many routed tuples were still in flight at
+	// swap time and were waited out before releasing the source engines.
+	InFlightDrained int
+	// ReleasesDeferred counts source-release operations postponed to the
+	// next cycle because the in-flight drain was unavailable or timed out.
+	ReleasesDeferred int
+}
+
+// RebalanceTotals aggregates rebalancing activity over the run.
+type RebalanceTotals struct {
+	Cycles  uint64 // skew checks performed
+	Swaps   uint64 // routing tables installed
+	Moves   uint64 // locations migrated
+	Drained uint64 // in-flight tuples waited out across all swaps
+}
+
+// EngineMigrator performs the engine-side half of a routing swap. The
+// Rebalancer guarantees make-before-break ordering: PrepareTarget for every
+// gaining engine completes before the table swap, and ReleaseSource for the
+// losing engines runs only after the swap (immediately once in-flight
+// tuples drain, otherwise deferred to a later cycle). Stale statements on a
+// source engine are harmless in the interim — no tuples for the moved
+// locations arrive there after the swap.
+type EngineMigrator interface {
+	// PrepareTarget makes task's engine ready to serve the listed
+	// locations of one location field (install statements, load
+	// thresholds). An error aborts the swap; the old table stays live.
+	PrepareTarget(task int, field string, locations []string) error
+	// ReleaseSource retires the listed locations from task's engine,
+	// removing statements that no longer serve any location.
+	ReleaseSource(task int, field string, locations []string) error
+}
+
+// EngineRegistrar is implemented by migrators that want the per-task engine
+// handles the topology creates at Prepare time.
+type EngineRegistrar interface {
+	RegisterEngine(task int, eng *cep.Engine, installs []*InstalledRule, forward cep.Listener)
+}
+
+// RebalancerConfig configures NewRebalancer.
+type RebalancerConfig struct {
+	// Routing is the initial table; must use RouteByLocation (RouteAll has
+	// nothing to rebalance).
+	Routing *RoutingTable
+	// SkewThreshold triggers a rebalance when the max/mean per-engine
+	// input-rate ratio meets or exceeds it. Defaults to 2.
+	SkewThreshold float64
+	// Alpha is the rate estimators' smoothing factor per estimation
+	// window, as in NewRateEstimator. 0 defaults to 0.5.
+	Alpha float64
+	// CheckEvery, when > 0, runs a skew check inline every CheckEvery
+	// observations (on the Splitter's goroutine), making rebalance points
+	// deterministic in the input feed. Each check closes one estimation
+	// window. Combine with Start for wall-clock checks instead.
+	CheckEvery int
+	// Migrator moves rule state between engines; nil skips statement
+	// migration (routing-only rebalancing, e.g. experiments).
+	Migrator EngineMigrator
+	// InFlight, when set, reports how many routed tuples are currently
+	// between the Splitter and the engines; the Rebalancer polls it after
+	// a swap to drain before releasing source engines. Nil defers source
+	// releases to the next cycle instead.
+	InFlight func() int
+	// DrainTimeout bounds the post-swap drain wait. Defaults to 2s.
+	DrainTimeout time.Duration
+	// Telemetry, when set, receives core.rebalance.* metrics.
+	Telemetry *telemetry.Registry
+}
+
+// releaseOp is one deferred ReleaseSource call.
+type releaseOp struct {
+	task      int
+	field     string
+	locations []string
+}
+
+// Rebalancer re-runs Algorithm 1 over live rate estimates and swaps the
+// routing table when the per-engine load skews. Observe is safe to call
+// concurrently with table reads; rebalance cycles are serialized.
+type Rebalancer struct {
+	handle       *RoutingHandle
+	fields       []string
+	est          map[string]*RateEstimator
+	skew         float64
+	checkEvery   int
+	migrator     EngineMigrator
+	drainTimeout time.Duration
+
+	obs atomic.Uint64 // observations since start, for CheckEvery
+
+	mu       sync.Mutex // serializes cycles, guards the fields below
+	inFlight func() int
+	pending  []releaseOp
+	totals   RebalanceTotals
+	last     RebalanceReport
+
+	tickStop chan struct{}
+	tickWG   sync.WaitGroup
+
+	mCycles, mSwaps, mMoves, mDrained *telemetry.Counter
+	mSkew, mDuration                  *telemetry.Gauge
+}
+
+// NewRebalancer builds a Rebalancer around an initial routing table. The
+// table becomes owned by the rebalancer's handle and must not be mutated
+// afterwards.
+func NewRebalancer(cfg RebalancerConfig) (*Rebalancer, error) {
+	if cfg.Routing == nil {
+		return nil, fmt.Errorf("core: rebalancer requires an initial routing table")
+	}
+	if cfg.Routing.Mode != RouteByLocation {
+		return nil, fmt.Errorf("core: rebalancer requires RouteByLocation routing")
+	}
+	if cfg.SkewThreshold <= 1 {
+		cfg.SkewThreshold = 2
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 2 * time.Second
+	}
+	rb := &Rebalancer{
+		handle:       NewRoutingHandle(cfg.Routing),
+		fields:       append([]string(nil), cfg.Routing.fields...),
+		est:          make(map[string]*RateEstimator, len(cfg.Routing.fields)),
+		skew:         cfg.SkewThreshold,
+		checkEvery:   cfg.CheckEvery,
+		migrator:     cfg.Migrator,
+		drainTimeout: cfg.DrainTimeout,
+		inFlight:     cfg.InFlight,
+	}
+	for _, f := range rb.fields {
+		rb.est[f] = NewRateEstimator(nil, cfg.Alpha)
+	}
+	if reg := cfg.Telemetry; reg != nil {
+		rb.mCycles = reg.Counter("core.rebalance.cycles")
+		rb.mSwaps = reg.Counter("core.rebalance.swaps")
+		rb.mMoves = reg.Counter("core.rebalance.moves")
+		rb.mDrained = reg.Counter("core.rebalance.drained")
+		rb.mSkew = reg.Gauge("core.rebalance.skew")
+		rb.mDuration = reg.Gauge("core.rebalance.last_duration_ns")
+	}
+	return rb, nil
+}
+
+// Handle returns the swappable routing handle the Splitter reads.
+func (rb *Rebalancer) Handle() *RoutingHandle { return rb.handle }
+
+// Table returns the currently installed routing table.
+func (rb *Rebalancer) Table() *RoutingTable { return rb.handle.Load() }
+
+// SetInFlight installs the in-flight probe after construction (the monitor
+// it reads from often only exists once the runtime is built). Call before
+// Start or the first rebalance.
+func (rb *Rebalancer) SetInFlight(f func() int) {
+	rb.mu.Lock()
+	rb.inFlight = f
+	rb.mu.Unlock()
+}
+
+// RegisterEngine forwards a task's engine handle to the migrator (when it
+// wants one). Called by the EsperBolt tasks during Prepare.
+func (rb *Rebalancer) RegisterEngine(task int, eng *cep.Engine, installs []*InstalledRule, forward cep.Listener) {
+	if reg, ok := rb.migrator.(EngineRegistrar); ok {
+		reg.RegisterEngine(task, eng, installs, forward)
+	}
+}
+
+// Observe records one tuple's location fields in the rate estimators and,
+// in CheckEvery mode, runs the periodic skew check inline.
+func (rb *Rebalancer) Observe(values map[string]any) {
+	for _, f := range rb.fields {
+		if loc, _ := values[f].(string); loc != "" {
+			rb.est[f].Observe(loc)
+		}
+	}
+	if rb.checkEvery > 0 && rb.obs.Add(1)%uint64(rb.checkEvery) == 0 {
+		rb.MaybeRebalance()
+	}
+}
+
+// MaybeRebalance closes the current estimation window and rebalances only
+// if the skew trigger fires.
+func (rb *Rebalancer) MaybeRebalance() (RebalanceReport, error) { return rb.cycle(false) }
+
+// RebalanceOnce closes the current estimation window and rebalances
+// unconditionally (the periodic path and tests).
+func (rb *Rebalancer) RebalanceOnce() (RebalanceReport, error) { return rb.cycle(true) }
+
+// Start launches a wall-clock skew check every interval; Stop ends it.
+func (rb *Rebalancer) Start(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	rb.tickStop = make(chan struct{})
+	rb.tickWG.Add(1)
+	go func() {
+		defer rb.tickWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-rb.tickStop:
+				return
+			case <-t.C:
+				rb.MaybeRebalance()
+			}
+		}
+	}()
+}
+
+// Stop ends the periodic checker (if running) and flushes any deferred
+// source releases.
+func (rb *Rebalancer) Stop() {
+	if rb.tickStop != nil {
+		close(rb.tickStop)
+		rb.tickWG.Wait()
+		rb.tickStop = nil
+	}
+	rb.mu.Lock()
+	rb.flushPendingLocked()
+	rb.mu.Unlock()
+}
+
+// Totals returns aggregate rebalancing activity.
+func (rb *Rebalancer) Totals() RebalanceTotals {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return rb.totals
+}
+
+// LastReport returns the most recent cycle's report.
+func (rb *Rebalancer) LastReport() RebalanceReport {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return rb.last
+}
+
+// cycle is one rebalance pass: flush deferred releases, snapshot rates,
+// check skew, and — when triggered or forced — rebuild, migrate and swap.
+func (rb *Rebalancer) cycle(force bool) (RebalanceReport, error) {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	start := time.Now()
+	rb.flushPendingLocked()
+
+	table := rb.handle.Load()
+	rates := make(map[string][]RegionRate, len(rb.fields))
+	for _, f := range rb.fields {
+		rates[f] = withTableLocations(table, f, rb.est[f].Snapshot())
+	}
+	// The snapshot is taken; close the estimation window regardless of the
+	// outcome so the next cycle sees fresh rates.
+	for _, f := range rb.fields {
+		rb.est[f].Decay()
+	}
+
+	rep := RebalanceReport{SkewBefore: rb.skewOf(table, rates)}
+	rep.SkewAfter = rep.SkewBefore
+	rb.totals.Cycles++
+
+	var err error
+	if force || rep.SkewBefore >= rb.skew {
+		err = rb.swapLocked(table, rates, &rep)
+	}
+	rep.Duration = time.Since(start)
+	rb.last = rep
+	rb.publishLocked(rep)
+	return rep, err
+}
+
+// swapLocked rebuilds the table from rates and, if anything moved,
+// migrates and swaps. Called with rb.mu held.
+func (rb *Rebalancer) swapLocked(table *RoutingTable, rates map[string][]RegionRate, rep *RebalanceReport) error {
+	fresh, err := rb.rebuild(table, rates)
+	if err != nil {
+		return err
+	}
+	moves := diffTables(table, fresh, rb.fields)
+	if len(moves) == 0 {
+		return nil
+	}
+	adds, rems := groupMoves(moves)
+	if rb.migrator != nil {
+		// Make-before-break: targets must be able to serve their new
+		// locations before any tuple is routed to them. A failure here
+		// aborts the swap; extra prepared state on targets is harmless.
+		if err := rb.applyOps(adds, rb.migrator.PrepareTarget); err != nil {
+			return fmt.Errorf("core: rebalance aborted preparing targets: %w", err)
+		}
+	}
+	rb.handle.Swap(fresh)
+	rep.Swapped = true
+	rep.Moves = moves
+	rep.SkewAfter = rb.skewOf(fresh, rates)
+	rb.totals.Swaps++
+	rb.totals.Moves += uint64(len(moves))
+
+	if rb.migrator != nil {
+		drained, ok := rb.drainLocked()
+		rep.InFlightDrained = drained
+		rb.totals.Drained += uint64(drained)
+		if ok {
+			// ReleaseSource failures leave stale (unreachable) statements
+			// behind; routing correctness is unaffected.
+			_ = rb.applyOps(rems, rb.migrator.ReleaseSource)
+		} else {
+			for task, byField := range rems {
+				for field, locs := range byField {
+					rb.pending = append(rb.pending, releaseOp{task: task, field: field, locations: locs})
+					rep.ReleasesDeferred++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// drainLocked waits for in-flight routed tuples to clear after a swap.
+// Returns the in-flight count observed at swap time and whether the drain
+// completed (false: no probe installed, or timeout — release is deferred).
+func (rb *Rebalancer) drainLocked() (int, bool) {
+	if rb.inFlight == nil {
+		return 0, false
+	}
+	first := rb.inFlight()
+	if first < 0 {
+		first = 0
+	}
+	deadline := time.Now().Add(rb.drainTimeout)
+	for rb.inFlight() > 0 {
+		if time.Now().After(deadline) {
+			return first, false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return first, true
+}
+
+// flushPendingLocked retries deferred source releases. Called with rb.mu
+// held.
+func (rb *Rebalancer) flushPendingLocked() {
+	if rb.migrator == nil || len(rb.pending) == 0 {
+		rb.pending = nil
+		return
+	}
+	for _, op := range rb.pending {
+		_ = rb.migrator.ReleaseSource(op.task, op.field, op.locations)
+	}
+	rb.pending = nil
+}
+
+// applyOps runs a migrator hook for every (task, field) group in
+// deterministic order.
+func (rb *Rebalancer) applyOps(ops map[int]map[string][]string, fn func(task int, field string, locations []string) error) error {
+	tasks := make([]int, 0, len(ops))
+	for t := range ops {
+		tasks = append(tasks, t)
+	}
+	sort.Ints(tasks)
+	for _, t := range tasks {
+		fields := make([]string, 0, len(ops[t]))
+		for f := range ops[t] {
+			fields = append(fields, f)
+		}
+		sort.Strings(fields)
+		for _, f := range fields {
+			locs := append([]string(nil), ops[t][f]...)
+			sort.Strings(locs)
+			if err := fn(t, f, locs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// rebuild runs Algorithm 1 per location field over the snapshot and
+// assembles a fresh table on the same engine task sets as the old one.
+func (rb *Rebalancer) rebuild(table *RoutingTable, rates map[string][]RegionRate) (*RoutingTable, error) {
+	fresh := NewRoutingTable(table.Mode, table.Engines)
+	for _, f := range rb.fields {
+		tasks := table.taskSets[f]
+		if len(tasks) == 0 {
+			continue
+		}
+		part, err := PartitionRegions(rates[f], len(tasks))
+		if err != nil {
+			return nil, err
+		}
+		if err := fresh.AddPartition(f, part, tasks); err != nil {
+			return nil, err
+		}
+	}
+	return fresh, nil
+}
+
+// skewOf computes max/mean aggregate input rate over the engine tasks of a
+// table, under the given snapshot. 1 means perfectly balanced (or nothing
+// to measure).
+func (rb *Rebalancer) skewOf(table *RoutingTable, rates map[string][]RegionRate) float64 {
+	perTask := make(map[int]float64)
+	for _, f := range rb.fields {
+		for _, t := range table.taskSets[f] {
+			perTask[t] += 0
+		}
+		for _, r := range rates[f] {
+			for _, t := range table.routes[f][r.Location] {
+				perTask[t] += r.Rate
+			}
+		}
+	}
+	if len(perTask) == 0 {
+		return 1
+	}
+	max, sum := 0.0, 0.0
+	for _, v := range perTask {
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	if sum == 0 {
+		return 1
+	}
+	return max / (sum / float64(len(perTask)))
+}
+
+// publishLocked pushes a cycle's results into telemetry. Called with rb.mu
+// held.
+func (rb *Rebalancer) publishLocked(rep RebalanceReport) {
+	if rb.mCycles == nil {
+		return
+	}
+	rb.mCycles.Inc()
+	if rep.Swapped {
+		rb.mSwaps.Inc()
+		rb.mMoves.Add(uint64(len(rep.Moves)))
+		rb.mDrained.Add(uint64(rep.InFlightDrained))
+	}
+	rb.mSkew.Set(rep.SkewAfter)
+	rb.mDuration.Set(float64(rep.Duration.Nanoseconds()))
+}
+
+// withTableLocations appends zero-rate entries for locations the installed
+// table routes but the snapshot has not seen this window, so a quiet
+// location never loses its route (it would otherwise become unrouted).
+func withTableLocations(table *RoutingTable, field string, snap []RegionRate) []RegionRate {
+	seen := make(map[string]bool, len(snap))
+	for _, r := range snap {
+		seen[r.Location] = true
+	}
+	for loc := range table.routes[field] {
+		if !seen[loc] {
+			snap = append(snap, RegionRate{Location: loc, Rate: 0})
+		}
+	}
+	return snap
+}
+
+// diffTables lists the locations whose engine task set changed.
+func diffTables(old, fresh *RoutingTable, fields []string) []Move {
+	var moves []Move
+	for _, f := range fields {
+		locs := make([]string, 0, len(old.routes[f])+len(fresh.routes[f]))
+		seen := make(map[string]bool)
+		for loc := range old.routes[f] {
+			locs = append(locs, loc)
+			seen[loc] = true
+		}
+		for loc := range fresh.routes[f] {
+			if !seen[loc] {
+				locs = append(locs, loc)
+			}
+		}
+		sort.Strings(locs)
+		for _, loc := range locs {
+			o := sortedCopy(old.routes[f][loc])
+			n := sortedCopy(fresh.routes[f][loc])
+			if !equalInts(o, n) {
+				moves = append(moves, Move{Field: f, Location: loc, From: o, To: n})
+			}
+		}
+	}
+	return moves
+}
+
+// groupMoves splits a move list into per-(task, field) location additions
+// and removals.
+func groupMoves(moves []Move) (adds, rems map[int]map[string][]string) {
+	adds = make(map[int]map[string][]string)
+	rems = make(map[int]map[string][]string)
+	put := func(m map[int]map[string][]string, task int, field, loc string) {
+		byField, ok := m[task]
+		if !ok {
+			byField = make(map[string][]string)
+			m[task] = byField
+		}
+		byField[field] = append(byField[field], loc)
+	}
+	for _, mv := range moves {
+		for _, t := range mv.To {
+			if !containsInt(mv.From, t) {
+				put(adds, t, mv.Field, mv.Location)
+			}
+		}
+		for _, t := range mv.From {
+			if !containsInt(mv.To, t) {
+				put(rems, t, mv.Field, mv.Location)
+			}
+		}
+	}
+	return adds, rems
+}
+
+func sortedCopy(s []int) []int {
+	out := append([]int(nil), s...)
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// RuleMigrator is the EngineMigrator for the Figure 8 topology under the
+// paper's adopted threshold-stream strategy: moving a location to a target
+// engine means installing the affected rules there (if absent) and loading
+// the location's thresholds into the rules' threshold streams; releasing a
+// source shrinks its location set and removes statements that serve no
+// locations anymore.
+//
+// Engines self-register via the Rebalancer during EsperBolt.Prepare.
+// Migration mutates InstalledRule.Options.Locations, so a rebalance must
+// not run concurrently with DynamicManager batch refreshes of the same
+// installations (trafficd serializes the two).
+type RuleMigrator struct {
+	// Rules is the full rule set; only rules whose LocationField matches
+	// the migrated field are touched.
+	Rules []Rule
+	// Store supplies thresholds for target installs.
+	Store *sqlstore.ThresholdStore
+	// Manager, when set, tracks installs created and removed by migration
+	// so batch refreshes stay accurate.
+	Manager *DynamicManager
+
+	mu       sync.Mutex
+	engines  map[int]*cep.Engine
+	forward  map[int]cep.Listener
+	installs map[int]map[string]*InstalledRule // task → rule name → install
+}
+
+// RegisterEngine implements EngineRegistrar.
+func (m *RuleMigrator) RegisterEngine(task int, eng *cep.Engine, installs []*InstalledRule, forward cep.Listener) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.engines == nil {
+		m.engines = make(map[int]*cep.Engine)
+		m.forward = make(map[int]cep.Listener)
+		m.installs = make(map[int]map[string]*InstalledRule)
+	}
+	m.engines[task] = eng
+	m.forward[task] = forward
+	byName := make(map[string]*InstalledRule, len(installs))
+	for _, inst := range installs {
+		byName[inst.Rule.Name] = inst
+	}
+	m.installs[task] = byName
+}
+
+// PrepareTarget implements EngineMigrator: install missing rules and load
+// thresholds for the gained locations. Locations with no stored thresholds
+// are tolerated (they cannot fire anyway).
+func (m *RuleMigrator) PrepareTarget(task int, field string, locations []string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	eng := m.engines[task]
+	if eng == nil {
+		return fmt.Errorf("core: no engine registered for task %d", task)
+	}
+	for _, r := range m.Rules {
+		if r.LocationField() != field {
+			continue
+		}
+		inst := m.installs[task][r.Name]
+		if inst == nil {
+			locSet := make(map[string]bool, len(locations))
+			for _, l := range locations {
+				locSet[l] = true
+			}
+			fresh, err := InstallRule(eng, r, InstallOptions{
+				Strategy: StrategyStream, Store: m.Store, Locations: locSet,
+			})
+			if errors.Is(err, errNoThresholds) {
+				continue
+			}
+			if err != nil {
+				return fmt.Errorf("core: migrating rule %q to task %d: %w", r.Name, task, err)
+			}
+			if fwd := m.forward[task]; fwd != nil {
+				fresh.AddListener(fwd)
+			}
+			m.installs[task][r.Name] = fresh
+			if m.Manager != nil {
+				m.Manager.Register(fresh)
+			}
+			continue
+		}
+		if inst.Options.Locations == nil {
+			continue // unrestricted install already serves every location
+		}
+		added := make(map[string]bool)
+		for _, l := range locations {
+			if !inst.Options.Locations[l] {
+				added[l] = true
+			}
+		}
+		if len(added) == 0 {
+			continue
+		}
+		if err := loadThresholdStream(eng, r, m.Store, added); err != nil && !errors.Is(err, errNoThresholds) {
+			return fmt.Errorf("core: loading thresholds for rule %q on task %d: %w", r.Name, task, err)
+		}
+		grown := make(map[string]bool, len(inst.Options.Locations)+len(added))
+		for l := range inst.Options.Locations {
+			grown[l] = true
+		}
+		for l := range added {
+			grown[l] = true
+		}
+		inst.Options.Locations = grown
+	}
+	return nil
+}
+
+// ReleaseSource implements EngineMigrator: shrink the source install's
+// location set; when it empties, remove the statement entirely. Thresholds
+// for removed locations stay in the engine's keepall window until the next
+// batch Refresh — harmless, since no tuples for those locations arrive
+// after the swap.
+func (m *RuleMigrator) ReleaseSource(task int, field string, locations []string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, r := range m.Rules {
+		if r.LocationField() != field {
+			continue
+		}
+		inst := m.installs[task][r.Name]
+		if inst == nil || inst.Options.Locations == nil {
+			continue
+		}
+		remaining := make(map[string]bool, len(inst.Options.Locations))
+		for l := range inst.Options.Locations {
+			remaining[l] = true
+		}
+		for _, l := range locations {
+			delete(remaining, l)
+		}
+		if len(remaining) == 0 {
+			inst.Remove()
+			delete(m.installs[task], r.Name)
+			if m.Manager != nil {
+				m.Manager.Unregister(inst)
+			}
+			continue
+		}
+		inst.Options.Locations = remaining
+	}
+	return nil
+}

@@ -1,0 +1,499 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"trafficcep/internal/busdata"
+	"trafficcep/internal/cep"
+	"trafficcep/internal/sqlstore"
+	"trafficcep/internal/storm"
+	"trafficcep/internal/telemetry"
+)
+
+// gridLocs returns n synthetic quadtree-like location names.
+func gridLocs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("q%02d", i)
+	}
+	return out
+}
+
+// tableFromRates builds a RouteByLocation table by running Algorithm 1 over
+// the given rates on `engines` tasks.
+func tableFromRates(t *testing.T, field string, rates []RegionRate, engines int) *RoutingTable {
+	t.Helper()
+	part, err := PartitionRegions(rates, engines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRoutingTable(RouteByLocation, engines)
+	tasks := make([]int, engines)
+	for i := range tasks {
+		tasks[i] = i
+	}
+	if err := rt.AddPartition(field, part, tasks); err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// TestRoutingEnginesForUnrouted is the table-driven contract for the
+// unrouted path: missing fields and unknown locations return zero engines
+// (the Splitter then accounts for them as drops), known locations route,
+// and RouteAll always routes.
+func TestRoutingEnginesForUnrouted(t *testing.T) {
+	rates := []RegionRate{{Location: "a", Rate: 2}, {Location: "b", Rate: 1}}
+	byLoc := tableFromRates(t, "leafArea", rates, 2)
+	all := NewRoutingTable(RouteAll, 2)
+	cases := []struct {
+		name   string
+		table  *RoutingTable
+		values map[string]any
+		routed bool
+	}{
+		{"known location", byLoc, map[string]any{"leafArea": "a"}, true},
+		{"unknown location", byLoc, map[string]any{"leafArea": "zz"}, false},
+		{"missing field", byLoc, map[string]any{"speed": 12.5}, false},
+		{"wrong-typed field", byLoc, map[string]any{"leafArea": 7}, false},
+		{"empty location", byLoc, map[string]any{"leafArea": ""}, false},
+		{"route-all ignores fields", all, map[string]any{}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.table.EnginesFor(tc.values)
+			if tc.routed && len(got) == 0 {
+				t.Fatalf("expected engines, got none")
+			}
+			if !tc.routed && len(got) != 0 {
+				t.Fatalf("expected no engines, got %v", got)
+			}
+		})
+	}
+}
+
+// TestRoutingSplitterUnroutedAccounting runs the Figure 8 topology with a
+// routing table that only knows half the leaves: the splitter must count
+// every unroutable tuple as a drop (and in core.splitter.unrouted) so the
+// edge accounting executed = emitted + dropped closes.
+func TestRoutingSplitterUnroutedAccounting(t *testing.T) {
+	tree := buildTestTree(t)
+	traces := genTraces(t, 20, 5)
+
+	// Partition only the even-indexed leaves; tuples landing in the others
+	// are unroutable by construction.
+	known := make(map[string]bool)
+	var rates []RegionRate
+	for i, leaf := range tree.Leaves() {
+		if i%2 == 0 {
+			known[string(leaf.ID)] = true
+			rates = append(rates, RegionRate{Location: string(leaf.ID), Rate: 1})
+		}
+	}
+	expectedUnrouted := 0
+	for _, tr := range traces {
+		leaf := tree.Locate(tr.Pos)
+		if leaf == nil || !known[string(leaf.ID)] {
+			expectedUnrouted++
+		}
+	}
+	if expectedUnrouted == 0 {
+		t.Fatal("test needs some unroutable traces")
+	}
+
+	reg := telemetry.NewRegistry()
+	topo, err := BuildTrafficTopology(TrafficConfig{
+		Traces:    traces,
+		Tree:      tree,
+		Engines:   2,
+		Routing:   tableFromRates(t, "leafArea", rates, 2),
+		Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := storm.NewRuntime(topo, storm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	byComp := map[string]storm.ComponentTotal{}
+	for _, tot := range rt.Monitor().TotalsByComponent() {
+		byComp[tot.Component] = tot
+	}
+	split := byComp[CompSplitter]
+	if split.Executed != uint64(len(traces)) {
+		t.Fatalf("splitter executed %d, want %d", split.Executed, len(traces))
+	}
+	if split.Dropped != uint64(expectedUnrouted) {
+		t.Fatalf("splitter dropped %d, want %d", split.Dropped, expectedUnrouted)
+	}
+	if split.Emitted+split.Dropped != split.Executed {
+		t.Fatalf("splitter accounting open: emitted %d + dropped %d != executed %d",
+			split.Emitted, split.Dropped, split.Executed)
+	}
+	if got := byComp[CompEsper].Executed; got != split.Emitted {
+		t.Fatalf("esper executed %d, want %d (every routed tuple)", got, split.Emitted)
+	}
+	if got := reg.Counter("core.splitter.unrouted").Load(); got != uint64(expectedUnrouted) {
+		t.Fatalf("core.splitter.unrouted = %d, want %d", got, expectedUnrouted)
+	}
+}
+
+// TestRoutingHandleSwapRace hammers EnginesFor on the live handle while the
+// table is swapped concurrently; run under -race it proves readers never
+// see a half-built table (tier-1).
+func TestRoutingHandleSwapRace(t *testing.T) {
+	locs := gridLocs(8)
+	build := func(hot int) *RoutingTable {
+		rates := make([]RegionRate, len(locs))
+		for i, l := range locs {
+			r := 1.0
+			if i == hot {
+				r = 50
+			}
+			rates[i] = RegionRate{Location: l, Rate: r}
+		}
+		return tableFromRates(t, "leafArea", rates, 3)
+	}
+	h := NewRoutingHandle(build(0))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			vals := map[string]any{"leafArea": locs[g]}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if got := h.Load().EnginesFor(vals); len(got) != 1 {
+					t.Errorf("location %s routed to %v, want exactly one engine", locs[g], got)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 2000; i++ {
+		h.Swap(build(i % len(locs)))
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestRebalancerObserveSwapRace drives Observe and table reads concurrently
+// with forced rebalance cycles — the full live-path race surface.
+func TestRebalancerObserveSwapRace(t *testing.T) {
+	locs := gridLocs(12)
+	rates := make([]RegionRate, len(locs))
+	for i, l := range locs {
+		rates[i] = RegionRate{Location: l, Rate: 1}
+	}
+	reb, err := NewRebalancer(RebalancerConfig{
+		Routing:       tableFromRates(t, "leafArea", rates, 4),
+		SkewThreshold: 1.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				loc := locs[(g*3+i)%len(locs)]
+				vals := map[string]any{"leafArea": loc}
+				reb.Observe(vals)
+				if got := reb.Table().EnginesFor(vals); len(got) != 1 {
+					t.Errorf("location %s routed to %v", loc, got)
+					return
+				}
+				i++
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := reb.RebalanceOnce(); err != nil {
+			t.Errorf("rebalance cycle: %v", err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if tot := reb.Totals(); tot.Cycles < 200 {
+		t.Fatalf("cycles = %d, want ≥ 200", tot.Cycles)
+	}
+}
+
+// TestRebalancerRestoresBalanceAfterHotspotShift is the deterministic
+// skew-shift kernel: routing is built for a morning hotspot; the hotspot
+// then moves onto locations the old table packs onto one engine. The static
+// table degrades past the trigger threshold; one rebalance cycle restores
+// max/mean below it and keeps every location routed.
+func TestRebalancerRestoresBalanceAfterHotspotShift(t *testing.T) {
+	const (
+		engines   = 4
+		hotRate   = 80
+		coldRate  = 5
+		threshold = 1.5
+	)
+	locs := gridLocs(16)
+	phaseA := make([]RegionRate, len(locs))
+	for i, l := range locs {
+		r := float64(coldRate)
+		if i < engines { // q00..q03 are the morning hotspot
+			r = hotRate
+		}
+		phaseA[i] = RegionRate{Location: l, Rate: r}
+	}
+	partA, err := PartitionRegions(phaseA, engines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := NewRoutingTable(RouteByLocation, engines)
+	if err := table.AddPartition("leafArea", partA, []int{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The evening hotspot: the cold locations the old table packed onto
+	// engine 0 all heat up at once.
+	hot := make(map[string]bool)
+	for _, r := range partA.Engines[0] {
+		if r.Rate == coldRate {
+			hot[r.Location] = true
+		}
+	}
+	if len(hot) < 2 {
+		t.Fatalf("engine 0 holds %d cold locations, need ≥ 2 for a hotspot", len(hot))
+	}
+
+	reb, err := NewRebalancer(RebalancerConfig{
+		Routing:       table,
+		SkewThreshold: threshold,
+		Alpha:         0.5,
+		Telemetry:     telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	feedPhaseB := func() {
+		for _, l := range locs {
+			n := coldRate
+			if hot[l] {
+				n = hotRate
+			}
+			for i := 0; i < n; i++ {
+				reb.Observe(map[string]any{"leafArea": l})
+			}
+		}
+	}
+
+	feedPhaseB()
+	rep, err := reb.MaybeRebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SkewBefore < threshold {
+		t.Fatalf("static skew = %.3f, expected ≥ %v (hotspot concentrated on one engine)", rep.SkewBefore, threshold)
+	}
+	if !rep.Swapped || len(rep.Moves) == 0 {
+		t.Fatalf("expected a swap with moves, got %+v", rep)
+	}
+	if rep.SkewAfter >= threshold {
+		t.Fatalf("rebalanced skew = %.3f, want < %v", rep.SkewAfter, threshold)
+	}
+	// No location may lose its route across the swap.
+	for _, l := range locs {
+		if got := reb.Table().EnginesFor(map[string]any{"leafArea": l}); len(got) != 1 {
+			t.Fatalf("location %s routed to %v after swap", l, got)
+		}
+	}
+
+	// Under the new table the same feed is balanced: the next window must
+	// not trigger again.
+	feedPhaseB()
+	rep2, err := reb.MaybeRebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Swapped {
+		t.Fatalf("second cycle swapped again (skew %.3f): rebalance did not converge", rep2.SkewBefore)
+	}
+	if tot := reb.Totals(); tot.Swaps != 1 || tot.Cycles != 2 {
+		t.Fatalf("totals = %+v, want 1 swap over 2 cycles", tot)
+	}
+}
+
+// TestRebalanceMigrationNoDetectionLoss is the migration differential: the
+// same feed is run through (a) a balanced static routing and (b) a
+// deliberately skewed routing that the rebalancer fixes mid-feed, migrating
+// rule statements between engines. With a window-1 rule every tuple yields
+// exactly one detection, so both runs must produce the same multiset of
+// detections (ignoring which engine fired them) — nothing may be lost
+// across the swap.
+func TestRebalanceMigrationNoDetectionLoss(t *testing.T) {
+	tree := buildTestTree(t)
+	traces := genTraces(t, 40, 10)
+	rule := Rule{Name: "leafDelay", Attribute: busdata.AttrDelay, Kind: QuadtreeLeaves, Window: 1, Sensitivity: 1}
+	const engines = 3
+
+	leaves := tree.Leaves()
+	allLocs := make(map[string]bool, len(leaves))
+	var uniform []RegionRate
+	for _, leaf := range leaves {
+		allLocs[string(leaf.ID)] = true
+		uniform = append(uniform, RegionRate{Location: string(leaf.ID), Rate: 1})
+	}
+
+	seedThresholds := func(t *testing.T) (*sqlstore.DB, *sqlstore.ThresholdStore) {
+		t.Helper()
+		db := sqlstore.NewDB()
+		store, err := sqlstore.NewThresholdStore(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats []sqlstore.StatRow
+		for loc := range allLocs {
+			for h := 0; h < 24; h++ {
+				for _, day := range []busdata.DayType{busdata.Weekday, busdata.Weekend} {
+					stats = append(stats, sqlstore.StatRow{
+						Attribute: busdata.AttrDelay, Location: loc,
+						Hour: h, Day: day, Mean: -1e6, Stdv: 0,
+					})
+				}
+			}
+		}
+		if err := store.Put(stats); err != nil {
+			t.Fatal(err)
+		}
+		return db, store
+	}
+
+	// run executes the topology and returns the detection multiset keyed by
+	// everything except the engine column.
+	run := func(t *testing.T, cfg TrafficConfig, db *sqlstore.DB) map[string]int {
+		t.Helper()
+		topo, err := BuildTrafficTopology(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := storm.NewRuntime(topo, storm.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		rows, err := db.Query(`SELECT rule, location, observed, threshold FROM events`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]int, len(rows))
+		for _, r := range rows {
+			out[fmt.Sprintf("%v|%v|%v|%v", r["rule"], r["location"], r["observed"], r["threshold"])]++
+		}
+		return out
+	}
+
+	setupFor := func(store *sqlstore.ThresholdStore, locsOf func(task int) map[string]bool) func(int, *cep.Engine) ([]*InstalledRule, error) {
+		return func(task int, eng *cep.Engine) ([]*InstalledRule, error) {
+			locs := locsOf(task)
+			if len(locs) == 0 {
+				return nil, nil
+			}
+			inst, err := InstallRule(eng, rule, InstallOptions{
+				Strategy: StrategyStream, Store: store, Locations: locs,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return []*InstalledRule{inst}, nil
+		}
+	}
+
+	// Run A: balanced static routing.
+	dbA, storeA := seedThresholds(t)
+	partA, err := PartitionRegions(uniform, engines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableA := NewRoutingTable(RouteByLocation, engines)
+	if err := tableA.AddPartition("leafArea", partA, []int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	static := run(t, TrafficConfig{
+		Traces: traces, Tree: tree, Engines: engines, Routing: tableA, DB: dbA,
+		EngineSetup: setupFor(storeA, func(task int) map[string]bool { return locSet(partA, task) }),
+	}, dbA)
+
+	// Run B: everything starts on engine 0; the rebalancer must notice the
+	// 3× skew mid-feed, migrate the rule statements, and swap routes.
+	dbB, storeB := seedThresholds(t)
+	skewed := &Partition{
+		Engines:    make([][]RegionRate, engines),
+		Rate:       make([]float64, engines),
+		ByLocation: make(map[string]int, len(uniform)),
+	}
+	for _, r := range uniform {
+		skewed.Engines[0] = append(skewed.Engines[0], r)
+		skewed.Rate[0] += r.Rate
+		skewed.ByLocation[r.Location] = 0
+	}
+	tableB := NewRoutingTable(RouteByLocation, engines)
+	if err := tableB.AddPartition("leafArea", skewed, []int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	reb, err := NewRebalancer(RebalancerConfig{
+		Routing:       tableB,
+		SkewThreshold: 1.3,
+		CheckEvery:    len(traces) / 4,
+		Migrator:      &RuleMigrator{Rules: []Rule{rule}, Store: storeB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebalanced := run(t, TrafficConfig{
+		Traces: traces, Tree: tree, Engines: engines, Rebalancer: reb, DB: dbB,
+		EngineSetup: setupFor(storeB, func(task int) map[string]bool {
+			if task == 0 {
+				return allLocs
+			}
+			return nil
+		}),
+	}, dbB)
+	reb.Stop()
+
+	if tot := reb.Totals(); tot.Swaps < 1 || tot.Moves == 0 {
+		t.Fatalf("rebalancer never swapped mid-feed: %+v", tot)
+	}
+	if len(static) == 0 {
+		t.Fatal("static run produced no detections")
+	}
+	for k, n := range static {
+		if rebalanced[k] != n {
+			t.Fatalf("detection %q: static %d, rebalanced %d", k, n, rebalanced[k])
+		}
+	}
+	for k, n := range rebalanced {
+		if static[k] != n {
+			t.Fatalf("extra detection %q in rebalanced run: %d vs %d", k, n, static[k])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -8,6 +9,12 @@ import (
 	"trafficcep/internal/cep"
 	"trafficcep/internal/sqlstore"
 )
+
+// errNoThresholds marks an installation (or threshold-stream load) that
+// matched no stored thresholds for its location set. The live migrator
+// treats it as benign — a location with no thresholds cannot fire — while
+// direct InstallRule callers still see it as a hard error.
+var errNoThresholds = errors.New("no thresholds matched")
 
 // ThresholdStrategy selects how a rule obtains its dynamic thresholds
 // (§4.3.1). The paper evaluates all four in Figure 10 and adopts
@@ -140,7 +147,7 @@ func (inst *InstalledRule) install() error {
 			n++
 		}
 		if n == 0 {
-			return fmt.Errorf("core: rule %q: no thresholds matched (many-rules strategy)", r.Name)
+			return fmt.Errorf("core: rule %q: %w (many-rules strategy)", r.Name, errNoThresholds)
 		}
 		return nil
 
@@ -176,7 +183,7 @@ func loadThresholdStream(eng *cep.Engine, r Rule, store *sqlstore.ThresholdStore
 		n++
 	}
 	if n == 0 {
-		return fmt.Errorf("core: rule %q: no thresholds matched (stream strategy)", r.Name)
+		return fmt.Errorf("core: rule %q: %w (stream strategy)", r.Name, errNoThresholds)
 	}
 	return nil
 }

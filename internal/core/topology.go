@@ -53,7 +53,11 @@ const (
 )
 
 // RoutingTable maps tuple locations to EsperBolt task indexes; built from
-// Algorithm 1 partitions. Safe for concurrent readers after construction.
+// Algorithm 1 partitions. A table is built once (AddPartition) and then
+// installed; it is immutable afterwards, so it is safe for any number of
+// concurrent readers. Runtime routing changes never mutate an installed
+// table — the Rebalancer builds a fresh one and swaps it atomically through
+// a RoutingHandle (see rebalance.go).
 type RoutingTable struct {
 	Mode    RoutingMode
 	Engines int
@@ -61,11 +65,19 @@ type RoutingTable struct {
 	// fields lists the location fields consulted, in insertion order.
 	fields []string
 	routes map[string]map[string][]int // field → location → engine tasks
+	// taskSets remembers each field's full engine task set as registered
+	// by AddPartition, so a rebalance can re-run Algorithm 1 over the same
+	// engines even when some currently serve no locations.
+	taskSets map[string][]int
 }
 
 // NewRoutingTable creates a table for the given engine count.
 func NewRoutingTable(mode RoutingMode, engines int) *RoutingTable {
-	return &RoutingTable{Mode: mode, Engines: engines, routes: make(map[string]map[string][]int)}
+	return &RoutingTable{
+		Mode: mode, Engines: engines,
+		routes:   make(map[string]map[string][]int),
+		taskSets: make(map[string][]int),
+	}
 }
 
 // AddPartition registers an Algorithm 1 partition for one location field.
@@ -81,12 +93,14 @@ func (rt *RoutingTable) AddPartition(field string, p *Partition, engineTasks []i
 		rt.routes[field] = m
 		rt.fields = append(rt.fields, field)
 	}
-	for loc, e := range p.ByLocation {
-		task := engineTasks[e]
+	for _, task := range engineTasks {
 		if task < 0 || task >= rt.Engines {
 			return fmt.Errorf("core: engine task %d out of range (%d engines)", task, rt.Engines)
 		}
-		m[loc] = appendUnique(m[loc], task)
+		rt.taskSets[field] = appendUnique(rt.taskSets[field], task)
+	}
+	for loc, e := range p.ByLocation {
+		m[loc] = appendUnique(m[loc], engineTasks[e])
 	}
 	return nil
 }
@@ -102,6 +116,9 @@ func appendUnique(s []int, v int) []int {
 
 // EnginesFor returns the EsperBolt task indexes a tuple must reach, based
 // on its location field values. Under RouteAll it is always every engine.
+// An empty result means the tuple is unroutable (its location fields are
+// missing or unknown to every partition); the Splitter records such tuples
+// as drops so per-edge accounting stays closed.
 func (rt *RoutingTable) EnginesFor(values map[string]any) []int {
 	if rt.Mode == RouteAll {
 		all := make([]int, rt.Engines)
@@ -142,6 +159,12 @@ type TrafficConfig struct {
 	Engines int
 	// Routing drives the Splitter.
 	Routing *RoutingTable
+	// Rebalancer, when set, takes over routing: the Splitter reads the
+	// rebalancer's swappable handle (seeded from its initial table) and
+	// feeds observed locations into its rate estimators, and every
+	// EsperBolt task registers its engine for live rule migration. Routing
+	// must then be nil or the rebalancer's own initial table.
+	Rebalancer *Rebalancer
 	// EngineSetup installs rules into task taskIndex's engine. The
 	// returned installations are refreshed by Manager (may be nil).
 	EngineSetup func(taskIndex int, eng *cep.Engine) ([]*InstalledRule, error)
@@ -170,6 +193,16 @@ func BuildTrafficTopology(cfg TrafficConfig) (*storm.Topology, error) {
 	if cfg.SpoutTasks <= 0 {
 		cfg.SpoutTasks = 1
 	}
+	if cfg.Rebalancer != nil {
+		table := cfg.Rebalancer.Table()
+		if cfg.Routing != nil && cfg.Routing != table {
+			return nil, fmt.Errorf("core: both Routing and Rebalancer set with different tables")
+		}
+		if table.Engines != cfg.Engines {
+			return nil, fmt.Errorf("core: rebalancer table has %d engines, topology has %d", table.Engines, cfg.Engines)
+		}
+		cfg.Routing = table
+	}
 	if cfg.Routing == nil {
 		cfg.Routing = NewRoutingTable(RouteAll, cfg.Engines)
 	}
@@ -195,11 +228,11 @@ func BuildTrafficTopology(cfg TrafficConfig) (*storm.Topology, error) {
 	}, 2, 2).ShuffleGrouping(CompAreaTrack)
 
 	b.SetBolt(CompSplitter, func() storm.Bolt {
-		return &splitterBolt{routing: cfg.Routing}
+		return &splitterBolt{routing: cfg.Routing, reb: cfg.Rebalancer, telemetry: cfg.Telemetry}
 	}, 1, 1).ShuffleGrouping(CompBusStops)
 
 	b.SetBolt(CompEsper, func() storm.Bolt {
-		return &esperBolt{setup: cfg.EngineSetup, manager: cfg.Manager, telemetry: cfg.Telemetry}
+		return &esperBolt{setup: cfg.EngineSetup, manager: cfg.Manager, telemetry: cfg.Telemetry, reb: cfg.Rebalancer}
 	}, cfg.Engines, cfg.Engines).StreamGrouping(CompSplitter, "routed", storm.DirectGrouping)
 
 	b.SetBolt(CompStorer, func() storm.Bolt {
@@ -414,16 +447,55 @@ func historyFromValues(v map[string]any) HistoryRecord {
 
 // splitterBolt routes tuples to EsperBolt tasks per the routing table
 // (§4.3.2: "It is crucial to route each bus data tuple to the appropriate
-// Esper engine as each engine examines different spatial locations").
+// Esper engine as each engine examines different spatial locations"). With
+// a Rebalancer it reads the live swappable table, feeds the rate
+// estimators, and may trigger an inline rebalance (CheckEvery mode), so a
+// routing swap lands at a deterministic point in the feed.
 type splitterBolt struct {
-	routing *RoutingTable
+	routing   *RoutingTable
+	reb       *Rebalancer
+	telemetry *telemetry.Registry
+
+	unrouted *telemetry.Counter
 }
 
-func (b *splitterBolt) Prepare(storm.TaskContext) error { return nil }
-func (b *splitterBolt) Cleanup() error                  { return nil }
+func (b *splitterBolt) Prepare(storm.TaskContext) error {
+	if b.telemetry != nil {
+		b.unrouted = b.telemetry.Counter("core.splitter.unrouted")
+	}
+	return nil
+}
+
+func (b *splitterBolt) Cleanup() error { return nil }
 
 func (b *splitterBolt) Execute(t storm.Tuple, col storm.Collector) error {
-	for _, task := range b.routing.EnginesFor(t.Values) {
+	rt := b.routing
+	if b.reb != nil {
+		b.reb.Observe(t.Values)
+		rt = b.reb.Table()
+	}
+	tasks := rt.EnginesFor(t.Values)
+	if len(tasks) == 0 {
+		// Unroutable tuple (missing or unknown location fields): account
+		// for it instead of letting it vanish — count it and record a drop
+		// so emitted = executed + dropped closes on the splitter edge.
+		if b.unrouted != nil {
+			b.unrouted.Inc()
+		}
+		if dr, ok := col.(storm.DropReporter); ok {
+			dr.ReportDrop()
+		}
+		return nil
+	}
+	if dc, ok := col.(storm.DirectAnchorCollector); ok {
+		// Anchored direct emit keeps routed tuples in the ack tree, so a
+		// failed engine execute is replayed under at-least-once delivery.
+		for _, task := range tasks {
+			dc.EmitDirectAnchored("", "routed", task, t.Values)
+		}
+		return nil
+	}
+	for _, task := range tasks {
 		col.EmitDirect("routed", task, t.Values)
 	}
 	return nil
@@ -438,6 +510,7 @@ type esperBolt struct {
 	setup     func(taskIndex int, eng *cep.Engine) ([]*InstalledRule, error)
 	manager   *DynamicManager
 	telemetry *telemetry.Registry
+	reb       *Rebalancer
 
 	engine *cep.Engine
 	ctx    storm.TaskContext
@@ -458,19 +531,25 @@ func (b *esperBolt) Prepare(ctx storm.TaskContext) error {
 	if b.telemetry != nil {
 		b.telemetry.Register(b.engine)
 	}
-	if b.setup == nil {
-		return nil
-	}
-	installs, err := b.setup(ctx.TaskIndex, b.engine)
-	if err != nil {
-		return fmt.Errorf("core: engine %d setup: %w", ctx.TaskIndex, err)
-	}
 	forward := b.forwardListener()
-	for _, inst := range installs {
-		inst.AddListener(forward)
-		if b.manager != nil {
-			b.manager.Register(inst)
+	var installs []*InstalledRule
+	if b.setup != nil {
+		var err error
+		installs, err = b.setup(ctx.TaskIndex, b.engine)
+		if err != nil {
+			return fmt.Errorf("core: engine %d setup: %w", ctx.TaskIndex, err)
 		}
+		for _, inst := range installs {
+			inst.AddListener(forward)
+			if b.manager != nil {
+				b.manager.Register(inst)
+			}
+		}
+	}
+	if b.reb != nil {
+		// Hand the engine to the migrator so live rebalancing can install
+		// and retire statements on this task.
+		b.reb.RegisterEngine(ctx.TaskIndex, b.engine, installs, forward)
 	}
 	return nil
 }

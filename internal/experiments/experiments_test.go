@@ -162,3 +162,32 @@ func TestPrintSeries(t *testing.T) {
 		t.Fatalf("want header + 2 rows:\n%s", out)
 	}
 }
+
+func TestSkewShiftRecovery(t *testing.T) {
+	res, err := SkewShift(SkewShiftConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static routing must degrade past the trigger threshold while live
+	// rebalancing recovers below it — the acceptance criterion of the
+	// dynamic loop.
+	if res.StaticSkew < res.Threshold {
+		t.Fatalf("static skew = %.3f, expected ≥ %.2f (hotspot must overload one engine)",
+			res.StaticSkew, res.Threshold)
+	}
+	if res.RebalancedSkew >= res.Threshold {
+		t.Fatalf("rebalanced skew = %.3f, want < %.2f", res.RebalancedSkew, res.Threshold)
+	}
+	if res.Swaps < 1 || res.Moves == 0 {
+		t.Fatalf("no rebalancing activity: %+v", res)
+	}
+	// Determinism: the same configuration yields the same skews.
+	again, err := SkewShift(SkewShiftConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.StaticSkew != res.StaticSkew || again.RebalancedSkew != res.RebalancedSkew ||
+		again.Swaps != res.Swaps || again.Moves != res.Moves {
+		t.Fatalf("experiment not deterministic: %+v vs %+v", res, again)
+	}
+}

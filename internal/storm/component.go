@@ -52,6 +52,20 @@ type Collector interface {
 	EmitDirect(stream string, task int, values map[string]any)
 }
 
+// DropReporter is implemented by the runtime's collectors. A bolt that
+// intentionally discards an input tuple without emitting anything (for
+// example the Splitter when the routing table yields no engines) calls
+// ReportDrop so the tuple is counted in the task's dropped counter and
+// per-edge accounting (emitted upstream = executed + dropped) stays closed
+// instead of the tuple silently vanishing.
+type DropReporter interface {
+	// ReportDrop records one input tuple as intentionally dropped at this
+	// task. It does not fail the tuple's anchored tree: the drop is a
+	// deterministic routing decision, so a replay could not deliver it
+	// either.
+	ReportDrop()
+}
+
 // TaskContext describes the task an instance is running as.
 type TaskContext struct {
 	Component string

@@ -91,6 +91,21 @@ type AnchorCollector interface {
 	Acking() bool
 }
 
+// DirectAnchorCollector extends AnchorCollector with an anchored direct
+// emit. Plain EmitDirect from a spout has no way to register the tuple with
+// the ack tracker (EmitAnchored only serves non-direct subscriptions), so a
+// spout feeding a direct-grouped bolt silently lost at-least-once delivery.
+// EmitDirectAnchored closes that hole: on a tracking spout collector it
+// begins a tracked tuple tree rooted at msgID and delivers to the chosen
+// task of every direct-grouped subscription; on bolt collectors it behaves
+// like EmitDirect, riding the input tuple's existing tree (msgID ignored).
+type DirectAnchorCollector interface {
+	AnchorCollector
+	// EmitDirectAnchored emits values on stream to one specific task of
+	// every direct-grouped subscription, anchored under msgID.
+	EmitDirectAnchored(msgID, stream string, task int, values map[string]any)
+}
+
 // AckingSpout is optionally implemented by spouts emitting anchored tuples.
 // Ack is invoked when a tuple's tree fully drains without failure; Fail when
 // the tuple expired after MaxRetries replays (or the run was cancelled).
@@ -214,6 +229,9 @@ type pendingTuple struct {
 	ts    *taskState        // spout task (Ack/Fail callbacks, drain waits)
 	msgID string
 	tuple Tuple // root tuple with ack id stamped, cached for replay
+	// directTask >= 0 marks a root emitted with EmitDirectAnchored: replays
+	// go only to direct-grouped subscriptions, addressed to this task.
+	directTask int
 
 	outstanding int  // live deliveries + emitter/replay holds
 	failed      bool // some hop failed or dropped the tuple
@@ -296,9 +314,12 @@ func (a *ackTracker) loop(done <-chan struct{}) {
 
 // begin registers a new anchored root tuple, stamping its ack id, with one
 // outstanding "emitter hold" so the tree cannot drain to zero before every
-// initial delivery was issued. Returns 0 when the tracker is stopped (the
-// emission proceeds unanchored).
-func (a *ackTracker) begin(rc *runningComponent, ts *taskState, msgID string, t *Tuple) uint64 {
+// initial delivery was issued. directTask is the EmitDirectAnchored target
+// task (-1 for ordinary anchored emissions); replays reuse it so a
+// direct-anchored root is redelivered to the same task instead of being
+// dropped as an unaddressed direct emit. Returns 0 when the tracker is
+// stopped (the emission proceeds unanchored).
+func (a *ackTracker) begin(rc *runningComponent, ts *taskState, msgID string, t *Tuple, directTask int) uint64 {
 	a.mu.Lock()
 	if a.stopped {
 		a.mu.Unlock()
@@ -308,7 +329,7 @@ func (a *ackTracker) begin(rc *runningComponent, ts *taskState, msgID string, t 
 	id := a.nextID
 	t.ack = id
 	a.pending[id] = &pendingTuple{
-		id: id, rc: rc, ts: ts, msgID: msgID, tuple: *t,
+		id: id, rc: rc, ts: ts, msgID: msgID, tuple: *t, directTask: directTask,
 		outstanding: 1, deadline: time.Now().Add(a.timeout),
 	}
 	a.byTask[ts]++
@@ -431,7 +452,10 @@ func (a *ackTracker) sweep() {
 	for _, p := range replays {
 		col := &taskCollector{r: a.r, rc: p.rc, ts: p.ts, shuffle: a.shuffle}
 		for _, sub := range p.rc.subs[p.tuple.Stream] {
-			col.deliver(sub, p.tuple, -1)
+			if p.directTask >= 0 && sub.grouping.Type != DirectGrouping {
+				continue
+			}
+			col.deliver(sub, p.tuple, p.directTask)
 		}
 		a.finish(p.id, false)
 	}

@@ -681,7 +681,7 @@ func (c *taskCollector) EmitAnchored(msgID string, values map[string]any) {
 	}
 	c.ts.emitted.Add(1)
 	t := Tuple{Stream: DefaultStream, Values: values, Trace: c.outTrace()}
-	id := tr.begin(c.rc, c.ts, msgID, &t)
+	id := tr.begin(c.rc, c.ts, msgID, &t, -1)
 	for _, sub := range c.rc.subs[DefaultStream] {
 		c.deliver(sub, t, -1)
 	}
@@ -689,6 +689,38 @@ func (c *taskCollector) EmitAnchored(msgID string, values map[string]any) {
 		tr.finish(id, false)
 	}
 }
+
+// EmitDirectAnchored implements DirectAnchorCollector. On a tracking spout
+// collector it begins a tracked tuple tree (like EmitAnchored) and delivers
+// to the chosen task of every direct-grouped subscription; replays of the
+// root are re-addressed to the same task. On bolt collectors — or when
+// tracking is off — it is exactly EmitDirect: the emission rides the input
+// tuple's tree via inAck, keeping routed tuples inside the acker's view.
+func (c *taskCollector) EmitDirectAnchored(msgID, stream string, task int, values map[string]any) {
+	tr := c.r.tracker
+	if tr == nil || c.ts.spout == nil {
+		c.EmitDirect(stream, task, values)
+		return
+	}
+	c.ts.emitted.Add(1)
+	t := Tuple{Stream: stream, Values: values, Trace: c.outTrace()}
+	id := tr.begin(c.rc, c.ts, msgID, &t, task)
+	for _, sub := range c.rc.subs[stream] {
+		if sub.grouping.Type == DirectGrouping {
+			c.deliver(sub, t, task)
+		}
+	}
+	if id != 0 {
+		tr.finish(id, false)
+	}
+}
+
+// ReportDrop implements DropReporter: the current input tuple was
+// intentionally discarded by the bolt, so count it against the task's
+// dropped counter. The tuple's anchored tree (if any) is left to drain
+// normally — the drop is deterministic, so replaying could not route it
+// either.
+func (c *taskCollector) ReportDrop() { c.ts.dropped.Add(1) }
 
 // Acking implements AnchorCollector.
 func (c *taskCollector) Acking() bool { return c.r.tracker != nil && c.ts.spout != nil }
