@@ -449,6 +449,119 @@ func BenchmarkStormPipelineFaults(b *testing.B) {
 	}
 }
 
+// BenchmarkStormThroughput measures end-to-end transport throughput of the
+// batched data plane on a Figure-8-shaped topology (spout → fields → two
+// shuffle stages → splitter → direct-grouped engines → sink), across batch
+// sizes and with the two per-tuple taxes — telemetry tracing and ack
+// tracking — on and off. batch=1 is the pre-batching per-tuple transport
+// (ablation baseline); the tentpole acceptance bar is ≥ 2× tuples/s at
+// batch=64 with telemetry and acking off.
+func BenchmarkStormThroughput(b *testing.B) {
+	onoff := func(v bool) string {
+		if v {
+			return "on"
+		}
+		return "off"
+	}
+	for _, size := range []int{1, 8, 64, 256} {
+		for _, tel := range []bool{false, true} {
+			for _, ack := range []bool{false, true} {
+				name := fmt.Sprintf("batch=%d/telemetry=%s/ack=%s", size, onoff(tel), onoff(ack))
+				b.Run(name, func(b *testing.B) {
+					opts := []storm.Option{
+						storm.WithBatchSize(size),
+						storm.WithBatchTimeout(time.Millisecond),
+					}
+					if tel {
+						opts = append(opts, storm.WithTelemetry(telemetry.NewRegistry()))
+					}
+					if ack {
+						opts = append(opts, storm.WithAckTimeout(30*time.Second))
+					}
+					rt, err := benchFigure8(b.N, ack, opts...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ResetTimer()
+					start := time.Now()
+					if err := rt.Run(); err != nil {
+						b.Fatal(err)
+					}
+					elapsed := time.Since(start)
+					b.StopTimer()
+					b.ReportMetric(float64(b.N)/elapsed.Seconds(), "tuples/s")
+				})
+			}
+		}
+	}
+}
+
+// benchFigure8 wires the benchmark variant of the Figure 8 pipeline: the
+// same seven-component shape and grouping mix as the production topology
+// (fields, shuffle, direct) with pass-through bolts, so the benchmark
+// isolates transport cost from bolt logic. The spout cycles a ring of
+// preallocated payload maps — values are only read downstream — so payload
+// allocation does not mask transport costs either.
+func benchFigure8(n int, ack bool, opts ...storm.Option) (*storm.Runtime, error) {
+	bldr := storm.NewTopologyBuilder("figure8-bench")
+	bldr.SetSpout("busreader", func() storm.Spout { return &f8Spout{n: n, ack: ack} }, 1, 1)
+	bldr.SetBolt("preprocess", func() storm.Bolt { return &benchBolt{} }, 1, 1).FieldsGrouping("busreader", "k")
+	bldr.SetBolt("areatracker", func() storm.Bolt { return &benchBolt{} }, 2, 2).ShuffleGrouping("preprocess")
+	bldr.SetBolt("busstops", func() storm.Bolt { return &benchBolt{} }, 2, 2).ShuffleGrouping("areatracker")
+	bldr.SetBolt("splitter", func() storm.Bolt { return &benchSplitBolt{} }, 1, 1).ShuffleGrouping("busstops")
+	bldr.SetBolt("esper", func() storm.Bolt { return &benchBolt{} }, 3, 3).StreamGrouping("splitter", "routed", storm.DirectGrouping)
+	bldr.SetBolt("storer", func() storm.Bolt { return &benchBolt{drop: true} }, 1, 1).ShuffleGrouping("esper")
+	topo, err := bldr.Build()
+	if err != nil {
+		return nil, err
+	}
+	return storm.New(topo, opts...)
+}
+
+// f8Spout emits n tuples from a ring of 64 preallocated payload maps,
+// anchored when ack is set (mirroring busReaderSpout's acking mode).
+type f8Spout struct {
+	n, i int
+	ack  bool
+	ring []map[string]any
+}
+
+func (s *f8Spout) Open(storm.TaskContext) error {
+	s.ring = make([]map[string]any, 64)
+	for i := range s.ring {
+		s.ring[i] = map[string]any{"k": i, "v": i}
+	}
+	return nil
+}
+func (s *f8Spout) Close() error { return nil }
+func (s *f8Spout) Ack(string)   {}
+func (s *f8Spout) Fail(string)  {}
+func (s *f8Spout) NextTuple(col storm.Collector) (bool, error) {
+	if s.i >= s.n {
+		return false, nil
+	}
+	vals := s.ring[s.i%len(s.ring)]
+	if ac, ok := col.(storm.AnchorCollector); s.ack && ok && ac.Acking() {
+		ac.EmitAnchored(strconv.Itoa(s.i), vals)
+	} else {
+		col.Emit(vals)
+	}
+	s.i++
+	return s.i < s.n, nil
+}
+
+// benchSplitBolt routes each tuple to one of the direct-grouped engine
+// tasks, like the production Splitter.
+type benchSplitBolt struct{}
+
+func (bb *benchSplitBolt) Prepare(storm.TaskContext) error { return nil }
+func (bb *benchSplitBolt) Cleanup() error                  { return nil }
+func (bb *benchSplitBolt) Execute(t storm.Tuple, col storm.Collector) error {
+	v, _ := t.Values["v"].(int)
+	col.EmitDirect("routed", v%3, t.Values)
+	return nil
+}
+
 type benchAckSpout struct{ n, i int }
 
 func (s *benchAckSpout) Open(storm.TaskContext) error { return nil }

@@ -55,6 +55,9 @@ type options struct {
 
 	rebalanceInterval time.Duration
 	rebalanceSkew     float64
+
+	batchSize    int
+	batchTimeout time.Duration
 }
 
 func main() {
@@ -73,6 +76,8 @@ func main() {
 	flag.DurationVar(&opt.runDeadline, "run.deadline", 0, "cancel the run gracefully after this duration (0 = no deadline)")
 	flag.DurationVar(&opt.rebalanceInterval, "rebalance.interval", 0, "re-run the rules partitioning over live rate estimates this often and swap the routing table when skewed (0 = static routing)")
 	flag.Float64Var(&opt.rebalanceSkew, "rebalance.skew", 2, "skew trigger for live rebalancing: swap when max/mean per-engine rate reaches this")
+	flag.IntVar(&opt.batchSize, "batch.size", 64, "envelopes per transport batch between executors (1 = unbatched, the pre-batching data plane)")
+	flag.DurationVar(&opt.batchTimeout, "batch.timeout", time.Millisecond, "flush partially filled batches after the oldest envelope has waited this long")
 	flag.Parse()
 
 	if opt.tracesPath == "" {
@@ -261,6 +266,8 @@ func run(opt options) error {
 		storm.WithMonitorInterval(time.Duration(monitorSec) * time.Second),
 		storm.WithTelemetry(tel),
 		storm.WithFailurePolicy(policy),
+		storm.WithBatchSize(opt.batchSize),
+		storm.WithBatchTimeout(opt.batchTimeout),
 	}
 	if opt.ackTimeout > 0 {
 		stormOpts = append(stormOpts,

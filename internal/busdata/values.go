@@ -1,0 +1,63 @@
+package busdata
+
+import "sync"
+
+// Pooled tuple-payload maps for the spout hot path. The BusReader spout
+// historically allocated one map[string]any literal per trace; at city-scale
+// feed rates that allocation (plus the boxed values inside it) dominates the
+// spout's cost. GetValues/PutValues recycle the maps through a sync.Pool
+// under a single-consumer release contract:
+//
+//   - the emitter fills a pooled map with FillValues and emits it;
+//   - ONLY the sole consumer of a single-delivery edge may release it back
+//     with PutValues, after it has copied out everything it needs;
+//   - components whose output fans out (all-grouping, multiple direct
+//     targets) or that retain the map must never release it — an unreleased
+//     map is simply garbage-collected, so skipping a release is always safe
+//     while a double release never is.
+//
+// In the Figure 8 topology the BusReader→PreProcess edge is fields-grouped
+// with exactly one delivery per tuple and PreProcess clones the payload
+// before emitting, so PreProcess is the releasing consumer.
+var valuesPool = sync.Pool{
+	New: func() any { return make(map[string]any, 16) },
+}
+
+// GetValues returns an empty payload map from the pool.
+func GetValues() map[string]any {
+	return valuesPool.Get().(map[string]any)
+}
+
+// PutValues clears m and returns it to the pool. A nil map is ignored.
+func PutValues(m map[string]any) {
+	if m == nil {
+		return
+	}
+	clear(m)
+	valuesPool.Put(m)
+}
+
+// FillValues writes the trace's tuple payload — the exact 11-field schema
+// the BusReader spout emits — into m and returns it. Callers pass a pooled
+// map (GetValues) on the hot path; any map works.
+func (tr *Trace) FillValues(m map[string]any) map[string]any {
+	m["ts"] = float64(tr.Timestamp.Unix())
+	m["hour"] = float64(tr.Hour())
+	m["day"] = DayTypeOf(tr.Timestamp).String()
+	m["lineId"] = tr.LineID
+	m["direction"] = tr.Direction
+	m["lat"] = tr.Pos.Lat
+	m["lon"] = tr.Pos.Lon
+	m["delay"] = tr.Delay
+	m["congestion"] = boolToFloat(tr.Congestion)
+	m["busStop"] = tr.BusStop
+	m["vehicleId"] = tr.VehicleID
+	return m
+}
+
+func boolToFloat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,109 @@
+package busdata
+
+import (
+	"testing"
+	"time"
+
+	"trafficcep/internal/geo"
+)
+
+func testTrace() Trace {
+	return Trace{
+		Timestamp:  time.Date(2013, time.January, 2, 8, 30, 0, 0, time.UTC),
+		LineID:     "L07",
+		Direction:  true,
+		Pos:        geo.Point{Lat: 53.35, Lon: -6.26},
+		Delay:      42.5,
+		Congestion: true,
+		BusStop:    "L07-S03",
+		VehicleID:  "V0123",
+	}
+}
+
+// TestFillValuesSchema pins the payload to the exact 11-field schema the
+// BusReader spout historically emitted via a map literal.
+func TestFillValuesSchema(t *testing.T) {
+	tr := testTrace()
+	m := tr.FillValues(GetValues())
+	defer PutValues(m)
+	want := map[string]any{
+		"ts":         float64(tr.Timestamp.Unix()),
+		"hour":       8.0,
+		"day":        "weekday",
+		"lineId":     "L07",
+		"direction":  true,
+		"lat":        53.35,
+		"lon":        -6.26,
+		"delay":      42.5,
+		"congestion": 1.0,
+		"busStop":    "L07-S03",
+		"vehicleId":  "V0123",
+	}
+	if len(m) != len(want) {
+		t.Fatalf("FillValues produced %d fields, want %d: %v", len(m), len(want), m)
+	}
+	for k, w := range want {
+		if m[k] != w {
+			t.Errorf("FillValues[%q] = %v, want %v", k, m[k], w)
+		}
+	}
+}
+
+// TestPooledValuesReuseSavesAllocs asserts the pool contract pays: filling a
+// recycled map allocates strictly less than building a fresh map per trace,
+// and reusing a pooled map with pre-boxed values allocates nothing at all.
+func TestPooledValuesReuseSavesAllocs(t *testing.T) {
+	tr := testTrace()
+	fresh := testing.AllocsPerRun(200, func() {
+		m := make(map[string]any, 16)
+		tr.FillValues(m)
+	})
+	// Single goroutine: Put then Get returns the same map, so the steady
+	// state exercises actual reuse rather than pool misses.
+	pooled := testing.AllocsPerRun(200, func() {
+		m := tr.FillValues(GetValues())
+		PutValues(m)
+	})
+	if pooled >= fresh {
+		t.Errorf("pooled fill allocates %.1f/op, fresh map %.1f/op — pooling saves nothing", pooled, fresh)
+	}
+	// With values already boxed, storing into a recycled map is alloc-free:
+	// the remaining pooled-fill allocations are interface boxing, not maps.
+	keys := []string{"ts", "hour", "day", "lineId", "direction", "lat", "lon", "delay", "congestion", "busStop", "vehicleId"}
+	boxed := make([]any, len(keys))
+	m0 := tr.FillValues(GetValues())
+	for i, k := range keys {
+		boxed[i] = m0[k]
+	}
+	PutValues(m0)
+	reuse := testing.AllocsPerRun(200, func() {
+		m := GetValues()
+		for i, k := range keys {
+			m[k] = boxed[i]
+		}
+		PutValues(m)
+	})
+	if reuse != 0 {
+		t.Errorf("recycled map with pre-boxed values allocates %.1f/op, want 0", reuse)
+	}
+}
+
+// BenchmarkTraceFillValues reports the allocs/op of the pooled spout payload
+// path next to the historical fresh-map path.
+func BenchmarkTraceFillValues(b *testing.B) {
+	tr := testTrace()
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := make(map[string]any, 16)
+			tr.FillValues(m)
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := tr.FillValues(GetValues())
+			PutValues(m)
+		}
+	})
+}

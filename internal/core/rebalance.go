@@ -240,6 +240,14 @@ func (rb *Rebalancer) Observe(values map[string]any) {
 	}
 }
 
+// CheckImminent reports whether the next Observe call will run an inline
+// (CheckEvery-mode) skew check. The Splitter consults it to flush batched
+// emissions before a cycle whose drain phase would otherwise wait on tuples
+// still buffered in the Splitter's own executor.
+func (rb *Rebalancer) CheckImminent() bool {
+	return rb.checkEvery > 0 && (rb.obs.Load()+1)%uint64(rb.checkEvery) == 0
+}
+
 // MaybeRebalance closes the current estimation window and rebalances only
 // if the skew trigger fires.
 func (rb *Rebalancer) MaybeRebalance() (RebalanceReport, error) { return rb.cycle(false) }

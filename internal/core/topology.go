@@ -267,19 +267,10 @@ func (s *busReaderSpout) NextTuple(col storm.Collector) (bool, error) {
 		return false, nil
 	}
 	tr := &s.traces[s.idx]
-	vals := map[string]any{
-		"ts":         float64(tr.Timestamp.Unix()),
-		"hour":       float64(tr.Hour()),
-		"day":        busdata.DayTypeOf(tr.Timestamp).String(),
-		"lineId":     tr.LineID,
-		"direction":  tr.Direction,
-		"lat":        tr.Pos.Lat,
-		"lon":        tr.Pos.Lon,
-		"delay":      tr.Delay,
-		"congestion": boolToFloat(tr.Congestion),
-		"busStop":    tr.BusStop,
-		"vehicleId":  tr.VehicleID,
-	}
+	// Pooled payload map: PreProcess — the sole consumer of this edge —
+	// releases it after cloning (see busdata/values.go for the contract),
+	// so the spout hot path allocates no map per trace.
+	vals := tr.FillValues(busdata.GetValues())
 	// With ack tracking on (trafficd -ack.timeout) anchor each trace under
 	// its position in the feed, so lost tuples are replayed at-least-once.
 	if ac, ok := col.(storm.AnchorCollector); ok && ac.Acking() {
@@ -298,13 +289,6 @@ func (s *busReaderSpout) Ack(string) {}
 // Fail implements storm.AckingSpout: expired tuples were already counted as
 // dropped by the runtime.
 func (s *busReaderSpout) Fail(string) {}
-
-func boolToFloat(b bool) float64 {
-	if b {
-		return 1
-	}
-	return 0
-}
 
 // preProcessBolt adds speed, actual delay and heading (§3.1).
 type preProcessBolt struct {
@@ -325,6 +309,11 @@ func (b *preProcessBolt) Execute(t storm.Tuple, col storm.Collector) error {
 	}
 	e := b.pre.Process(tr)
 	out := cloneValues(t.Values)
+	// The input payload was cloned: release it for spout reuse. PreProcess
+	// is the single consumer of the single-delivery BusReader edge, so it is
+	// the one component allowed to release (busdata/values.go). Replayed
+	// roots are safe — the ack tracker caches its own copy of the payload.
+	busdata.PutValues(t.Values)
 	out["speed"] = e.SpeedKmh
 	out["actualDelay"] = e.ActualDelay
 	out["heading"] = e.Heading
@@ -471,6 +460,14 @@ func (b *splitterBolt) Cleanup() error { return nil }
 func (b *splitterBolt) Execute(t storm.Tuple, col storm.Collector) error {
 	rt := b.routing
 	if b.reb != nil {
+		// An inline (CheckEvery) rebalance cycle drains in-flight tuples
+		// while blocking this Execute call; flush this executor's buffered
+		// emissions first so they cannot stall that drain.
+		if b.reb.CheckImminent() {
+			if fl, ok := col.(storm.Flusher); ok {
+				fl.FlushBatches()
+			}
+		}
 		b.reb.Observe(t.Values)
 		rt = b.reb.Table()
 	}

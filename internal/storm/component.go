@@ -13,6 +13,11 @@
 // API. Component invocations are panic-isolated, and the FailFast/Degrade
 // failure policies (WithFailurePolicy) choose between surfacing the first
 // task error and quarantining repeatedly failing tasks; see faults.go.
+//
+// Inter-executor transport is batched: emissions buffer per destination
+// executor and one channel operation moves up to WithBatchSize envelopes,
+// with pooled batch memory and a zero-allocation fields-grouping hash; see
+// batch.go for the flush triggers and the ownership contract.
 package storm
 
 import (
@@ -64,6 +69,18 @@ type DropReporter interface {
 	// deterministic routing decision, so a replay could not deliver it
 	// either.
 	ReportDrop()
+}
+
+// Flusher is implemented by the runtime's collectors. Tuples a bolt emits
+// are buffered in per-destination batches and flushed on the triggers
+// documented in batch.go; a bolt that is about to wait on downstream
+// progress within a single Execute call (for example an inline rebalance
+// drain polling in-flight counts) calls FlushBatches first so its own
+// buffered emissions cannot stall that wait.
+type Flusher interface {
+	// FlushBatches puts every emission buffered by this collector's
+	// executor on the wire.
+	FlushBatches()
 }
 
 // TaskContext describes the task an instance is running as.

@@ -328,8 +328,14 @@ func (a *ackTracker) begin(rc *runningComponent, ts *taskState, msgID string, t 
 	a.nextID++
 	id := a.nextID
 	t.ack = id
+	// The cached root gets its own payload map: topologies may emit pooled
+	// maps that the consuming bolt releases for reuse (busdata.PutValues),
+	// and the transport batches that carried the original deliveries are
+	// themselves pooled — the replay copy must not alias either.
+	root := *t
+	root.Values = copyValues(t.Values)
 	a.pending[id] = &pendingTuple{
-		id: id, rc: rc, ts: ts, msgID: msgID, tuple: *t, directTask: directTask,
+		id: id, rc: rc, ts: ts, msgID: msgID, tuple: root, directTask: directTask,
 		outstanding: 1, deadline: time.Now().Add(a.timeout),
 	}
 	a.byTask[ts]++
@@ -451,11 +457,16 @@ func (a *ackTracker) sweep() {
 	}
 	for _, p := range replays {
 		col := &taskCollector{r: a.r, rc: p.rc, ts: p.ts, shuffle: a.shuffle}
-		for _, sub := range p.rc.subs[p.tuple.Stream] {
+		// Each replay delivers a fresh clone of the cached root payload: the
+		// consumer may release a pooled map after processing, and a further
+		// replay of the same root must still see the original values.
+		rt := p.tuple
+		rt.Values = copyValues(p.tuple.Values)
+		for _, sub := range p.rc.subs[rt.Stream] {
 			if p.directTask >= 0 && sub.grouping.Type != DirectGrouping {
 				continue
 			}
-			col.deliver(sub, p.tuple, p.directTask)
+			col.deliver(sub, rt, p.directTask)
 		}
 		a.finish(p.id, false)
 	}
@@ -478,6 +489,18 @@ func (a *ackTracker) cancelAll() {
 			s.Fail(p.msgID)
 		}
 	}
+}
+
+// copyValues clones a tuple payload map (nil stays nil).
+func copyValues(m map[string]any) map[string]any {
+	if m == nil {
+		return nil
+	}
+	c := make(map[string]any, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
 }
 
 // waitTask blocks until the task has no pending anchored tuples, keeping

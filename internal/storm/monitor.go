@@ -202,6 +202,9 @@ func (m *Monitor) Collect(reg *telemetry.Registry) {
 			"acked":         rc.acked.Load(),
 			"quarantined":   rc.quarantinedN.Load(),
 			"missing_field": rc.missingField.Load(),
+			// Transport batches delivered to this component; executed/batches
+			// is the average batch fill, making batching efficacy observable.
+			"batches": rc.batchesIn.Load(),
 		} {
 			if v > 0 {
 				reg.Counter(prefix + name).Store(v)

@@ -52,6 +52,19 @@ func WithAckTimeout(d time.Duration) Option { return func(c *Config) { c.AckTime
 // expires as dropped and the spout's Fail callback fires. Defaults to 3.
 func WithMaxRetries(n int) Option { return func(c *Config) { c.MaxRetries = n } }
 
+// WithBatchSize sets how many envelopes the inter-executor transport packs
+// into one channel send (see batch.go for the flush triggers and ownership
+// contract). Defaults to 64; 1 restores per-tuple transport for ablation.
+// Accounting — ack trees, tracing, emitted == executed + dropped — is per
+// envelope and identical at every batch size.
+func WithBatchSize(n int) Option { return func(c *Config) { c.BatchSize = n } }
+
+// WithBatchTimeout bounds how long a spout-side emission may wait in a
+// partially filled batch; it is checked between NextTuple calls. Bolt-side
+// buffers flush whenever the input queue goes idle and need no timer.
+// Defaults to 1ms.
+func WithBatchTimeout(d time.Duration) Option { return func(c *Config) { c.BatchTimeout = d } }
+
 // New prepares a runtime (placement + task construction) from functional
 // options without starting it.
 func New(topo *Topology, opts ...Option) (*Runtime, error) {

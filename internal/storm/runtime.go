@@ -1,9 +1,9 @@
 package storm
 
 import (
+	"bytes"
 	"context"
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +53,16 @@ type Config struct {
 	// MaxRetries bounds replays per anchored tuple; past it the tuple
 	// expires as dropped and the spout's Fail callback fires. Defaults to 3.
 	MaxRetries int
+	// BatchSize is the envelope capacity of the inter-executor transport
+	// batches: emissions buffer per destination executor and one channel
+	// send moves up to BatchSize tuples (see batch.go). Defaults to 64.
+	// 1 restores per-tuple transport for ablation.
+	BatchSize int
+	// BatchTimeout bounds how long a spout-side emission may wait in a
+	// partially filled batch; it is checked between NextTuple calls.
+	// Bolt-side buffers flush whenever the input queue goes idle and need
+	// no timer. Defaults to 1ms.
+	BatchTimeout time.Duration
 }
 
 func (c *Config) fill() {
@@ -70,6 +80,12 @@ func (c *Config) fill() {
 	}
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 3
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.BatchTimeout <= 0 {
+		c.BatchTimeout = time.Millisecond
 	}
 }
 
@@ -133,8 +149,17 @@ type envelope struct {
 type executor struct {
 	comp  *runningComponent
 	idx   int
+	eid   int // dense id across the whole topology, indexes outBatcher buffers
 	tasks []*taskState
-	in    chan envelope
+	in    chan *batch
+}
+
+// deliver hands a batch to this executor's input queue, transferring
+// ownership (the executor releases it to the pool once processed), and
+// counts the delivery so average batch fill is observable.
+func (ex *executor) deliver(b *batch) {
+	ex.comp.batchesIn.Add(1)
+	ex.in <- b
 }
 
 type subscription struct {
@@ -163,6 +188,7 @@ type runningComponent struct {
 	dropped      atomic.Uint64 // tuples dropped at routing (no live task / bad direct target)
 	quarantinedN atomic.Uint64 // tasks quarantined so far
 	missingField atomic.Uint64 // fields-grouping hashes over absent fields
+	batchesIn    atomic.Uint64 // transport batches delivered to this component's executors
 	// anyQuarantined short-circuits the per-delivery quarantine scan; it is
 	// sticky so routing pays one atomic load until the first quarantine.
 	anyQuarantined atomic.Bool
@@ -182,6 +208,14 @@ type Runtime struct {
 	policy  FailurePolicy
 	quarK   int
 	comps   map[string]*runningComponent
+
+	// Batched transport state (see batch.go): every executor gets a dense
+	// id into r.execs so outBatchers index their per-destination buffers
+	// with a slice instead of a map.
+	batchSize    int
+	batchTimeout time.Duration
+	batchPool    sync.Pool
+	execs        []*executor
 
 	// tracker is non-nil while a run with AckTimeout > 0 is active; done is
 	// the run context's cancellation channel (nil for Run/Background).
@@ -205,7 +239,16 @@ func NewRuntime(topo *Topology, cfg Config) (*Runtime, error) {
 	r := &Runtime{
 		topo: topo, cfg: cfg, tracing: cfg.Telemetry != nil,
 		policy: cfg.FailurePolicy, quarK: cfg.QuarantineAfter,
-		comps: make(map[string]*runningComponent),
+		comps:     make(map[string]*runningComponent),
+		batchSize: cfg.BatchSize, batchTimeout: cfg.BatchTimeout,
+	}
+	r.batchPool.New = func() any { return &batch{envs: make([]envelope, 0, cfg.BatchSize)} }
+	// The input queue holds batches, so scale its length to keep the
+	// buffered-tuple capacity (and therefore the backpressure point) at
+	// roughly ChannelBuffer tuples regardless of batch size.
+	chanCap := cfg.ChannelBuffer / cfg.BatchSize
+	if chanCap < 1 {
+		chanCap = 1
 	}
 
 	totalWorkers := cfg.Nodes * cfg.WorkersPerNode
@@ -223,7 +266,8 @@ func NewRuntime(topo *Topology, cfg Config) (*Runtime, error) {
 			worker := nextWorker % totalWorkers
 			nextWorker++
 			node := worker % cfg.Nodes
-			ex := &executor{comp: rc, idx: e, in: make(chan envelope, cfg.ChannelBuffer)}
+			ex := &executor{comp: rc, idx: e, eid: len(r.execs), in: make(chan *batch, chanCap)}
+			r.execs = append(r.execs, ex)
 			// Tasks are distributed to executors round-robin; extra
 			// tasks share executors ("pseudo-parallel", §2.1.1).
 			for ti := e; ti < spec.tasks; ti += spec.executors {
@@ -412,6 +456,7 @@ func (r *Runtime) canceled() bool {
 // panics), and the loop is re-entered afterwards, so the per-call cost is
 // three scalar writes instead of a defer per tuple.
 func (r *Runtime) runSpoutExecutor(rc *runningComponent, ex *executor) {
+	out := r.newOutBatcher()
 	active := make([]bool, len(ex.tasks))
 	nActive := 0
 	closeTask := func(i int, ts *taskState) {
@@ -429,12 +474,17 @@ func (r *Runtime) runSpoutExecutor(rc *runningComponent, ex *executor) {
 		active[i] = true
 		nActive++
 	}
+	// One collector serves every NextTuple call of this executor: per-call
+	// fields (task, clock) are reset below, so the steady state allocates
+	// nothing per tuple.
+	col := &taskCollector{r: r, rc: rc, out: out, root: r.tracing}
 	// cur is the NextTuple call in flight, for the panic handler.
 	var cur struct {
 		i      int
 		ts     *taskState
 		inCall bool
 	}
+	now := time.Now()
 	loop := func() (finished bool) {
 		defer func() {
 			p := recover()
@@ -445,6 +495,7 @@ func (r *Runtime) runSpoutExecutor(rc *runningComponent, ex *executor) {
 				return
 			}
 			cur.inCall = false
+			now = time.Now() // the poisoned call never refreshed the chained clock
 			err := r.panicErr(rc, cur.ts, "NextTuple", p)
 			wrapped := fmt.Errorf("storm: spout %s task %d: %w", rc.spec.id, cur.ts.ctx.TaskID, err)
 			// A panicking source may or may not have more tuples: under
@@ -459,18 +510,25 @@ func (r *Runtime) runSpoutExecutor(rc *runningComponent, ex *executor) {
 				if !active[i] {
 					continue
 				}
-				col := &taskCollector{r: r, rc: rc, ts: ts}
-				start := time.Now()
+				// now chains between iterations: the clock reading taken after
+				// the previous NextTuple doubles as this call's start, one read
+				// per call instead of two.
+				start := now
+				col.ts = ts
+				col.start = start
 				if r.tracing {
 					// Emissions from this NextTuple call start traces stamped
 					// with the call's start — no extra clock reads per emit.
-					col.root = true
 					col.nowNanos = start.UnixNano()
 				}
 				cur.i, cur.ts, cur.inCall = i, ts, true
 				more, err := ts.spout.NextTuple(col)
 				cur.inCall = false
-				ts.procNanos.Add(uint64(time.Since(start)))
+				now = time.Now()
+				ts.procNanos.Add(uint64(now.Sub(start)))
+				// Between calls, flush batches whose oldest envelope waited
+				// past the batch timeout.
+				out.maybeFlush(now)
 				if err != nil {
 					wrapped := fmt.Errorf("storm: spout %s task %d: %w", rc.spec.id, ts.ctx.TaskID, err)
 					if quarantined := r.taskFailed(rc, ts, wrapped); quarantined || r.policy != Degrade {
@@ -495,6 +553,11 @@ func (r *Runtime) runSpoutExecutor(rc *runningComponent, ex *executor) {
 			closeTask(i, ts)
 		}
 	}
+	// Everything buffered must be on the wire before this executor reports
+	// itself done: downstream channels close when producer counts reach
+	// zero, and waitTask below blocks on tuple trees whose deliveries could
+	// otherwise still sit in this executor's buffers.
+	out.flushAll()
 	if r.tracker != nil {
 		for _, ts := range ex.tasks {
 			r.tracker.waitTask(ts)
@@ -523,6 +586,38 @@ func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
 		}
 		prepared[i] = true
 	}
+	out := r.newOutBatcher()
+	// One collector serves every Execute call of this executor; per-tuple
+	// fields are reset per envelope, so the steady state allocates nothing.
+	col := &taskCollector{r: r, rc: rc, out: out}
+	// recv returns the next input batch, flushing buffered output first
+	// whenever the input queue is empty: the executor never sleeps on input
+	// while holding unsent output, which both bounds batching latency and
+	// keeps an acyclic topology deadlock-free under backpressure.
+	recv := func() (*batch, bool) {
+		select {
+		case b, ok := <-ex.in:
+			return b, ok
+		default:
+		}
+		out.flushAll()
+		b, ok := <-ex.in
+		return b, ok
+	}
+	// bt/next are the batch being processed and the envelope to process
+	// next, hoisted out of loop() so the panic handler can resume after the
+	// poisoned envelope without dropping the rest of its batch.
+	var bt *batch
+	next := 0
+	// With tracing off, the clock is read once per batch, not per envelope:
+	// btStart stamps the batch's arrival and the elapsed time is attributed
+	// to tasks proportionally to done[local], the per-task executed count of
+	// the current batch. At batch size 1 this degenerates to exactly the old
+	// two reads per tuple, so the ablation baseline is undisturbed. Tracing
+	// keeps per-envelope clocks: hop/e2e histograms need real per-tuple
+	// timestamps.
+	var btStart time.Time
+	done := make([]uint32, len(ex.tasks))
 	// cur is the Execute call in flight, for the panic handler. Recovery is
 	// hoisted to the loop level — one defer per loop entry rather than per
 	// tuple — so the isolation costs three scalar writes on the hot path and
@@ -551,56 +646,116 @@ func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
 			if cur.ack != 0 {
 				r.tracker.finish(cur.ack, true)
 			}
+			next++ // resume with the envelope after the poisoned one
 		}()
-		for env := range ex.in {
-			ts := ex.tasks[env.local]
-			if !prepared[env.local] || ts.quarantined.Load() {
-				ts.dropped.Add(1)
-				if !dropLogged[env.local] {
-					dropLogged[env.local] = true
-					if r.policy != Degrade {
-						r.recordErr(fmt.Errorf("storm: bolt %s task %d: dropping tuples routed to a failed task", rc.spec.id, ts.ctx.TaskID))
+		for {
+			if bt == nil {
+				var ok bool
+				if bt, ok = recv(); !ok {
+					return true
+				}
+				next = 0
+				if !r.tracing {
+					btStart = time.Now()
+				}
+			}
+			for next < len(bt.envs) {
+				env := bt.envs[next]
+				ts := ex.tasks[env.local]
+				if !prepared[env.local] || ts.quarantined.Load() {
+					ts.dropped.Add(1)
+					if !dropLogged[env.local] {
+						dropLogged[env.local] = true
+						if r.policy != Degrade {
+							r.recordErr(fmt.Errorf("storm: bolt %s task %d: dropping tuples routed to a failed task", rc.spec.id, ts.ctx.TaskID))
+						}
+					}
+					if env.tuple.ack != 0 {
+						r.tracker.finish(env.tuple.ack, true)
+					}
+					next++
+					continue
+				}
+				var err error
+				if !r.tracing {
+					// Zero-clock hot path: the batch's arrival stamp serves as
+					// the emission reference and processing time is settled per
+					// batch below.
+					col.ts = ts
+					col.inAck = env.tuple.ack
+					col.start = btStart
+					cur.ts, cur.ack, cur.inCall = ts, env.tuple.ack, true
+					err = ts.bolt.Execute(env.tuple, col)
+					cur.inCall = false
+					ts.executed.Add(1)
+					done[env.local]++
+				} else {
+					start := time.Now()
+					col.ts = ts
+					col.inAck = env.tuple.ack
+					col.start = start
+					traced := env.tuple.Trace.Active()
+					if traced {
+						// One UnixNano conversion per tuple stamps the hop observation
+						// and every downstream emission; no extra clock reads.
+						col.in = env.tuple.Trace
+						col.nowNanos = start.UnixNano()
+						if rc.hopHist != nil {
+							rc.hopHist.Observe(col.nowNanos - env.tuple.Trace.EmitNanos)
+						}
+					} else {
+						col.in = telemetry.TupleTrace{}
+						col.nowNanos = 0
+					}
+					cur.ts, cur.ack, cur.inCall = ts, env.tuple.ack, true
+					err = ts.bolt.Execute(env.tuple, col)
+					cur.inCall = false
+					elapsed := time.Since(start)
+					ts.procNanos.Add(uint64(elapsed))
+					ts.executed.Add(1)
+					if traced && rc.e2eHist != nil {
+						rc.e2eHist.Observe(col.nowNanos + int64(elapsed) - env.tuple.Trace.StartNanos)
 					}
 				}
+				if err != nil {
+					r.taskFailed(rc, ts, fmt.Errorf("storm: bolt %s task %d: %w", rc.spec.id, ts.ctx.TaskID, err))
+				} else {
+					ts.consecErr = 0
+				}
 				if env.tuple.ack != 0 {
-					r.tracker.finish(env.tuple.ack, true)
+					r.tracker.finish(env.tuple.ack, err != nil)
 				}
-				continue
+				next++
 			}
-			col := &taskCollector{r: r, rc: rc, ts: ts, inAck: env.tuple.ack}
-			start := time.Now()
-			traced := r.tracing && env.tuple.Trace.Active()
-			if traced {
-				// One UnixNano conversion per tuple stamps the hop observation
-				// and every downstream emission; no extra clock reads.
-				col.in = env.tuple.Trace
-				col.nowNanos = start.UnixNano()
-				if rc.hopHist != nil {
-					rc.hopHist.Observe(col.nowNanos - env.tuple.Trace.EmitNanos)
+			// Settle the batch's processing time across the tasks that did
+			// the work (a panicking envelope is counted executed but not in
+			// done, leaving its share unattributed — rare and harmless).
+			if !r.tracing {
+				var total uint32
+				for _, c := range done {
+					total += c
+				}
+				if total > 0 {
+					elapsed := uint64(time.Since(btStart))
+					for local, c := range done {
+						if c > 0 {
+							ex.tasks[local].procNanos.Add(elapsed * uint64(c) / uint64(total))
+							done[local] = 0
+						}
+					}
 				}
 			}
-			cur.ts, cur.ack, cur.inCall = ts, env.tuple.ack, true
-			err := ts.bolt.Execute(env.tuple, col)
-			cur.inCall = false
-			elapsed := time.Since(start)
-			ts.procNanos.Add(uint64(elapsed))
-			ts.executed.Add(1)
-			if traced && rc.e2eHist != nil {
-				rc.e2eHist.Observe(col.nowNanos + int64(elapsed) - env.tuple.Trace.StartNanos)
-			}
-			if err != nil {
-				r.taskFailed(rc, ts, fmt.Errorf("storm: bolt %s task %d: %w", rc.spec.id, ts.ctx.TaskID, err))
-			} else {
-				ts.consecErr = 0
-			}
-			if env.tuple.ack != 0 {
-				r.tracker.finish(env.tuple.ack, err != nil)
-			}
+			// Receiver releases: every envelope was processed, return the
+			// batch to the pool (the ownership contract of batch.go).
+			r.putBatch(bt)
+			bt = nil
 		}
-		return true
 	}
 	for !loop() {
 	}
+	// Input closed: put the remainder of the pipeline on the wire before
+	// this executor reports itself done and downstream channels can close.
+	out.flushAll()
 	for i, ts := range ex.tasks {
 		if !prepared[i] {
 			continue
@@ -633,6 +788,33 @@ type taskCollector struct {
 	// ack tracker's replay collector, which runs on a different goroutine
 	// than the task's own executor.
 	shuffle map[*subscription]*uint64
+
+	// out is the owning executor's batch buffer; emissions are buffered per
+	// destination executor and flushed per batch.go's triggers. Nil on the
+	// ack tracker's replay collector, whose emissions ship immediately in
+	// single-envelope batches (replays are rare and latency-sensitive).
+	out *outBatcher
+	// start is the executor's clock reading at the start of the current
+	// NextTuple/Execute call, reused as the batch-age reference so
+	// buffering costs no clock reads.
+	start time.Time
+	// scratch is the reused fields-grouping key buffer; fcache memoizes,
+	// per subscription, the last key's hashed task index (pre-quarantine
+	// probing) so key runs skip the hash. Both stay nil until the first
+	// fields-grouped emission.
+	scratch []byte
+	fcache  map[*subscription]*fieldsCacheEntry
+}
+
+// FlushBatches implements Flusher: it puts every buffered emission of this
+// collector's executor on the wire. Bolts call it (via the Flusher
+// interface) before operations that wait on downstream progress — e.g. an
+// inline rebalance drain — which would otherwise stall on tuples still
+// sitting in this executor's buffers.
+func (c *taskCollector) FlushBatches() {
+	if c.out != nil {
+		c.out.flushAll()
+	}
 }
 
 // outTrace stamps the trace context for one emission.
@@ -749,22 +931,34 @@ func (c *taskCollector) deliver(sub *subscription, t Tuple, directTask int) {
 		}
 		c.dropRouted(target, t)
 	case FieldsGrouping:
-		h := fnv.New32a()
+		// An absent field renders as the literal <nil>, so every tuple
+		// missing the same fields funnels to one task. The counter makes
+		// that visible; the routing stays deterministic and byte-identical
+		// to the former fnv.New32a + fmt.Fprintf path (see batch.go).
 		missing := false
-		for _, f := range sub.grouping.Fields {
-			v, ok := t.Values[f]
-			if !ok {
-				missing = true
-			}
-			// An absent field hashes as the literal <nil>, so every tuple
-			// missing the same fields funnels to one task. The counter
-			// makes that visible; the routing stays deterministic.
-			fmt.Fprintf(h, "%v\x1f", v)
-		}
+		c.scratch = appendFieldsKey(c.scratch[:0], sub.grouping.Fields, t.Values, &missing)
 		if missing {
 			c.rc.missingField.Add(1)
 		}
-		idx := int(h.Sum32() % uint32(n))
+		var idx int
+		if e := c.fcache[sub]; e != nil && bytes.Equal(e.key, c.scratch) {
+			idx = e.idx
+		} else {
+			idx = int(fnv1a(c.scratch) % uint32(n))
+			// Memoize only on executor-owned collectors (the replay
+			// collector is short-lived; caching there would just allocate).
+			if c.out != nil {
+				if e != nil {
+					e.key = append(e.key[:0], c.scratch...)
+					e.idx = idx
+				} else {
+					if c.fcache == nil {
+						c.fcache = make(map[*subscription]*fieldsCacheEntry)
+					}
+					c.fcache[sub] = &fieldsCacheEntry{key: append([]byte(nil), c.scratch...), idx: idx}
+				}
+			}
+		}
 		if quar {
 			for tries := 0; tries < n && target.tasks[idx].quarantined.Load(); tries++ {
 				idx = (idx + 1) % n
@@ -837,12 +1031,24 @@ func (c *taskCollector) dropRouted(target *runningComponent, t Tuple) {
 	}
 }
 
+// send enqueues one envelope for the chosen task. The anchored-tree hold is
+// taken at enqueue time — before the envelope may sit in a batch buffer —
+// so the tracker can never observe a tree as drained while deliveries are
+// still buffered. The replay collector (out == nil) ships the envelope
+// immediately in its own pooled batch.
 func (c *taskCollector) send(target *runningComponent, taskIdx int, t Tuple) {
 	if t.ack != 0 {
 		c.r.tracker.inc(t.ack)
 	}
 	route := target.taskRoute[taskIdx]
-	target.execs[route.exec].in <- envelope{local: route.local, tuple: t}
+	dest := target.execs[route.exec]
+	if c.out != nil {
+		c.out.add(dest, envelope{local: route.local, tuple: t}, c.start)
+		return
+	}
+	b := c.r.getBatch()
+	b.envs = append(b.envs, envelope{local: route.local, tuple: t})
+	dest.deliver(b)
 }
 
 // TaskMetricsSnapshot returns the current counters of every task, keyed by

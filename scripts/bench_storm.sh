@@ -1,0 +1,38 @@
+#!/bin/sh
+# Runs the Storm transport benchmarks and records ns/op per configuration
+# into BENCH_storm.json at the repo root. Non-blocking: meant for tracking
+# the batched data plane (batch size x telemetry x acking) over time, not
+# as a pass/fail gate. batch=1 is the ablation row: the pre-batching
+# one-channel-send-per-tuple transport.
+#
+# Usage: scripts/bench_storm.sh [benchtime]   (default 300000x)
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-300000x}"
+out="BENCH_storm.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' \
+	-bench 'BenchmarkStormThroughput' \
+	-benchtime "$benchtime" . | tee "$raw"
+
+awk -v benchtime="$benchtime" '
+	BEGIN { n = 0 }
+	/^Benchmark/ && $4 == "ns/op" {
+		name = $1
+		sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix
+		names[n] = name
+		nsop[n++] = $3 + 0
+	}
+	END {
+		if (n == 0) { print "bench_storm.sh: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+		printf "{\n  \"benchtime\": \"%s\",\n  \"ns_per_op\": {\n", benchtime
+		for (i = 0; i < n; i++)
+			printf "    \"%s\": %s%s\n", names[i], nsop[i], (i < n-1 ? "," : "")
+		printf "  }\n}\n"
+	}
+' "$raw" > "$out"
+
+echo "wrote $out"
