@@ -10,8 +10,10 @@ package trafficcep
 import (
 	"fmt"
 	"math/rand"
+	"net"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -60,7 +62,7 @@ func BenchmarkTable2_DatasetGeneration(b *testing.B) {
 func BenchmarkListing1_RuleEvaluation(b *testing.B) {
 	for _, window := range []int{1, 10, 100, 1000} {
 		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
-			eng := cep.NewEngine()
+			eng := cep.New()
 			r := core.Rule{Name: "bench", Attribute: busdata.AttrDelay, Kind: core.QuadtreeLeaves, Window: window}
 			if _, err := eng.AddStatement("bench", r.StreamEPL()); err != nil {
 				b.Fatal(err)
@@ -183,7 +185,7 @@ func BenchmarkFigure10_ThresholdRetrieval(b *testing.B) {
 			if err := store.Put(stats); err != nil {
 				b.Fatal(err)
 			}
-			eng := cep.NewEngine()
+			eng := cep.New()
 			rule := core.Rule{
 				Name: "fig10", Attribute: busdata.AttrDelay,
 				Kind: core.QuadtreeLayer, Layer: 2, Window: 10, Sensitivity: 1,
@@ -493,6 +495,63 @@ func BenchmarkStormThroughput(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkDistributedThroughput runs the same Figure 8 pipeline split
+// across worker runtimes connected over loopback TCP — the multi-process
+// data plane exercised in one benchmark process. workers=1 is the
+// in-process channel baseline; larger counts add the wire codec, framing
+// and per-peer connections to every cross-worker edge, so the delta is the
+// cost of distribution itself.
+func BenchmarkDistributedThroughput(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			lns := make([]net.Listener, workers)
+			peers := make([]string, workers)
+			for i := range lns {
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				lns[i] = ln
+				peers[i] = ln.Addr().String()
+			}
+			rts := make([]*storm.Runtime, workers)
+			for w := range rts {
+				var opts []storm.Option
+				if workers > 1 {
+					opts = append(opts, storm.WithWorker(w, peers), storm.WithListener(lns[w]))
+				} else {
+					lns[w].Close()
+				}
+				rt, err := benchFigure8(b.N, false, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rts[w] = rt
+			}
+			errs := make([]error, workers)
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for w, rt := range rts {
+				wg.Add(1)
+				go func(w int, rt *storm.Runtime) {
+					defer wg.Done()
+					errs[w] = rt.Run()
+				}(w, rt)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			for w, err := range errs {
+				if err != nil {
+					b.Fatalf("worker %d: %v", w, err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "tuples/s")
+		})
 	}
 }
 

@@ -10,6 +10,15 @@
 //
 //	trafficgen -out traces.csv -minutes 30 -buses 200 -lines 20
 //	trafficd -traces traces.csv -topology topology.xml -nodes 7
+//
+// Multi-worker mode splits the same topology across OS processes connected
+// over TCP: start one trafficd per worker with the same flags, trace file
+// and peer list, varying only -worker.id. Every worker builds the identical
+// topology; the deterministic scheduler assigns each executor to exactly
+// one worker and the transport carries cross-worker edges:
+//
+//	trafficd -traces traces.csv -worker.id 0 -worker.peers 127.0.0.1:7101,127.0.0.1:7102 &
+//	trafficd -traces traces.csv -worker.id 1 -worker.peers 127.0.0.1:7101,127.0.0.1:7102
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"trafficcep/internal/busdata"
@@ -58,6 +68,10 @@ type options struct {
 
 	batchSize    int
 	batchTimeout time.Duration
+
+	workerID        int
+	workerPeers     string
+	workerHeartbeat time.Duration
 }
 
 func main() {
@@ -78,6 +92,9 @@ func main() {
 	flag.Float64Var(&opt.rebalanceSkew, "rebalance.skew", 2, "skew trigger for live rebalancing: swap when max/mean per-engine rate reaches this")
 	flag.IntVar(&opt.batchSize, "batch.size", 64, "envelopes per transport batch between executors (1 = unbatched, the pre-batching data plane)")
 	flag.DurationVar(&opt.batchTimeout, "batch.timeout", time.Millisecond, "flush partially filled batches after the oldest envelope has waited this long")
+	flag.IntVar(&opt.workerID, "worker.id", 0, "this process's index into -worker.peers (multi-worker mode)")
+	flag.StringVar(&opt.workerPeers, "worker.peers", "", "comma-separated host:port list, one per worker process; empty = single-process mode")
+	flag.DurationVar(&opt.workerHeartbeat, "worker.heartbeat", time.Second, "peer heartbeat period; a peer silent for 4 periods is declared lost")
 	flag.Parse()
 
 	if opt.tracesPath == "" {
@@ -211,9 +228,26 @@ func run(opt options) error {
 	// when max/mean per-engine rate crosses the skew trigger) Algorithm 1
 	// re-runs on the live snapshot, rules migrate make-before-break, and
 	// the routing table is swapped atomically.
+	var peers []string
+	if opt.workerPeers != "" {
+		peers = strings.Split(opt.workerPeers, ",")
+		if opt.workerID < 0 || opt.workerID >= len(peers) {
+			return fmt.Errorf("-worker.id %d out of range for %d peers", opt.workerID, len(peers))
+		}
+	}
+
 	var reb *core.Rebalancer
+	var dmig *core.DistributedMigrator
 	if opt.rebalanceInterval > 0 {
-		mig := &core.RuleMigrator{Rules: rules, Store: store, Manager: manager}
+		local := &core.RuleMigrator{Rules: rules, Store: store, Manager: manager}
+		var mig core.EngineMigrator = local
+		if len(peers) > 1 {
+			// Engines are spread across workers: route each per-task
+			// migration step to the owning process over the control plane.
+			// Self/WorkerOf/Client are late-bound once the runtime exists.
+			dmig = &core.DistributedMigrator{Local: local}
+			mig = dmig
+		}
 		reb, err = core.NewRebalancer(core.RebalancerConfig{
 			Routing:       routing,
 			SkewThreshold: opt.rebalanceSkew,
@@ -269,6 +303,12 @@ func run(opt options) error {
 		storm.WithBatchSize(opt.batchSize),
 		storm.WithBatchTimeout(opt.batchTimeout),
 	}
+	if len(peers) > 1 {
+		stormOpts = append(stormOpts,
+			storm.WithWorker(opt.workerID, peers),
+			storm.WithHeartbeat(opt.workerHeartbeat),
+		)
+	}
 	if opt.ackTimeout > 0 {
 		stormOpts = append(stormOpts,
 			storm.WithAckTimeout(opt.ackTimeout),
@@ -279,27 +319,58 @@ func run(opt options) error {
 	if err != nil {
 		return err
 	}
+	if len(peers) > 1 {
+		fmt.Printf("worker %d of %d, listening on %s\n", opt.workerID, len(peers), peers[opt.workerID])
+	}
 	if reb != nil {
-		// Drain barrier for routing swaps: tuples the splitter emitted
-		// that the engines have not yet executed or dropped.
-		mon := rt.Monitor()
-		reb.SetInFlight(func() int {
-			var emitted, done uint64
-			for _, tot := range mon.TotalsByComponent() {
-				switch tot.Component {
-				case core.CompSplitter:
-					emitted = tot.Emitted
-				case core.CompEsper:
-					done = tot.Executed + tot.Dropped
+		if dmig != nil {
+			// Late-bind the distributed pieces that need the runtime:
+			// placement-derived engine-task ownership, the control client
+			// serving remote migration steps, and the cross-process fence
+			// that replaces the in-flight counter poll.
+			dmig.Self = rt.WorkerID()
+			dmig.WorkerOf = core.EsperTaskWorkers(rt.Placements())
+			dmig.Client = rt
+			rt.OnControl(core.MigrationHandler(dmig.Local))
+			reb.SetDrainBarrier(func() error {
+				return rt.DrainComponent(core.CompEsper, 10*time.Second)
+			})
+			// Only the worker hosting the splitter cycles the rebalancer:
+			// it alone observes the feed's location rates. The others keep
+			// a symmetric rebalancer to serve routing reads and remote
+			// migration RPCs.
+			splitterLocal := false
+			for _, p := range rt.Placements() {
+				if p.Component == core.CompSplitter && p.Worker == rt.WorkerID() {
+					splitterLocal = true
 				}
 			}
-			if emitted > done {
-				return int(emitted - done)
+			if splitterLocal {
+				reb.Start(opt.rebalanceInterval)
+				defer reb.Stop()
 			}
-			return 0
-		})
-		reb.Start(opt.rebalanceInterval)
-		defer reb.Stop()
+		} else {
+			// Drain barrier for routing swaps: tuples the splitter emitted
+			// that the engines have not yet executed or dropped.
+			mon := rt.Monitor()
+			reb.SetInFlight(func() int {
+				var emitted, done uint64
+				for _, tot := range mon.TotalsByComponent() {
+					switch tot.Component {
+					case core.CompSplitter:
+						emitted = tot.Emitted
+					case core.CompEsper:
+						done = tot.Executed + tot.Dropped
+					}
+				}
+				if emitted > done {
+					return int(emitted - done)
+				}
+				return 0
+			})
+			reb.Start(opt.rebalanceInterval)
+			defer reb.Stop()
+		}
 	}
 	rt.Monitor().Subscribe(func(rep storm.Report) {
 		cs := rep.Components[core.CompEsper]

@@ -21,9 +21,8 @@ type Engine struct {
 	byStream map[string][]*Statement
 	funcs    map[string]ScalarFunc
 
-	eventsIn  uint64
-	procTime  time.Duration
-	lastError error
+	eventsIn uint64
+	procTime time.Duration
 
 	// disableIndexJoins turns off equi-join hash indexing for statements
 	// compiled after the call; joins then run as filtered nested loops.
@@ -44,9 +43,8 @@ type Engine struct {
 	latHist *telemetry.Histogram
 }
 
-// Option configures an Engine at construction, replacing the
-// mutate-after-construct pattern (DisableIndexJoins) with declarative
-// setup.
+// Option configures an Engine at construction; the engine is never
+// mutated after New returns, so option state needs no locking.
 type Option func(*Engine)
 
 // WithIndexJoins enables or disables equi-join hash indexing for the
@@ -97,11 +95,6 @@ func New(opts ...Option) *Engine {
 	return e
 }
 
-// NewEngine creates an empty engine.
-//
-// Deprecated: use New, optionally with options.
-func NewEngine() *Engine { return New() }
-
 // RegisterFunction makes a scalar function available to EPL expressions in
 // this engine under the given (case-insensitive) name. Registering a name
 // twice replaces the previous function.
@@ -119,17 +112,6 @@ func lower(s string) string {
 		}
 	}
 	return string(b)
-}
-
-// DisableIndexJoins turns off equi-join hash indexing for statements added
-// afterwards; their joins run as filtered nested loops.
-//
-// Deprecated: construct the engine with New(WithIndexJoins(false)) instead
-// of mutating it afterwards.
-func (e *Engine) DisableIndexJoins() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.disableIndexJoins = true
 }
 
 // AddStatement parses, compiles and registers an EPL statement under a
@@ -260,29 +242,7 @@ func (e *Engine) SendEventAt(stream string, ts time.Time, fields map[string]Valu
 	if e.latHist != nil {
 		e.latHist.ObserveDuration(elapsed)
 	}
-	if firstErr != nil {
-		e.lastError = firstErr
-	}
 	return firstErr
-}
-
-// EngineMetrics is a snapshot of engine-level counters.
-//
-// Deprecated: attach a telemetry registry (WithRegistry), register the
-// engine as a telemetry.Source and walk the registry instead.
-type EngineMetrics struct {
-	EventsIn  uint64
-	ProcTime  time.Duration
-	LastError error
-}
-
-// Metrics returns a snapshot of the engine counters.
-//
-// Deprecated: use Collect via a telemetry registry walk.
-func (e *Engine) Metrics() EngineMetrics {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return EngineMetrics{EventsIn: e.eventsIn, ProcTime: e.procTime, LastError: e.lastError}
 }
 
 // Describe implements telemetry.Source.
@@ -334,5 +294,4 @@ func (e *Engine) ResetMetrics() {
 	defer e.mu.Unlock()
 	e.eventsIn = 0
 	e.procTime = 0
-	e.lastError = nil
 }

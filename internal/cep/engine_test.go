@@ -5,7 +5,17 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"trafficcep/internal/telemetry"
 )
+
+// engineEventsIn reads the engine's cumulative event counter through a
+// registry walk.
+func engineEventsIn(e *Engine) uint64 {
+	reg := telemetry.NewRegistry()
+	e.Collect(reg)
+	return reg.Counter("cep.events_in").Load()
+}
 
 // collect attaches a listener that appends outputs to a slice.
 func collect(st *Statement) *[]Output {
@@ -24,7 +34,7 @@ func send(t *testing.T, e *Engine, stream string, fields map[string]Value) {
 }
 
 func TestSimpleFilter(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r", `SELECT * FROM s.std:lastevent() AS ev WHERE ev.x > 10`)
 	if err != nil {
 		t.Fatal(err)
@@ -42,7 +52,7 @@ func TestSimpleFilter(t *testing.T) {
 }
 
 func TestLastEventOnlyLatest(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r", `SELECT ev.x AS x FROM s.std:lastevent() AS ev`)
 	if err != nil {
 		t.Fatal(err)
@@ -61,7 +71,7 @@ func TestLastEventOnlyLatest(t *testing.T) {
 }
 
 func TestLengthWindowAvg(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r", `SELECT avg(w.x) AS m FROM s.win:length(3) AS w`)
 	if err != nil {
 		t.Fatal(err)
@@ -82,7 +92,7 @@ func TestLengthWindowAvg(t *testing.T) {
 }
 
 func TestGroupWinIsolatesGroups(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r",
 		`SELECT w.loc AS loc, avg(w.x) AS m FROM s.std:groupwin(loc).win:length(2) AS w GROUP BY w.loc`)
 	if err != nil {
@@ -115,7 +125,7 @@ func TestGroupWinIsolatesGroups(t *testing.T) {
 }
 
 func TestHavingThreshold(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r",
 		`SELECT avg(w.x) AS m FROM s.win:length(2) AS w HAVING avg(w.x) > 10`)
 	if err != nil {
@@ -134,7 +144,7 @@ func TestHavingThreshold(t *testing.T) {
 }
 
 func TestJoinTwoStreams(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r", `
 		SELECT o.id AS id, p.price AS price
 		FROM orders.std:lastevent() AS o, prices.win:keepall() AS p
@@ -162,7 +172,7 @@ func TestJoinTwoStreams(t *testing.T) {
 }
 
 func TestUnidirectionalSuppressesOtherTriggers(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r", `
 		SELECT o.id AS id, p.price AS price
 		FROM orders.std:lastevent() AS o UNIDIRECTIONAL, prices.win:keepall() AS p
@@ -185,7 +195,7 @@ func TestUnidirectionalSuppressesOtherTriggers(t *testing.T) {
 func TestListing1EndToEnd(t *testing.T) {
 	// The paper's generic rule template, with thresholds fed as a stream
 	// (the "Add the Thresholds in an Esper stream" strategy of §4.3.1).
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("listing1", `
 		SELECT bd2.location AS location, avg(bd2.attribute) AS observed, avg(thresholds.attribute) AS threshold
 		FROM bus.std:lastevent() AS bd UNIDIRECTIONAL,
@@ -242,7 +252,7 @@ func TestListing1EndToEnd(t *testing.T) {
 }
 
 func TestLengthBatchTumbles(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r", `SELECT count(*) AS n FROM s.win:length_batch(3) AS w`)
 	if err != nil {
 		t.Fatal(err)
@@ -264,7 +274,7 @@ func TestLengthBatchTumbles(t *testing.T) {
 }
 
 func TestTimeWindowEviction(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r", `SELECT count(*) AS n FROM s.win:time(30 sec) AS w`)
 	if err != nil {
 		t.Fatal(err)
@@ -288,7 +298,7 @@ func TestTimeWindowEviction(t *testing.T) {
 }
 
 func TestAggregatesAll(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r", `
 		SELECT sum(w.x) AS s, min(w.x) AS lo, max(w.x) AS hi, count(w.x) AS n, stddev(w.x) AS sd
 		FROM s.win:keepall() AS w`)
@@ -310,7 +320,7 @@ func TestAggregatesAll(t *testing.T) {
 }
 
 func TestCountStarVsCountField(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r", `SELECT count(*) AS all_rows, count(w.x) AS non_null FROM s.win:keepall() AS w`)
 	if err != nil {
 		t.Fatal(err)
@@ -325,7 +335,7 @@ func TestCountStarVsCountField(t *testing.T) {
 }
 
 func TestOrderByAndDistinct(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r", `
 		SELECT DISTINCT w.x AS x FROM s.win:keepall() AS w ORDER BY w.x DESC`)
 	if err != nil {
@@ -348,7 +358,7 @@ func TestOrderByAndDistinct(t *testing.T) {
 }
 
 func TestScalarFunctionRegistry(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	calls := 0
 	e.RegisterFunction("lookup", func(args []Value) (Value, error) {
 		calls++
@@ -370,7 +380,7 @@ func TestScalarFunctionRegistry(t *testing.T) {
 }
 
 func TestBuiltinFunctions(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r",
 		`SELECT abs(w.x) AS a, sqrt(w.y) AS q, floor(w.z) AS f, ceil(w.z) AS c FROM s.std:lastevent() AS w`)
 	if err != nil {
@@ -385,7 +395,7 @@ func TestBuiltinFunctions(t *testing.T) {
 }
 
 func TestUnknownFunctionError(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	_, err := e.AddStatement("r", `SELECT nosuch(w.x) AS v FROM s.std:lastevent() AS w`)
 	if err != nil {
 		t.Fatal(err) // compile succeeds; resolution is at runtime
@@ -396,7 +406,7 @@ func TestUnknownFunctionError(t *testing.T) {
 }
 
 func TestTypeErrorSurfacesButEngineSurvives(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r", `SELECT * FROM s.std:lastevent() AS w WHERE w.x > 5`)
 	if err != nil {
 		t.Fatal(err)
@@ -416,7 +426,7 @@ func TestTypeErrorSurfacesButEngineSurvives(t *testing.T) {
 }
 
 func TestDivisionByZero(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	if _, err := e.AddStatement("r", `SELECT w.x / w.y AS q FROM s.std:lastevent() AS w`); err != nil {
 		t.Fatal(err)
 	}
@@ -427,7 +437,7 @@ func TestDivisionByZero(t *testing.T) {
 }
 
 func TestDuplicateStatementName(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	if _, err := e.AddStatement("r", `SELECT * FROM s.std:lastevent() AS w`); err != nil {
 		t.Fatal(err)
 	}
@@ -437,7 +447,7 @@ func TestDuplicateStatementName(t *testing.T) {
 }
 
 func TestRemoveStatement(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r", `SELECT * FROM s.std:lastevent() AS w`)
 	if err != nil {
 		t.Fatal(err)
@@ -460,7 +470,7 @@ func TestRemoveStatement(t *testing.T) {
 }
 
 func TestStatementNamesSorted(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	for _, n := range []string{"zeta", "alpha", "mid"} {
 		if _, err := e.AddStatement(n, `SELECT * FROM s.std:lastevent() AS w`); err != nil {
 			t.Fatal(err)
@@ -472,29 +482,28 @@ func TestStatementNamesSorted(t *testing.T) {
 	}
 }
 
-func TestEngineMetrics(t *testing.T) {
-	e := NewEngine()
+func TestEngineCountersViaRegistry(t *testing.T) {
+	e := New()
 	if _, err := e.AddStatement("r", `SELECT * FROM s.std:lastevent() AS w`); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
 		send(t, e, "s", map[string]Value{"x": float64(i)})
 	}
-	m := e.Metrics()
-	if m.EventsIn != 5 {
-		t.Fatalf("events = %d, want 5", m.EventsIn)
+	if got := engineEventsIn(e); got != 5 {
+		t.Fatalf("events = %d, want 5", got)
 	}
 	if e.AvgLatency() <= 0 {
 		t.Fatal("avg latency should be positive")
 	}
 	e.ResetMetrics()
-	if e.Metrics().EventsIn != 0 || e.AvgLatency() != 0 {
+	if engineEventsIn(e) != 0 || e.AvgLatency() != 0 {
 		t.Fatal("reset did not clear metrics")
 	}
 }
 
 func TestStatementMetrics(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r", `SELECT * FROM s.std:lastevent() AS w WHERE w.x > 0`)
 	if err != nil {
 		t.Fatal(err)
@@ -508,7 +517,7 @@ func TestStatementMetrics(t *testing.T) {
 }
 
 func TestWindowSizes(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r", `
 		SELECT * FROM s.win:length(2) AS a, t.win:keepall() AS b WHERE a.k = b.k`)
 	if err != nil {
@@ -528,7 +537,7 @@ func TestJoinIndexMatchesNestedLoopSemantics(t *testing.T) {
 	// The equi-join index must produce exactly the rows a nested loop
 	// with a WHERE filter would.
 	build := func(src string) (*Engine, *[]Output) {
-		e := NewEngine()
+		e := New()
 		st, err := e.AddStatement("r", src)
 		if err != nil {
 			t.Fatal(err)
@@ -570,7 +579,7 @@ func TestJoinIndexMatchesNestedLoopSemantics(t *testing.T) {
 }
 
 func TestThreeWayJoinChain(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r", `
 		SELECT a.id AS id, c.val AS val
 		FROM s1.std:lastevent() AS a, s2.win:keepall() AS b, s3.win:keepall() AS c
@@ -595,7 +604,7 @@ func TestThreeWayJoinChain(t *testing.T) {
 }
 
 func TestSelectStarJoinPrefixesAliases(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r", `SELECT * FROM s.std:lastevent() AS a, t.win:keepall() AS b WHERE a.k = b.k`)
 	if err != nil {
 		t.Fatal(err)
@@ -610,7 +619,7 @@ func TestSelectStarJoinPrefixesAliases(t *testing.T) {
 }
 
 func TestEmptyWindowJoinNoOutput(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r", `SELECT * FROM s.std:lastevent() AS a, t.win:keepall() AS b WHERE a.k = b.k`)
 	if err != nil {
 		t.Fatal(err)
@@ -623,7 +632,7 @@ func TestEmptyWindowJoinNoOutput(t *testing.T) {
 }
 
 func TestConcurrentSendSafety(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r", `SELECT count(*) AS n FROM s.win:keepall() AS w`)
 	if err != nil {
 		t.Fatal(err)

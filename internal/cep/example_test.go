@@ -9,7 +9,7 @@ import (
 // ExampleEngine shows the basic Esper-style workflow: register a standing
 // statement, attach a listener, stream events.
 func ExampleEngine() {
-	engine := cep.NewEngine()
+	engine := cep.New()
 	stmt, err := engine.AddStatement("speeding",
 		`SELECT avg(w.speed) AS avgSpeed
 		 FROM cars.win:length(3) AS w
@@ -36,7 +36,7 @@ func ExampleEngine() {
 // ExampleEngine_join demonstrates a two-stream equi-join with a keep-all
 // reference stream — the pattern behind the paper's threshold stream.
 func ExampleEngine_join() {
-	engine := cep.NewEngine()
+	engine := cep.New()
 	stmt, _ := engine.AddStatement("enrich", `
 		SELECT o.item AS item, p.price AS price
 		FROM orders.std:lastevent() AS o UNIDIRECTIONAL,

@@ -177,7 +177,7 @@ func TestValueCompare(t *testing.T) {
 }
 
 func TestAggregateNullHandling(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r", `SELECT avg(w.x) AS m, sum(w.x) AS s, min(w.x) AS lo FROM s.win:keepall() AS w`)
 	if err != nil {
 		t.Fatal(err)
@@ -201,7 +201,7 @@ func TestAggregateNullHandling(t *testing.T) {
 }
 
 func TestStddevRequiresTwoValues(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r", `SELECT stddev(w.x) AS sd FROM s.win:keepall() AS w`)
 	if err != nil {
 		t.Fatal(err)
@@ -217,7 +217,7 @@ func TestStddevRequiresTwoValues(t *testing.T) {
 }
 
 func TestAggregateOverNonNumericErrors(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	if _, err := e.AddStatement("r", `SELECT avg(w.x) AS m FROM s.win:keepall() AS w`); err != nil {
 		t.Fatal(err)
 	}

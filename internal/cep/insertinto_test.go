@@ -9,7 +9,7 @@ import (
 // triggered events can be pushed further into the Esper engine feeding
 // other rules."
 func TestInsertIntoFeedsDownstreamRule(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	// Stage 1: raw readings above 10 become "spikes".
 	if _, err := e.AddStatement("detect", `
 		INSERT INTO spikes
@@ -50,7 +50,7 @@ func TestInsertIntoFeedsDownstreamRule(t *testing.T) {
 }
 
 func TestInsertIntoChainOfThree(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	mk := func(name, from, to string) {
 		t.Helper()
 		if _, err := e.AddStatement(name,
@@ -72,13 +72,13 @@ func TestInsertIntoChainOfThree(t *testing.T) {
 		t.Fatalf("chain output = %v", *got)
 	}
 	// The cascade runs within a single serial turn: one external event in.
-	if m := e.Metrics(); m.EventsIn != 1 {
-		t.Fatalf("external events = %d", m.EventsIn)
+	if got := engineEventsIn(e); got != 1 {
+		t.Fatalf("external events = %d", got)
 	}
 }
 
 func TestInsertIntoCycleIsBounded(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	// loop: every event on "loop" produces another event on "loop".
 	if _, err := e.AddStatement("cycle",
 		`INSERT INTO loop SELECT x.v AS v FROM loop.std:lastevent() AS x`); err != nil {
@@ -98,7 +98,7 @@ func TestInsertIntoCycleIsBounded(t *testing.T) {
 }
 
 func TestInsertIntoListenersStillFire(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("detect",
 		`INSERT INTO out SELECT r.v AS v FROM in.std:lastevent() AS r`)
 	if err != nil {
@@ -114,7 +114,7 @@ func TestInsertIntoListenersStillFire(t *testing.T) {
 }
 
 func TestInsertIntoParseAndRender(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r", `insert into derived SELECT w.x AS x FROM s.std:lastevent() AS w`)
 	if err != nil {
 		t.Fatal(err)

@@ -235,7 +235,7 @@ func TestBuildWindowErrors(t *testing.T) {
 }
 
 func TestTimeBatchViaEngine(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r", `SELECT count(*) AS n FROM s.win:time_batch(30 sec) AS w`)
 	if err != nil {
 		t.Fatal(err)
@@ -255,7 +255,7 @@ func TestTimeBatchViaEngine(t *testing.T) {
 }
 
 func TestUniqueViaEngine(t *testing.T) {
-	e := NewEngine()
+	e := New()
 	st, err := e.AddStatement("r", `SELECT sum(w.v) AS total FROM s.std:unique(k) AS w`)
 	if err != nil {
 		t.Fatal(err)
@@ -275,7 +275,7 @@ func TestUniqueViaEngine(t *testing.T) {
 	}
 }
 
-func TestDisableIndexJoinsSameResults(t *testing.T) {
+func TestIndexJoinsDisabledSameResults(t *testing.T) {
 	run := func(disable bool) []Output {
 		e := New(WithIndexJoins(!disable))
 		st, err := e.AddStatement("r",

@@ -1,0 +1,127 @@
+package core
+
+// Cross-process rule migration. In a multi-worker deployment every worker
+// constructs the same topology, rules and Rebalancer, but each esper task's
+// engine lives in exactly one worker process — so the migrator steps of a
+// routing swap (PrepareTarget before, ReleaseSource after) must execute on
+// the worker owning the task. DistributedMigrator routes each per-task
+// operation: to the local RuleMigrator when the task lives here, over the
+// runtime's control plane (storm.Runtime.Control) to the owning worker
+// otherwise. The receiving side serves those requests with the handler from
+// MigrationHandler, applying them to its own RuleMigrator.
+//
+// Only one worker runs rebalance cycles — the one hosting the Splitter task
+// that triggers them (CheckEvery fires on the Splitter's goroutine). The
+// others keep a symmetric Rebalancer for routing reads and engine
+// registration; its migrator is exercised via the control plane.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"trafficcep/internal/cep"
+	"trafficcep/internal/storm"
+)
+
+// Control-plane methods served by MigrationHandler.
+const (
+	MethodPrepareTarget = "core.migrate.prepare"
+	MethodReleaseSource = "core.migrate.release"
+)
+
+// ControlClient sends a control request to a worker process and returns its
+// response. *storm.Runtime implements it.
+type ControlClient interface {
+	Control(worker int, method string, payload []byte) ([]byte, error)
+}
+
+// migrationOp is the wire form of one per-task migrator call.
+type migrationOp struct {
+	Task      int      `json:"task"`
+	Field     string   `json:"field"`
+	Locations []string `json:"locations"`
+}
+
+// DistributedMigrator is an EngineMigrator that spans worker processes:
+// operations on tasks this worker owns go to Local, operations on remote
+// tasks become control RPCs to the owning worker. It also forwards engine
+// registration to Local, so it slots into RebalancerConfig.Migrator
+// wherever a RuleMigrator did.
+type DistributedMigrator struct {
+	// Local applies operations for tasks placed on this worker.
+	Local EngineMigrator
+	// Self is this process's worker id (storm.Runtime.WorkerID()).
+	Self int
+	// WorkerOf maps an engine task index to the worker owning it; build it
+	// with EsperTaskWorkers. Tasks missing from the map are treated as
+	// local.
+	WorkerOf map[int]int
+	// Client carries remote operations; typically the *storm.Runtime.
+	Client ControlClient
+}
+
+// RegisterEngine implements EngineRegistrar by forwarding to Local (tasks
+// only ever register in the process that runs them).
+func (d *DistributedMigrator) RegisterEngine(task int, eng *cep.Engine, installs []*InstalledRule, forward cep.Listener) {
+	if reg, ok := d.Local.(EngineRegistrar); ok {
+		reg.RegisterEngine(task, eng, installs, forward)
+	}
+}
+
+// PrepareTarget implements EngineMigrator.
+func (d *DistributedMigrator) PrepareTarget(task int, field string, locations []string) error {
+	return d.route(MethodPrepareTarget, d.Local.PrepareTarget, task, field, locations)
+}
+
+// ReleaseSource implements EngineMigrator.
+func (d *DistributedMigrator) ReleaseSource(task int, field string, locations []string) error {
+	return d.route(MethodReleaseSource, d.Local.ReleaseSource, task, field, locations)
+}
+
+func (d *DistributedMigrator) route(method string, local func(int, string, []string) error, task int, field string, locations []string) error {
+	worker, ok := d.WorkerOf[task]
+	if !ok || worker == d.Self {
+		return local(task, field, locations)
+	}
+	payload, err := json.Marshal(migrationOp{Task: task, Field: field, Locations: locations})
+	if err != nil {
+		return err
+	}
+	if _, err := d.Client.Control(worker, method, payload); err != nil {
+		return fmt.Errorf("core: %s for task %d on worker %d: %w", method, task, worker, err)
+	}
+	return nil
+}
+
+// MigrationHandler serves the control-plane half of DistributedMigrator:
+// install it with storm.Runtime.OnControl on every worker, passing that
+// worker's local migrator. Unknown methods return an error so the handler
+// can be wrapped or chained by the caller.
+func MigrationHandler(m EngineMigrator) func(method string, payload []byte) ([]byte, error) {
+	return func(method string, payload []byte) ([]byte, error) {
+		var op migrationOp
+		if err := json.Unmarshal(payload, &op); err != nil {
+			return nil, fmt.Errorf("core: bad %s payload: %w", method, err)
+		}
+		switch method {
+		case MethodPrepareTarget:
+			return nil, m.PrepareTarget(op.Task, op.Field, op.Locations)
+		case MethodReleaseSource:
+			return nil, m.ReleaseSource(op.Task, op.Field, op.Locations)
+		}
+		return nil, fmt.Errorf("core: unknown control method %q", method)
+	}
+}
+
+// EsperTaskWorkers maps each esper-stage task index to the worker process
+// it was placed on, from the runtime's placements. Placement is
+// deterministic, so every worker computes the same map.
+func EsperTaskWorkers(placements []storm.Placement) map[int]int {
+	out := make(map[int]int)
+	for _, p := range placements {
+		if p.Component == CompEsper {
+			out[p.TaskIndex] = p.Worker
+		}
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"trafficcep/internal/busdata"
+	"trafficcep/internal/cep"
+	"trafficcep/internal/sqlstore"
+	"trafficcep/internal/storm"
+)
+
+// TestDistributedRebalanceNoDetectionLoss is the cross-process migration
+// differential: the Figure-8 topology is split across two worker processes
+// over TCP, every location starts on one engine, and the rebalancer must
+// fix the skew mid-feed — preparing target engines on the other worker via
+// control RPCs, draining the in-flight wave with a fence barrier across
+// the wire, and releasing the remote source. With a window-1 rule every
+// tuple yields exactly one detection, so the distributed rebalanced run
+// must produce the identical detection multiset to a single-process
+// balanced run: a swap across the process boundary loses nothing.
+func TestDistributedRebalanceNoDetectionLoss(t *testing.T) {
+	tree := buildTestTree(t)
+	traces := genTraces(t, 40, 10)
+	rule := Rule{Name: "leafDelay", Attribute: busdata.AttrDelay, Kind: QuadtreeLeaves, Window: 1, Sensitivity: 1}
+	const engines = 3
+	const workers = 2
+
+	leaves := tree.Leaves()
+	allLocs := make(map[string]bool, len(leaves))
+	var uniform []RegionRate
+	for _, leaf := range leaves {
+		allLocs[string(leaf.ID)] = true
+		uniform = append(uniform, RegionRate{Location: string(leaf.ID), Rate: 1})
+	}
+
+	seedThresholds := func(t *testing.T) (*sqlstore.DB, *sqlstore.ThresholdStore) {
+		t.Helper()
+		db := sqlstore.NewDB()
+		store, err := sqlstore.NewThresholdStore(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats []sqlstore.StatRow
+		for loc := range allLocs {
+			for h := 0; h < 24; h++ {
+				for _, day := range []busdata.DayType{busdata.Weekday, busdata.Weekend} {
+					stats = append(stats, sqlstore.StatRow{
+						Attribute: busdata.AttrDelay, Location: loc,
+						Hour: h, Day: day, Mean: -1e6, Stdv: 0,
+					})
+				}
+			}
+		}
+		if err := store.Put(stats); err != nil {
+			t.Fatal(err)
+		}
+		return db, store
+	}
+
+	detections := func(t *testing.T, db *sqlstore.DB) map[string]int {
+		t.Helper()
+		rows, err := db.Query(`SELECT rule, location, observed, threshold FROM events`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]int, len(rows))
+		for _, r := range rows {
+			out[fmt.Sprintf("%v|%v|%v|%v", r["rule"], r["location"], r["observed"], r["threshold"])]++
+		}
+		return out
+	}
+
+	// Baseline: balanced static routing, one process.
+	dbA, storeA := seedThresholds(t)
+	partA, err := PartitionRegions(uniform, engines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableA := NewRoutingTable(RouteByLocation, engines)
+	if err := tableA.AddPartition("leafArea", partA, []int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	topoA, err := BuildTrafficTopology(TrafficConfig{
+		Traces: traces, Tree: tree, Engines: engines, Routing: tableA, DB: dbA,
+		EngineSetup: func(task int, eng *cep.Engine) ([]*InstalledRule, error) {
+			locs := locSet(partA, task)
+			if len(locs) == 0 {
+				return nil, nil
+			}
+			inst, err := InstallRule(eng, rule, InstallOptions{Strategy: StrategyStream, Store: storeA, Locations: locs})
+			if err != nil {
+				return nil, err
+			}
+			return []*InstalledRule{inst}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtA, err := storm.New(topoA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rtA.Run(); err != nil {
+		t.Fatal(err)
+	}
+	static := detections(t, dbA)
+	if len(static) == 0 {
+		t.Fatal("static run produced no detections")
+	}
+
+	// Distributed run: two symmetric workers, everything starting on
+	// engine task 0. Each worker owns its own DB, threshold store, rule
+	// migrator and rebalancer; cross-worker migration rides the control
+	// plane and the post-swap drain rides the fence barrier.
+	lns := make([]net.Listener, workers)
+	peers := make([]string, workers)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+
+	skewed := func() *RoutingTable {
+		p := &Partition{
+			Engines:    make([][]RegionRate, engines),
+			Rate:       make([]float64, engines),
+			ByLocation: make(map[string]int, len(uniform)),
+		}
+		for _, r := range uniform {
+			p.Engines[0] = append(p.Engines[0], r)
+			p.Rate[0] += r.Rate
+			p.ByLocation[r.Location] = 0
+		}
+		tb := NewRoutingTable(RouteByLocation, engines)
+		if err := tb.AddPartition("leafArea", p, []int{0, 1, 2}); err != nil {
+			t.Fatal(err)
+		}
+		return tb
+	}
+
+	rts := make([]*storm.Runtime, workers)
+	rebs := make([]*Rebalancer, workers)
+	dbs := make([]*sqlstore.DB, workers)
+	var remoteRPCs atomic.Int64
+	for w := 0; w < workers; w++ {
+		db, store := seedThresholds(t)
+		dbs[w] = db
+		mig := &DistributedMigrator{
+			Local: &RuleMigrator{Rules: []Rule{rule}, Store: store},
+		}
+		reb, err := NewRebalancer(RebalancerConfig{
+			Routing:       skewed(),
+			SkewThreshold: 1.3,
+			CheckEvery:    len(traces) / 4,
+			Migrator:      mig,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rebs[w] = reb
+		topo, err := BuildTrafficTopology(TrafficConfig{
+			Traces: traces, Tree: tree, Engines: engines, Rebalancer: reb, DB: db,
+			EngineSetup: func(task int, eng *cep.Engine) ([]*InstalledRule, error) {
+				if task != 0 {
+					return nil, nil
+				}
+				inst, err := InstallRule(eng, rule, InstallOptions{Strategy: StrategyStream, Store: store, Locations: allLocs})
+				if err != nil {
+					return nil, err
+				}
+				return []*InstalledRule{inst}, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := storm.New(topo, storm.WithWorker(w, peers), storm.WithListener(lns[w]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rts[w] = rt
+
+		// Late-bind the distributed pieces that need the runtime:
+		// placement-derived task ownership, the control client, the
+		// migration handler, and the cross-process drain barrier.
+		mig.Self = rt.WorkerID()
+		mig.WorkerOf = EsperTaskWorkers(rt.Placements())
+		mig.Client = rt
+		handler := MigrationHandler(mig.Local)
+		rt.OnControl(func(method string, payload []byte) ([]byte, error) {
+			remoteRPCs.Add(1)
+			return handler(method, payload)
+		})
+		reb.SetDrainBarrier(func() error {
+			return rt.DrainComponent(CompEsper, 5*time.Second)
+		})
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = rts[w].Run()
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("distributed run did not drain")
+	}
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	for _, reb := range rebs {
+		reb.Stop()
+	}
+
+	// The splitter lives on exactly one worker; its rebalancer must have
+	// swapped mid-feed with no deferred releases (the fence barrier
+	// replaces the in-flight poll, so releases happen in-cycle).
+	var swaps, moves uint64
+	var deferred int
+	for _, reb := range rebs {
+		tot := reb.Totals()
+		swaps += tot.Swaps
+		moves += tot.Moves
+		deferred += reb.LastReport().ReleasesDeferred
+	}
+	if swaps < 1 || moves == 0 {
+		t.Fatalf("no swap happened mid-feed: swaps=%d moves=%d", swaps, moves)
+	}
+	if deferred != 0 {
+		t.Fatalf("drain barrier failed: %d source releases deferred", deferred)
+	}
+	// Engine tasks are spread across both workers, so fixing a skew where
+	// everything sits on one engine must touch the other process.
+	if remoteRPCs.Load() == 0 {
+		t.Fatal("no migration control RPCs crossed the process boundary")
+	}
+
+	merged := map[string]int{}
+	for _, db := range dbs {
+		for k, n := range detections(t, db) {
+			merged[k] += n
+		}
+	}
+	for k, n := range static {
+		if merged[k] != n {
+			t.Fatalf("detection %q: static %d, distributed %d", k, n, merged[k])
+		}
+	}
+	for k, n := range merged {
+		if static[k] != n {
+			t.Fatalf("extra detection %q in distributed run: %d vs %d", k, n, static[k])
+		}
+	}
+}

@@ -154,7 +154,7 @@ func TestDynamicManagerEndToEnd(t *testing.T) {
 	if n, err := m.RunOnce(); err != nil || n == 0 {
 		t.Fatalf("first batch: n=%d err=%v", n, err)
 	}
-	eng := cep.NewEngine()
+	eng := cep.New()
 	rule := Rule{Name: "dyn", Attribute: busdata.AttrDelay, Kind: QuadtreeLayer, Layer: 0, Window: 1, Sensitivity: 1}
 	inst, err := InstallRule(eng, rule, InstallOptions{Strategy: StrategyStream, Store: store})
 	if err != nil {

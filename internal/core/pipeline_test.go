@@ -132,7 +132,7 @@ func TestFullPaperPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := storm.NewRuntime(topo, storm.Config{Nodes: 3})
+	rt, err := storm.New(topo, storm.WithNodes(3))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -124,6 +124,12 @@ type RebalancerConfig struct {
 	// a swap to drain before releasing source engines. Nil defers source
 	// releases to the next cycle instead.
 	InFlight func() int
+	// DrainBarrier, when set, replaces the InFlight poll with a positive
+	// drain barrier: it must return only once every tuple routed under the
+	// old table has been executed (storm.Runtime.DrainComponent provides
+	// this across worker processes). An error defers the source releases
+	// exactly like an InFlight timeout.
+	DrainBarrier func() error
 	// DrainTimeout bounds the post-swap drain wait. Defaults to 2s.
 	DrainTimeout time.Duration
 	// Telemetry, when set, receives core.rebalance.* metrics.
@@ -151,11 +157,12 @@ type Rebalancer struct {
 
 	obs atomic.Uint64 // observations since start, for CheckEvery
 
-	mu       sync.Mutex // serializes cycles, guards the fields below
-	inFlight func() int
-	pending  []releaseOp
-	totals   RebalanceTotals
-	last     RebalanceReport
+	mu           sync.Mutex // serializes cycles, guards the fields below
+	inFlight     func() int
+	drainBarrier func() error
+	pending      []releaseOp
+	totals       RebalanceTotals
+	last         RebalanceReport
 
 	tickStop chan struct{}
 	tickWG   sync.WaitGroup
@@ -189,6 +196,7 @@ func NewRebalancer(cfg RebalancerConfig) (*Rebalancer, error) {
 		migrator:     cfg.Migrator,
 		drainTimeout: cfg.DrainTimeout,
 		inFlight:     cfg.InFlight,
+		drainBarrier: cfg.DrainBarrier,
 	}
 	for _, f := range rb.fields {
 		rb.est[f] = NewRateEstimator(nil, cfg.Alpha)
@@ -216,6 +224,16 @@ func (rb *Rebalancer) Table() *RoutingTable { return rb.handle.Load() }
 func (rb *Rebalancer) SetInFlight(f func() int) {
 	rb.mu.Lock()
 	rb.inFlight = f
+	rb.mu.Unlock()
+}
+
+// SetDrainBarrier installs the post-swap drain barrier after construction
+// (the runtime providing it only exists once the topology is built). It
+// takes precedence over the InFlight poll. Call before Start or the first
+// rebalance.
+func (rb *Rebalancer) SetDrainBarrier(f func() error) {
+	rb.mu.Lock()
+	rb.drainBarrier = f
 	rb.mu.Unlock()
 }
 
@@ -388,7 +406,14 @@ func (rb *Rebalancer) swapLocked(table *RoutingTable, rates map[string][]RegionR
 // drainLocked waits for in-flight routed tuples to clear after a swap.
 // Returns the in-flight count observed at swap time and whether the drain
 // completed (false: no probe installed, or timeout — release is deferred).
+// A DrainBarrier, when installed, takes precedence over the InFlight poll:
+// it proves the drain positively (fence acknowledgements from every
+// executor, across worker processes) instead of inferring it from a
+// counter going idle.
 func (rb *Rebalancer) drainLocked() (int, bool) {
+	if rb.drainBarrier != nil {
+		return 0, rb.drainBarrier() == nil
+	}
 	if rb.inFlight == nil {
 		return 0, false
 	}

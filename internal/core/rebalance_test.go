@@ -114,7 +114,7 @@ func TestRoutingSplitterUnroutedAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := storm.NewRuntime(topo, storm.Config{})
+	rt, err := storm.New(topo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -394,7 +394,7 @@ func TestRebalanceMigrationNoDetectionLoss(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rt, err := storm.NewRuntime(topo, storm.Config{})
+		rt, err := storm.New(topo)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -104,7 +104,7 @@ func TestLocationFields(t *testing.T) {
 // quiet below; areaB uses its own (higher) threshold.
 func exerciseStrategy(t *testing.T, strategy ThresholdStrategy) *cep.Engine {
 	t.Helper()
-	eng := cep.NewEngine()
+	eng := cep.New()
 	store := newStore(t)
 	inst, err := InstallRule(eng, delayRule(2), InstallOptions{
 		Strategy: strategy, Store: store, StaticThreshold: 50,
@@ -138,7 +138,7 @@ func TestStrategyManyRules(t *testing.T) { exerciseStrategy(t, StrategyManyRules
 func TestStrategyStatic(t *testing.T)    { exerciseStrategy(t, StrategyStatic) }
 
 func TestManyRulesCreatesOneStatementPerThreshold(t *testing.T) {
-	eng := cep.NewEngine()
+	eng := cep.New()
 	store := newStore(t)
 	inst, err := InstallRule(eng, delayRule(2), InstallOptions{Strategy: StrategyManyRules, Store: store})
 	if err != nil {
@@ -153,7 +153,7 @@ func TestManyRulesCreatesOneStatementPerThreshold(t *testing.T) {
 }
 
 func TestLocationFilterRestrictsInstall(t *testing.T) {
-	eng := cep.NewEngine()
+	eng := cep.New()
 	store := newStore(t)
 	inst, err := InstallRule(eng, delayRule(2), InstallOptions{
 		Strategy:  StrategyManyRules,
@@ -176,7 +176,7 @@ func TestLocationFilterRestrictsInstall(t *testing.T) {
 }
 
 func TestStrategyRequiresStore(t *testing.T) {
-	eng := cep.NewEngine()
+	eng := cep.New()
 	for _, s := range []ThresholdStrategy{StrategyJoinDB, StrategyManyRules, StrategyStream} {
 		if _, err := InstallRule(eng, delayRule(1), InstallOptions{Strategy: s}); err == nil {
 			t.Errorf("%v without store must fail", s)
@@ -185,7 +185,7 @@ func TestStrategyRequiresStore(t *testing.T) {
 }
 
 func TestJoinDBUnknownLocationNeverFires(t *testing.T) {
-	eng := cep.NewEngine()
+	eng := cep.New()
 	store := newStore(t)
 	inst, err := InstallRule(eng, delayRule(1), InstallOptions{Strategy: StrategyJoinDB, Store: store})
 	if err != nil {
@@ -199,7 +199,7 @@ func TestJoinDBUnknownLocationNeverFires(t *testing.T) {
 }
 
 func TestRefreshPicksUpNewThresholds(t *testing.T) {
-	eng := cep.NewEngine()
+	eng := cep.New()
 	store := newStore(t)
 	inst, err := InstallRule(eng, delayRule(1), InstallOptions{Strategy: StrategyStream, Store: store})
 	if err != nil {
@@ -232,7 +232,7 @@ func TestRefreshPicksUpNewThresholds(t *testing.T) {
 }
 
 func TestRefreshKeepsListeners(t *testing.T) {
-	eng := cep.NewEngine()
+	eng := cep.New()
 	store := newStore(t)
 	inst, err := InstallRule(eng, delayRule(1), InstallOptions{Strategy: StrategyStream, Store: store})
 	if err != nil {
@@ -249,7 +249,7 @@ func TestRefreshKeepsListeners(t *testing.T) {
 }
 
 func TestRemoveStopsRule(t *testing.T) {
-	eng := cep.NewEngine()
+	eng := cep.New()
 	store := newStore(t)
 	inst, err := InstallRule(eng, delayRule(1), InstallOptions{Strategy: StrategyStream, Store: store})
 	if err != nil {
@@ -267,7 +267,7 @@ func TestRemoveStopsRule(t *testing.T) {
 }
 
 func TestStaticRefreshIsNoop(t *testing.T) {
-	eng := cep.NewEngine()
+	eng := cep.New()
 	inst, err := InstallRule(eng, delayRule(1), InstallOptions{Strategy: StrategyStatic, StaticThreshold: 10})
 	if err != nil {
 		t.Fatal(err)

@@ -171,7 +171,7 @@ func TestTrafficTopologyEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	runtime, err := storm.NewRuntime(topo, storm.Config{Nodes: 3})
+	runtime, err := storm.New(topo, storm.WithNodes(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestTrafficTopologyAllGroupingMultipliesLoad(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		runtime, err := storm.NewRuntime(topo, storm.Config{})
+		runtime, err := storm.New(topo)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -267,7 +267,7 @@ func TestTrafficTopologyHistoryWritten(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	runtime, err := storm.NewRuntime(topo, storm.Config{})
+	runtime, err := storm.New(topo)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -81,7 +81,7 @@ func TestRegisterComponentsXMLRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := storm.NewRuntime(topo, storm.Config{})
+	rt, err := storm.New(topo)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,7 +8,18 @@ import (
 	"trafficcep/internal/cep"
 	"trafficcep/internal/core"
 	"trafficcep/internal/sqlstore"
+	"trafficcep/internal/telemetry"
 )
+
+// engineCounters reads the engine's cumulative event count and processing
+// time through a registry walk (the Collect path that replaced the old
+// snapshot method).
+func engineCounters(eng *cep.Engine) (uint64, time.Duration) {
+	reg := telemetry.NewRegistry()
+	eng.Collect(reg)
+	return reg.Counter("cep.events_in").Load(),
+		time.Duration(reg.Gauge("cep.proc_time_ns").Load())
+}
 
 // measureStrategy runs one rule under a threshold-retrieval strategy on the
 // live CEP engine and reports the mean per-tuple latency per reporting
@@ -79,12 +90,12 @@ func measureStrategy(strat core.ThresholdStrategy, locations, events, windows in
 			}
 			sent++
 		}
-		m := eng.Metrics()
-		dEvents := m.EventsIn - prevEvents
+		eventsIn, procTime := engineCounters(eng)
+		dEvents := eventsIn - prevEvents
 		if dEvents > 0 {
-			perWindow[w] = float64(m.ProcTime-prevTime) / float64(dEvents) / float64(time.Millisecond)
+			perWindow[w] = float64(procTime-prevTime) / float64(dEvents) / float64(time.Millisecond)
 		}
-		prevTime, prevEvents = m.ProcTime, m.EventsIn
+		prevTime, prevEvents = procTime, eventsIn
 	}
 	mean := float64(eng.AvgLatency()) / float64(time.Millisecond)
 	return perWindow, mean, nil

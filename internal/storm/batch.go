@@ -8,7 +8,7 @@ package storm
 // file amortizes and removes them:
 //
 //   - Emissions buffer per destination executor in an outBatcher and travel
-//     as *batch values — one channel operation moves up to BatchSize
+//     as *Batch values — one channel operation moves up to BatchSize
 //     envelopes. Buffers flush when full, when a spout-side envelope has
 //     waited past BatchTimeout (checked between NextTuple calls), when a
 //     bolt's input queue goes idle, and always before an executor exits —
@@ -38,21 +38,28 @@ import (
 	"time"
 )
 
-// batch is the unit of inter-executor transport: a pooled slice of
-// envelopes. Ownership passes to the receiving executor at send time; the
-// receiver releases it via Runtime.putBatch after the last envelope is
+// Batch is the unit of inter-executor transport: a pooled slice of
+// envelopes, opaque outside the package. Ownership passes to the receiving
+// executor (or the Transport, see transport.go) at send time; the receiver
+// releases it via Runtime.ReleaseBatch after the last envelope is
 // processed.
-type batch struct {
+type Batch struct {
 	envs []envelope
+	// fence marks a drain sentinel instead of a payload batch: the
+	// receiving executor signals it and moves on (see Runtime.
+	// DrainComponent). FIFO transport order makes its arrival prove every
+	// earlier delivery to that executor was processed.
+	fence *fenceWait
 }
 
-func (r *Runtime) getBatch() *batch { return r.batchPool.Get().(*batch) }
+func (r *Runtime) getBatch() *Batch { return r.batchPool.Get().(*Batch) }
 
 // putBatch returns a batch to the pool. Envelopes are cleared first so the
 // pool does not pin tuple payload maps or trace contexts.
-func (r *Runtime) putBatch(b *batch) {
+func (r *Runtime) putBatch(b *Batch) {
 	clear(b.envs)
 	b.envs = b.envs[:0]
+	b.fence = nil
 	r.batchPool.Put(b)
 }
 
@@ -64,7 +71,7 @@ type outBatcher struct {
 	r       *Runtime
 	size    int
 	timeout time.Duration
-	bufs    []*batch // pending buffer per destination executor id
+	bufs    []*Batch // pending buffer per destination executor id
 	queued  []bool   // dests membership per destination executor id
 	dests   []*executor
 	first   time.Time // clock at the first buffered envelope since the last flush
@@ -75,7 +82,7 @@ func (r *Runtime) newOutBatcher() *outBatcher {
 		r:       r,
 		size:    r.batchSize,
 		timeout: r.batchTimeout,
-		bufs:    make([]*batch, len(r.execs)),
+		bufs:    make([]*Batch, len(r.execs)),
 		queued:  make([]bool, len(r.execs)),
 	}
 }
@@ -99,7 +106,7 @@ func (o *outBatcher) add(dest *executor, env envelope, now time.Time) {
 	b.envs = append(b.envs, env)
 	if len(b.envs) >= o.size {
 		o.bufs[dest.eid] = nil
-		dest.deliver(b)
+		o.r.deliverOrDrop(dest, b)
 	}
 }
 
@@ -112,7 +119,7 @@ func (o *outBatcher) flushAll() {
 			continue
 		}
 		o.bufs[dest.eid] = nil
-		dest.deliver(b)
+		o.r.deliverOrDrop(dest, b)
 	}
 	o.dests = o.dests[:0]
 }

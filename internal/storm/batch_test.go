@@ -94,7 +94,7 @@ func TestBatchingEquivalentCounts(t *testing.T) {
 		if err := rt.Run(); err != nil {
 			t.Fatal(err)
 		}
-		return rt, rt.TaskMetricsSnapshot()
+		return rt, rt.taskMetricsSnapshot()
 	}
 	rt1, m1 := run(1)
 	rt64, m64 := run(64)
@@ -228,7 +228,7 @@ func TestBackpressureBlocksWithoutDrops(t *testing.T) {
 			var prev, cur uint64
 			deadline := time.Now().Add(5 * time.Second)
 			for {
-				cur = rt.TaskMetricsSnapshot()["src"][0].Emitted
+				cur = rt.taskMetricsSnapshot()["src"][0].Emitted
 				if cur > 0 && cur == prev {
 					break
 				}
@@ -257,7 +257,7 @@ func TestBackpressureBlocksWithoutDrops(t *testing.T) {
 			edgeReconciles(t, rt, "src", "slow")
 			edgeReconciles(t, rt, "slow", "sink")
 			var dropped uint64
-			for _, tasks := range rt.TaskMetricsSnapshot() {
+			for _, tasks := range rt.taskMetricsSnapshot() {
 				for _, tm := range tasks {
 					dropped += tm.Dropped
 				}

@@ -1,23 +1,5 @@
-// Package storm is a from-scratch, in-process distributed-stream-processing
-// runtime with Storm's programming model (§2.1.1 of the paper): topologies
-// of spouts and bolts, per-component tasks and executors, stream groupings
-// (shuffle, fields, all, global, direct), round-robin assignment of
-// executors to worker processes and of worker processes to nodes, and a
-// monitor that reports per-bolt throughput and latency every 40 seconds the
-// way the paper's enhanced Storm does (§5).
-//
-// Delivery is at-most-once by default. Enabling ack tracking (WithAckTimeout)
-// upgrades anchored spout emissions (AnchorCollector.EmitAnchored) to
-// at-least-once: an acker-style tracker follows each tuple tree and replays
-// it on failure or timeout with bounded retries, mirroring Storm's reliability
-// API. Component invocations are panic-isolated, and the FailFast/Degrade
-// failure policies (WithFailurePolicy) choose between surfacing the first
-// task error and quarantining repeatedly failing tasks; see faults.go.
-//
-// Inter-executor transport is batched: emissions buffer per destination
-// executor and one channel operation moves up to WithBatchSize envelopes,
-// with pooled batch memory and a zero-allocation fields-grouping hash; see
-// batch.go for the flush triggers and the ownership contract.
+// Component model types: tuples, collectors, spouts, bolts and groupings.
+// See doc.go for the package overview.
 package storm
 
 import (

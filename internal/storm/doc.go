@@ -1,0 +1,49 @@
+// Package storm is a from-scratch distributed-stream-processing runtime
+// with Storm's programming model (§2.1.1 of the paper): topologies of
+// spouts and bolts, per-component tasks and executors, stream groupings
+// (shuffle, fields, all, global, direct), round-robin assignment of
+// executors to worker processes and of worker processes to nodes, and a
+// monitor that reports per-bolt throughput and latency every 40 seconds the
+// way the paper's enhanced Storm does (§5).
+//
+// # Execution models
+//
+// By default a Runtime executes the whole topology in one process: every
+// executor is a goroutine and the inter-executor hop is a channel send. With
+// WithWorker the same topology is split across worker processes: every
+// worker builds the identical topology (placement is deterministic), runs
+// only the executors placed on it, and ships envelope batches to the others
+// over the TCP peer transport (see transport.go and wire.go). Liveness
+// between workers is tracked with heartbeats; a lost peer fails its
+// in-flight anchored tuples and unblocks shutdown.
+//
+// # Transports
+//
+// The inter-executor hop is abstracted behind the Transport interface. The
+// in-process chan transport is the zero-cost local fast path; tcpTransport
+// implements the same contract across processes with a length-prefixed wire
+// codec over pooled buffers. Third-party transports (gRPC, shared memory)
+// implement Transport and slot in via WithTransport without touching the
+// runtime; see the Transport and Peer godoc for the ownership and
+// flush-before-block contracts they must honor.
+//
+// # Reliability
+//
+// Delivery is at-most-once by default. Enabling ack tracking
+// (WithAckTimeout) upgrades anchored spout emissions
+// (AnchorCollector.EmitAnchored) to at-least-once: an acker-style tracker
+// follows each tuple tree and replays it on failure or timeout with bounded
+// retries, mirroring Storm's reliability API. Across workers the tree is
+// tracked hierarchically: an anchored envelope crossing the wire opens a
+// local sub-anchor on the receiver, which follows the local subtree and
+// reports a single ack/fail result frame back to the sender — so a root
+// never drains prematurely while deltas are in flight on other connections.
+// Component invocations are panic-isolated, and the FailFast/Degrade
+// failure policies (WithFailurePolicy) choose between surfacing the first
+// task error and quarantining repeatedly failing tasks; see faults.go.
+//
+// Inter-executor transport is batched: emissions buffer per destination
+// executor and one transport delivery moves up to WithBatchSize envelopes,
+// with pooled batch memory and a zero-allocation fields-grouping hash; see
+// batch.go for the flush triggers and the ownership contract.
+package storm

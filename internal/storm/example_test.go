@@ -44,7 +44,7 @@ func Example() {
 		fmt.Println(err)
 		return
 	}
-	rt, err := storm.NewRuntime(topo, storm.Config{Nodes: 3})
+	rt, err := storm.New(topo, storm.WithNodes(3))
 	if err != nil {
 		fmt.Println(err)
 		return

@@ -222,7 +222,11 @@ func (r *Runtime) boltCleanup(rc *runningComponent, ts *taskState) (err error) {
 
 // --- ack tracker ---
 
-// pendingTuple is one in-flight anchored root tuple and its tree state.
+// pendingTuple is one in-flight anchored root tuple and its tree state —
+// or, when remotePeer >= 0, a *sub-anchor*: the local stand-in for a tree
+// rooted on another worker. A sub-anchor owns no replay state (rc, ts,
+// tuple are zero), is never swept, and resolving it reports one ackResult
+// back to the owning worker instead of acking a spout.
 type pendingTuple struct {
 	id    uint64
 	rc    *runningComponent // spout component that anchored the tuple
@@ -232,6 +236,12 @@ type pendingTuple struct {
 	// directTask >= 0 marks a root emitted with EmitDirectAnchored: replays
 	// go only to direct-grouped subscriptions, addressed to this task.
 	directTask int
+
+	// remotePeer/remoteID link a sub-anchor to its upstream: the worker the
+	// anchored envelope arrived from and the ack id in *that* worker's
+	// tracker. remotePeer is -1 for ordinary local roots.
+	remotePeer int
+	remoteID   uint64
 
 	outstanding int  // live deliveries + emitter/replay holds
 	failed      bool // some hop failed or dropped the tuple
@@ -259,6 +269,11 @@ type ackTracker struct {
 	// goroutine delivers replays, so these are never shared with task
 	// collectors (whose counters live on the emitting taskState).
 	shuffle map[*subscription]*uint64
+
+	// onRemoteResolve reports a drained sub-anchor to the worker that owns
+	// the real root (set by the TCP transport; nil in-process). Called
+	// outside mu.
+	onRemoteResolve func(peer int, remoteID uint64, failed bool)
 
 	stopCh chan struct{}
 	wg     sync.WaitGroup
@@ -336,9 +351,31 @@ func (a *ackTracker) begin(rc *runningComponent, ts *taskState, msgID string, t 
 	root.Values = copyValues(t.Values)
 	a.pending[id] = &pendingTuple{
 		id: id, rc: rc, ts: ts, msgID: msgID, tuple: root, directTask: directTask,
-		outstanding: 1, deadline: time.Now().Add(a.timeout),
+		remotePeer: -1, outstanding: 1, deadline: time.Now().Add(a.timeout),
 	}
 	a.byTask[ts]++
+	a.mu.Unlock()
+	return id
+}
+
+// beginRemote registers a sub-anchor for an anchored envelope received from
+// a peer: the local tracker follows the subtree rooted at that delivery and,
+// when it drains, reports the outcome upstream via onRemoteResolve — one
+// result matching the single inc the sender took when it shipped the
+// envelope. The initial hold is the delivery itself, released by the
+// receiving executor's post-Execute finish. Returns 0 when the tracker is
+// stopped (the transport then resolves the delivery immediately).
+func (a *ackTracker) beginRemote(peer int, remoteID uint64) uint64 {
+	a.mu.Lock()
+	if a.stopped {
+		a.mu.Unlock()
+		return 0
+	}
+	a.nextID++
+	id := a.nextID
+	a.pending[id] = &pendingTuple{
+		id: id, remotePeer: peer, remoteID: remoteID, outstanding: 1,
+	}
 	a.mu.Unlock()
 	return id
 }
@@ -384,6 +421,17 @@ func (a *ackTracker) finish(id uint64, failed bool) {
 		a.mu.Unlock()
 		return
 	}
+	if p.remotePeer >= 0 {
+		// Sub-anchor drained: no replay here (the root's owner decides),
+		// just report the subtree's outcome upstream.
+		a.removeLocked(p)
+		resolve := a.onRemoteResolve
+		a.mu.Unlock()
+		if resolve != nil {
+			resolve(p.remotePeer, p.remoteID, p.failed)
+		}
+		return
+	}
 	switch {
 	case !p.failed:
 		a.removeLocked(p)
@@ -413,7 +461,9 @@ func (a *ackTracker) finish(id uint64, failed bool) {
 // removeLocked drops a pending entry and wakes drain waiters. Callers hold mu.
 func (a *ackTracker) removeLocked(p *pendingTuple) {
 	delete(a.pending, p.id)
-	a.byTask[p.ts]--
+	if p.ts != nil {
+		a.byTask[p.ts]--
+	}
 	a.cond.Broadcast()
 }
 
@@ -433,6 +483,9 @@ func (a *ackTracker) sweep() {
 	var replays, expired []*pendingTuple
 	a.mu.Lock()
 	for _, p := range a.pending {
+		if p.remotePeer >= 0 {
+			continue // sub-anchors have no deadline: the real root's owner sweeps
+		}
 		if now.Before(p.deadline) {
 			continue
 		}
@@ -474,12 +527,18 @@ func (a *ackTracker) sweep() {
 
 // cancelAll expires every pending tuple (run cancellation): drain waiters
 // wake, Fail callbacks fire, and later begin calls emit unanchored.
+// Sub-anchors resolve as failed upstream, best-effort.
 func (a *ackTracker) cancelAll() {
-	var failed []*pendingTuple
+	var failed, remote []*pendingTuple
 	a.mu.Lock()
 	a.stopped = true
+	resolve := a.onRemoteResolve
 	for _, p := range a.pending {
 		a.removeLocked(p)
+		if p.remotePeer >= 0 {
+			remote = append(remote, p)
+			continue
+		}
 		p.rc.expired.Add(1)
 		failed = append(failed, p)
 	}
@@ -487,6 +546,11 @@ func (a *ackTracker) cancelAll() {
 	for _, p := range failed {
 		if s, ok := p.ts.spout.(AckingSpout); ok {
 			s.Fail(p.msgID)
+		}
+	}
+	if resolve != nil {
+		for _, p := range remote {
+			resolve(p.remotePeer, p.remoteID, true)
 		}
 	}
 }

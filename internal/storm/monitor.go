@@ -60,7 +60,7 @@ func newMonitor(r *Runtime, interval time.Duration) *Monitor {
 	return &Monitor{
 		r:        r,
 		interval: interval,
-		prev:     r.TaskMetricsSnapshot(),
+		prev:     r.taskMetricsSnapshot(),
 		prevAt:   time.Now(),
 		stopCh:   make(chan struct{}),
 	}
@@ -105,7 +105,7 @@ func (m *Monitor) stop() {
 // the previous snapshot, and notifies subscribers.
 func (m *Monitor) SnapshotNow() Report {
 	now := time.Now()
-	cur := m.r.TaskMetricsSnapshot()
+	cur := m.r.taskMetricsSnapshot()
 
 	m.mu.Lock()
 	window := now.Sub(m.prevAt)
@@ -223,7 +223,7 @@ func (m *Monitor) Reports() []Report {
 // TotalsByComponent aggregates absolute counters per component (not window
 // deltas), sorted by component id, for end-of-run summaries.
 func (m *Monitor) TotalsByComponent() []ComponentTotal {
-	cur := m.r.TaskMetricsSnapshot()
+	cur := m.r.taskMetricsSnapshot()
 	ids := make([]string, 0, len(cur))
 	for id := range cur {
 		ids = append(ids, id)

@@ -1,76 +1,112 @@
 package storm
 
 import (
+	"net"
 	"time"
 
 	"trafficcep/internal/telemetry"
 )
 
-// Option configures a Runtime at construction. Options replace the
-// positional Config struct-literal convention: call sites name exactly the
-// knobs they set and new knobs never break existing callers.
-type Option func(*Config)
+// Option configures a Runtime at construction. Options are the only way to
+// configure a runtime: call sites name exactly the knobs they set and new
+// knobs never break existing callers.
+type Option func(*config)
 
 // WithNodes sets the number of simulated cluster nodes.
-func WithNodes(n int) Option { return func(c *Config) { c.Nodes = n } }
+func WithNodes(n int) Option { return func(c *config) { c.Nodes = n } }
 
 // WithWorkersPerNode sets the worker processes (slots) per node. The paper
 // follows T-Storm's one-worker-per-node finding (§2.2), so the default is 1.
-func WithWorkersPerNode(n int) Option { return func(c *Config) { c.WorkersPerNode = n } }
+func WithWorkersPerNode(n int) Option { return func(c *config) { c.WorkersPerNode = n } }
 
 // WithChannelBuffer sets the per-executor input queue length; sends block
 // when full, providing backpressure.
-func WithChannelBuffer(n int) Option { return func(c *Config) { c.ChannelBuffer = n } }
+func WithChannelBuffer(n int) Option { return func(c *config) { c.ChannelBuffer = n } }
 
 // WithMonitorInterval enables the per-worker monitor thread reporting bolt
 // metrics every interval (the paper uses 40 s). Zero disables periodic
 // reporting; SnapshotNow still works.
-func WithMonitorInterval(d time.Duration) Option { return func(c *Config) { c.MonitorInterval = d } }
+func WithMonitorInterval(d time.Duration) Option { return func(c *config) { c.MonitorInterval = d } }
 
 // WithTelemetry attaches a telemetry registry: the runtime records per-hop
 // and end-to-end tuple latency histograms on the hot path, and the monitor
 // is registered as a telemetry.Source publishing per-component counters.
-func WithTelemetry(reg *telemetry.Registry) Option { return func(c *Config) { c.Telemetry = reg } }
+func WithTelemetry(reg *telemetry.Registry) Option { return func(c *config) { c.Telemetry = reg } }
 
 // WithFailurePolicy selects how task errors and recovered panics are
 // handled: FailFast (the default) records the first one as the run error,
 // Degrade absorbs them into the counters and quarantines tasks that fail
 // repeatedly.
-func WithFailurePolicy(p FailurePolicy) Option { return func(c *Config) { c.FailurePolicy = p } }
+func WithFailurePolicy(p FailurePolicy) Option { return func(c *config) { c.FailurePolicy = p } }
 
 // WithQuarantineAfter sets how many consecutive errors quarantine a task
 // under the Degrade policy. Defaults to 5.
-func WithQuarantineAfter(k int) Option { return func(c *Config) { c.QuarantineAfter = k } }
+func WithQuarantineAfter(k int) Option { return func(c *config) { c.QuarantineAfter = k } }
 
 // WithAckTimeout enables ack tracking for anchored spout emissions: a tuple
 // tree not fully processed within d — or failed at any hop — is replayed
 // with exponential backoff. Zero (the default) keeps the reliability
 // machinery, and its hot-path cost, entirely off.
-func WithAckTimeout(d time.Duration) Option { return func(c *Config) { c.AckTimeout = d } }
+func WithAckTimeout(d time.Duration) Option { return func(c *config) { c.AckTimeout = d } }
 
 // WithMaxRetries bounds replays per anchored tuple; past it the tuple
 // expires as dropped and the spout's Fail callback fires. Defaults to 3.
-func WithMaxRetries(n int) Option { return func(c *Config) { c.MaxRetries = n } }
+func WithMaxRetries(n int) Option { return func(c *config) { c.MaxRetries = n } }
 
 // WithBatchSize sets how many envelopes the inter-executor transport packs
 // into one channel send (see batch.go for the flush triggers and ownership
 // contract). Defaults to 64; 1 restores per-tuple transport for ablation.
 // Accounting — ack trees, tracing, emitted == executed + dropped — is per
 // envelope and identical at every batch size.
-func WithBatchSize(n int) Option { return func(c *Config) { c.BatchSize = n } }
+func WithBatchSize(n int) Option { return func(c *config) { c.BatchSize = n } }
 
 // WithBatchTimeout bounds how long a spout-side emission may wait in a
 // partially filled batch; it is checked between NextTuple calls. Bolt-side
 // buffers flush whenever the input queue goes idle and need no timer.
 // Defaults to 1ms.
-func WithBatchTimeout(d time.Duration) Option { return func(c *Config) { c.BatchTimeout = d } }
+func WithBatchTimeout(d time.Duration) Option { return func(c *config) { c.BatchTimeout = d } }
+
+// WithWorker runs the topology distributed across worker processes: peers
+// lists every worker's TCP address (peers[i] is worker i) and self indexes
+// this process. Every worker must build the identical topology with the
+// identical options — placement is deterministic, so each process derives
+// the same executor→worker map and runs only its share, shipping batches
+// to the others over the TCP peer transport. Single-element peers degrade
+// to an in-process run that still exercises the wire.
+func WithWorker(self int, peers []string) Option {
+	return func(c *config) {
+		c.selfWorker = self
+		c.peers = append([]string(nil), peers...)
+	}
+}
+
+// WithHeartbeat sets the peer liveness interval for distributed runs: each
+// worker heartbeats its peers every d and declares a peer lost after 4
+// silent intervals, failing the peer's in-flight anchored tuples and
+// unblocking shutdown. Defaults to 1s.
+func WithHeartbeat(d time.Duration) Option { return func(c *config) { c.heartbeat = d } }
+
+// WithTransport overrides the inter-executor transport with a custom
+// implementation (see the Transport contract in transport.go). The runtime
+// routes every batch delivery — local or not — through t; membership, eof
+// accounting and rebalance fences remain the caller's responsibility, so
+// this is intended for in-process transports (instrumentation, shared
+// memory), not as a shortcut to a new distributed data plane.
+func WithTransport(t Transport) Option { return func(c *config) { c.transport = t } }
+
+// WithListener installs a pre-bound listener for this worker's peer
+// address instead of letting the transport listen itself. Useful when the
+// socket is inherited (e.g. from a supervisor) or, in tests, bound on
+// 127.0.0.1:0 first so free ports are known before the peer list is
+// assembled. The runtime takes ownership and closes it on shutdown.
+func WithListener(ln net.Listener) Option { return func(c *config) { c.listener = ln } }
 
 // New prepares a runtime (placement + task construction) from functional
 // options without starting it.
 func New(topo *Topology, opts ...Option) (*Runtime, error) {
-	var cfg Config
+	var cfg config
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	return NewRuntime(topo, cfg)
+	return newRuntime(topo, cfg)
 }

@@ -52,7 +52,7 @@ func TestTopologyDOT(t *testing.T) {
 }
 
 func TestPlacementTable(t *testing.T) {
-	rt, err := NewRuntime(renderTopo(t), Config{Nodes: 2})
+	rt, err := New(renderTopo(t), WithNodes(2))
 	if err != nil {
 		t.Fatal(err)
 	}

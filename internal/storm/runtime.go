@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,13 +12,10 @@ import (
 	"trafficcep/internal/telemetry"
 )
 
-// Config configures a topology run.
-//
-// Deprecated: construct runtimes with New and functional options
-// (WithNodes, WithWorkersPerNode, WithChannelBuffer, WithMonitorInterval,
-// WithTelemetry, WithFailurePolicy, WithAckTimeout, WithMaxRetries,
-// WithQuarantineAfter). The struct remains supported for existing callers.
-type Config struct {
+// config collects a topology run's knobs. It is built exclusively by New
+// from functional options (options.go); the former exported struct-literal
+// constructor is gone.
+type config struct {
 	// Nodes is the number of simulated cluster nodes. Defaults to 1.
 	Nodes int
 	// WorkersPerNode is the number of worker processes (slots) used per
@@ -63,9 +61,26 @@ type Config struct {
 	// Bolt-side buffers flush whenever the input queue goes idle and need
 	// no timer. Defaults to 1ms.
 	BatchTimeout time.Duration
+
+	// peers, when non-empty, runs the topology distributed: peers[i] is
+	// the TCP address of worker i, selfWorker indexes this process, and
+	// only executors placed on selfWorker run here (see WithWorker).
+	peers      []string
+	selfWorker int
+	// heartbeat is the peer liveness interval (default 1s); a peer silent
+	// for 4 intervals is declared lost.
+	heartbeat time.Duration
+	// dialTimeout bounds how long worker start-up waits for each peer to
+	// accept connections. Defaults to 10s.
+	dialTimeout time.Duration
+	// transport overrides the delivery path entirely (WithTransport).
+	transport Transport
+	// listener, when set, is the pre-bound listener for peers[selfWorker]
+	// (tests bind :0 first to learn free ports).
+	listener net.Listener
 }
 
-func (c *Config) fill() {
+func (c *config) fill() {
 	if c.Nodes <= 0 {
 		c.Nodes = 1
 	}
@@ -86,6 +101,12 @@ func (c *Config) fill() {
 	}
 	if c.BatchTimeout <= 0 {
 		c.BatchTimeout = time.Millisecond
+	}
+	if c.heartbeat <= 0 {
+		c.heartbeat = time.Second
+	}
+	if c.dialTimeout <= 0 {
+		c.dialTimeout = 10 * time.Second
 	}
 }
 
@@ -147,17 +168,18 @@ type envelope struct {
 }
 
 type executor struct {
-	comp  *runningComponent
-	idx   int
-	eid   int // dense id across the whole topology, indexes outBatcher buffers
-	tasks []*taskState
-	in    chan *batch
+	comp   *runningComponent
+	idx    int
+	eid    int // dense id across the whole topology, indexes outBatcher buffers
+	worker int // worker process the executor was placed on
+	tasks  []*taskState
+	in     chan *Batch
 }
 
 // deliver hands a batch to this executor's input queue, transferring
 // ownership (the executor releases it to the pool once processed), and
 // counts the delivery so average batch fill is observable.
-func (ex *executor) deliver(b *batch) {
+func (ex *executor) deliver(b *Batch) {
 	ex.comp.batchesIn.Add(1)
 	ex.in <- b
 }
@@ -200,14 +222,28 @@ type runningComponent struct {
 	e2eHist *telemetry.Histogram
 }
 
-// Runtime executes one topology on a simulated cluster.
+// Runtime executes one topology — whole in this process by default, or
+// this worker's share of it when built with WithWorker.
 type Runtime struct {
 	topo    *Topology
-	cfg     Config
+	cfg     config
 	tracing bool // cfg.Telemetry != nil: stamp tuples with trace contexts
 	policy  FailurePolicy
 	quarK   int
 	comps   map[string]*runningComponent
+
+	// tr is the inter-executor transport: chanTransport in-process,
+	// tcpTransport under WithWorker, or a WithTransport override. trReady
+	// is closed by RunContext once tr reached its final value, so control-
+	// plane entry points arriving from outside the run can wait for it.
+	tr      Transport
+	trReady chan struct{}
+	// eofSeen dedupes remote executor-exit notifications per dense id
+	// (a lost peer's exits are synthesized and may race its real ones).
+	eofMu   sync.Mutex
+	eofSeen []bool
+	// ctrl serves peer control frames (OnControl).
+	ctrl atomic.Pointer[func(method string, payload []byte) ([]byte, error)]
 
 	// Batched transport state (see batch.go): every executor gets a dense
 	// id into r.execs so outBatchers index their per-destination buffers
@@ -229,20 +265,24 @@ type Runtime struct {
 	firstErr error
 }
 
-// NewRuntime prepares a runtime (placement + task construction) without
-// starting it.
-//
-// Deprecated: use New with functional options; this constructor remains for
-// callers holding a Config.
-func NewRuntime(topo *Topology, cfg Config) (*Runtime, error) {
+// newRuntime prepares a runtime (placement + task construction) without
+// starting it. Placement is a pure function of the topology and the worker
+// count, so every worker process building the same topology computes the
+// identical placement — the scheduler needs no coordination.
+func newRuntime(topo *Topology, cfg config) (*Runtime, error) {
 	cfg.fill()
+	if cfg.peers != nil && (cfg.selfWorker < 0 || cfg.selfWorker >= len(cfg.peers)) {
+		return nil, fmt.Errorf("storm: worker id %d out of range for %d peers", cfg.selfWorker, len(cfg.peers))
+	}
 	r := &Runtime{
 		topo: topo, cfg: cfg, tracing: cfg.Telemetry != nil,
 		policy: cfg.FailurePolicy, quarK: cfg.QuarantineAfter,
 		comps:     make(map[string]*runningComponent),
 		batchSize: cfg.BatchSize, batchTimeout: cfg.BatchTimeout,
 	}
-	r.batchPool.New = func() any { return &batch{envs: make([]envelope, 0, cfg.BatchSize)} }
+	r.tr = chanTransport{r}
+	r.trReady = make(chan struct{})
+	r.batchPool.New = func() any { return &Batch{envs: make([]envelope, 0, cfg.BatchSize)} }
 	// The input queue holds batches, so scale its length to keep the
 	// buffered-tuple capacity (and therefore the backpressure point) at
 	// roughly ChannelBuffer tuples regardless of batch size.
@@ -252,6 +292,10 @@ func NewRuntime(topo *Topology, cfg Config) (*Runtime, error) {
 	}
 
 	totalWorkers := cfg.Nodes * cfg.WorkersPerNode
+	if cfg.peers != nil {
+		// Distributed mode: one worker per peer process, one node each.
+		totalWorkers = len(cfg.peers)
+	}
 	nextWorker := 0
 	nextTaskID := 0
 
@@ -266,7 +310,10 @@ func NewRuntime(topo *Topology, cfg Config) (*Runtime, error) {
 			worker := nextWorker % totalWorkers
 			nextWorker++
 			node := worker % cfg.Nodes
-			ex := &executor{comp: rc, idx: e, eid: len(r.execs), in: make(chan *batch, chanCap)}
+			if cfg.peers != nil {
+				node = worker
+			}
+			ex := &executor{comp: rc, idx: e, eid: len(r.execs), worker: worker, in: make(chan *Batch, chanCap)}
 			r.execs = append(r.execs, ex)
 			// Tasks are distributed to executors round-robin; extra
 			// tasks share executors ("pseudo-parallel", §2.1.1).
@@ -343,12 +390,17 @@ func NewRuntime(topo *Topology, cfg Config) (*Runtime, error) {
 		}
 	}
 
+	r.eofSeen = make([]bool, len(r.execs))
 	r.monitor = newMonitor(r, cfg.MonitorInterval)
 	if cfg.Telemetry != nil {
 		cfg.Telemetry.Register(r.monitor)
 	}
 	return r, nil
 }
+
+// WorkerID returns this process's worker id (0 unless built with
+// WithWorker).
+func (r *Runtime) WorkerID() int { return r.cfg.selfWorker }
 
 // Placements returns where every task was placed.
 func (r *Runtime) Placements() []Placement {
@@ -377,6 +429,21 @@ func (r *Runtime) RunContext(ctx context.Context) error {
 		r.tracker = newAckTracker(r, r.cfg.AckTimeout, r.cfg.MaxRetries)
 		r.tracker.start(r.done)
 	}
+	switch {
+	case r.cfg.transport != nil:
+		r.tr = r.cfg.transport
+	case r.cfg.peers != nil:
+		t, err := newTCPTransport(r)
+		if err != nil {
+			if r.tracker != nil {
+				r.tracker.stop()
+			}
+			return err
+		}
+		r.tr = t
+	}
+	close(r.trReady)
+	defer r.tr.Close()
 
 	var wg sync.WaitGroup
 	r.monitor.start()
@@ -385,6 +452,9 @@ func (r *Runtime) RunContext(ctx context.Context) error {
 	for _, id := range r.topo.order {
 		rc := r.comps[id]
 		for _, ex := range rc.execs {
+			if !r.localExec(ex) {
+				continue
+			}
 			wg.Add(1)
 			go func(rc *runningComponent, ex *executor) {
 				defer wg.Done()
@@ -393,20 +463,12 @@ func (r *Runtime) RunContext(ctx context.Context) error {
 				} else {
 					r.runBoltExecutor(rc, ex)
 				}
-				// This executor will emit no more tuples: notify every
-				// downstream component once per subscription edge.
-				seen := map[*runningComponent]int{}
-				for _, subs := range rc.subs {
-					for _, s := range subs {
-						seen[s.target]++
-					}
-				}
-				for target, n := range seen {
-					if target.producers.Add(-int32(n)) == 0 {
-						for _, tex := range target.execs {
-							close(tex.in)
-						}
-					}
+				// This executor will emit no more tuples (its buffers are
+				// flushed and, with ack tracking on, its anchored trees
+				// resolved): retire it everywhere.
+				r.execDone(ex)
+				if t, ok := r.tr.(*tcpTransport); ok {
+					t.broadcastEOF(ex.eid)
 				}
 			}(rc, ex)
 		}
@@ -423,6 +485,51 @@ func (r *Runtime) RunContext(ctx context.Context) error {
 		return err
 	}
 	return ctx.Err()
+}
+
+// execDone retires one executor: every downstream component's producer
+// count drops once per subscription edge, and a component with no live
+// producers left has its local input channels closed. It runs exactly once
+// per executor in the topology — on the executor's own goroutine locally,
+// or on receipt of a peer's exit notification (remoteExecDone) for
+// executors placed on other workers — so every worker observes every
+// executor exit exactly once and the counts settle identically everywhere.
+func (r *Runtime) execDone(ex *executor) {
+	seen := map[*runningComponent]int{}
+	for _, subs := range ex.comp.subs {
+		for _, s := range subs {
+			seen[s.target]++
+		}
+	}
+	for target, n := range seen {
+		if target.producers.Add(-int32(n)) == 0 {
+			for _, tex := range target.execs {
+				if r.localExec(tex) {
+					close(tex.in)
+				}
+			}
+		}
+	}
+}
+
+// remoteExecDone processes a peer's notification that one of its executors
+// exited. Idempotent: a lost peer's exits are synthesized for shutdown and
+// may duplicate notifications that already arrived.
+func (r *Runtime) remoteExecDone(eid int) {
+	if eid < 0 || eid >= len(r.execs) {
+		return
+	}
+	ex := r.execs[eid]
+	if r.localExec(ex) {
+		return // peers cannot retire this worker's executors
+	}
+	r.eofMu.Lock()
+	seen := r.eofSeen[eid]
+	r.eofSeen[eid] = true
+	r.eofMu.Unlock()
+	if !seen {
+		r.execDone(ex)
+	}
 }
 
 func (r *Runtime) recordErr(err error) {
@@ -594,7 +701,7 @@ func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
 	// whenever the input queue is empty: the executor never sleeps on input
 	// while holding unsent output, which both bounds batching latency and
 	// keeps an acyclic topology deadlock-free under backpressure.
-	recv := func() (*batch, bool) {
+	recv := func() (*Batch, bool) {
 		select {
 		case b, ok := <-ex.in:
 			return b, ok
@@ -607,7 +714,7 @@ func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
 	// bt/next are the batch being processed and the envelope to process
 	// next, hoisted out of loop() so the panic handler can resume after the
 	// poisoned envelope without dropping the rest of its batch.
-	var bt *batch
+	var bt *Batch
 	next := 0
 	// With tracing off, the clock is read once per batch, not per envelope:
 	// btStart stamps the batch's arrival and the elapsed time is attributed
@@ -653,6 +760,15 @@ func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
 				var ok bool
 				if bt, ok = recv(); !ok {
 					return true
+				}
+				if f := bt.fence; f != nil {
+					// Drain sentinel: per-sender FIFO means every delivery
+					// enqueued to this executor before the fence has been
+					// processed. Signal and move on.
+					r.putBatch(bt)
+					bt = nil
+					f.arrive()
+					continue
 				}
 				next = 0
 				if !r.tracing {
@@ -1048,15 +1164,15 @@ func (c *taskCollector) send(target *runningComponent, taskIdx int, t Tuple) {
 	}
 	b := c.r.getBatch()
 	b.envs = append(b.envs, envelope{local: route.local, tuple: t})
-	dest.deliver(b)
+	c.r.deliverOrDrop(dest, b)
 }
 
-// TaskMetricsSnapshot returns the current counters of every task, keyed by
-// component, ordered by task index.
-//
-// Deprecated: attach a telemetry.Registry with WithTelemetry and walk it via
-// Gather — the Monitor publishes the same counters as a telemetry.Source.
-func (r *Runtime) TaskMetricsSnapshot() map[string][]TaskMetrics {
+// taskMetricsSnapshot returns the current counters of every task, keyed by
+// component, ordered by task index. Out-of-package consumers read the same
+// counters through Monitor.SnapshotNow (per-task windows; with periodic
+// reporting off, one call at the end of a run yields absolute totals) or a
+// telemetry.Registry walk.
+func (r *Runtime) taskMetricsSnapshot() map[string][]TaskMetrics {
 	out := make(map[string][]TaskMetrics, len(r.comps))
 	for id, rc := range r.comps {
 		ms := make([]TaskMetrics, len(rc.tasks))

@@ -76,13 +76,13 @@ func (b *passBolt) Execute(t Tuple, col Collector) error {
 }
 func (b *passBolt) Cleanup() error { return nil }
 
-func runSimple(t *testing.T, b *TopologyBuilder, cfg Config) *Runtime {
+func runSimple(t *testing.T, b *TopologyBuilder, opts ...Option) *Runtime {
 	t.Helper()
 	topo, err := b.Build()
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := NewRuntime(topo, cfg)
+	rt, err := New(topo, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestLinearPipelineDeliversAll(t *testing.T) {
 	b.SetSpout("src", func() Spout { return &seqSpout{n: 100, keys: 5} }, 1, 1)
 	b.SetBolt("mid", func() Bolt { return &passBolt{} }, 2, 2).ShuffleGrouping("src")
 	b.SetBolt("sink", sink, 1, 1).ShuffleGrouping("mid")
-	runSimple(t, b, Config{})
+	runSimple(t, b)
 	if len(*got) != 100 {
 		t.Fatalf("delivered = %d, want 100", len(*got))
 	}
@@ -109,7 +109,7 @@ func TestShuffleGroupingBalances(t *testing.T) {
 	b := NewTopologyBuilder("t")
 	b.SetSpout("src", func() Spout { return &seqSpout{n: 100, keys: 5} }, 1, 1)
 	b.SetBolt("sink", sink, 4, 4).ShuffleGrouping("src")
-	runSimple(t, b, Config{})
+	runSimple(t, b)
 	for ti, c := range byTask {
 		if *c != 25 {
 			t.Fatalf("task %d got %d tuples, want 25 (round-robin)", ti, *c)
@@ -123,7 +123,7 @@ func TestFieldsGroupingRoutesByKey(t *testing.T) {
 	b.SetSpout("src", func() Spout { return &seqSpout{n: 200, keys: 10} }, 1, 1)
 	b.SetBolt("mark", func() Bolt { return &passBolt{} }, 3, 3).FieldsGrouping("src", "key")
 	b.SetBolt("sink", sink, 1, 1).ShuffleGrouping("mark")
-	runSimple(t, b, Config{})
+	runSimple(t, b)
 	mu.Lock()
 	defer mu.Unlock()
 	taskOfKey := map[any]any{}
@@ -145,7 +145,7 @@ func TestAllGroupingReplicates(t *testing.T) {
 	b := NewTopologyBuilder("t")
 	b.SetSpout("src", func() Spout { return &seqSpout{n: 50, keys: 5} }, 1, 1)
 	b.SetBolt("sink", sink, 3, 3).AllGrouping("src")
-	runSimple(t, b, Config{})
+	runSimple(t, b)
 	if len(*got) != 150 {
 		t.Fatalf("delivered = %d, want 150 (replicated to 3 tasks)", len(*got))
 	}
@@ -161,7 +161,7 @@ func TestGlobalGroupingSingleTask(t *testing.T) {
 	b := NewTopologyBuilder("t")
 	b.SetSpout("src", func() Spout { return &seqSpout{n: 60, keys: 3} }, 1, 1)
 	b.SetBolt("sink", sink, 3, 3).GlobalGrouping("src")
-	runSimple(t, b, Config{})
+	runSimple(t, b)
 	if *byTask[0] != 60 {
 		t.Fatalf("task 0 got %d, want 60", *byTask[0])
 	}
@@ -189,7 +189,7 @@ func TestDirectGrouping(t *testing.T) {
 	b := NewTopologyBuilder("t")
 	b.SetSpout("src", func() Spout { return &directSpout{} }, 1, 1)
 	b.SetBolt("sink", sink, 3, 3).StreamGrouping("src", "routed", DirectGrouping)
-	runSimple(t, b, Config{})
+	runSimple(t, b)
 	for ti := 0; ti < 3; ti++ {
 		if *byTask[ti] != 10 {
 			t.Fatalf("task %d got %d, want 10", ti, *byTask[ti])
@@ -211,7 +211,7 @@ func TestMultipleSpoutTasksPartitionWork(t *testing.T) {
 			return nil
 		}}
 	}, 1, 1).ShuffleGrouping("src")
-	runSimple(t, b, Config{})
+	runSimple(t, b)
 	if count != 80 {
 		t.Fatalf("count = %d, want 80 (two spout tasks)", count)
 	}
@@ -255,7 +255,7 @@ func TestTasksGreaterThanExecutorsPseudoParallel(t *testing.T) {
 			},
 		}
 	}, 2, 4).FieldsGrouping("src", "key")
-	rt := runSimple(t, b, Config{})
+	rt := runSimple(t, b)
 	if len(prepared) != 4 {
 		t.Fatalf("prepared tasks = %d, want 4", len(prepared))
 	}
@@ -291,7 +291,7 @@ func TestRoundRobinPlacementAcrossNodes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := NewRuntime(topo, Config{Nodes: 3, WorkersPerNode: 1})
+	rt, err := New(topo, WithNodes(3), WithWorkersPerNode(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,7 +392,7 @@ func TestExecuteErrorRecordedRunContinues(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := NewRuntime(topo, Config{})
+	rt, err := New(topo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -403,7 +403,7 @@ func TestExecuteErrorRecordedRunContinues(t *testing.T) {
 	if count != 10 {
 		t.Fatalf("count = %d, want 10 (processing continues after error)", count)
 	}
-	ms := rt.TaskMetricsSnapshot()["flaky"]
+	ms := rt.taskMetricsSnapshot()["flaky"]
 	if ms[0].Errors != 1 {
 		t.Fatalf("errors = %d, want 1", ms[0].Errors)
 	}
@@ -482,7 +482,7 @@ func TestMonitorReportsWindows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := NewRuntime(topo, Config{})
+	rt, err := New(topo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -540,7 +540,7 @@ func TestDiamondTopologyNoDoubleClose(t *testing.T) {
 			return nil
 		}}
 	}, 1, 1).ShuffleGrouping("a").ShuffleGrouping("bb")
-	runSimple(t, b, Config{})
+	runSimple(t, b)
 	if count != 100 {
 		t.Fatalf("count = %d, want 100 (50 via each branch)", count)
 	}
@@ -562,7 +562,7 @@ func TestBackpressureSmallBuffers(t *testing.T) {
 			return nil
 		}}
 	}, 1, 1).ShuffleGrouping("m2")
-	runSimple(t, b, Config{ChannelBuffer: 1})
+	runSimple(t, b, WithChannelBuffer(1))
 	if count != 2000 {
 		t.Fatalf("count = %d, want 2000", count)
 	}
@@ -584,7 +584,7 @@ func TestTaskContextFields(t *testing.T) {
 			exec: func(Tuple, Collector) error { return nil },
 		}
 	}, 2, 2).ShuffleGrouping("src")
-	runSimple(t, b, Config{Nodes: 2})
+	runSimple(t, b, WithNodes(2))
 	if len(ctxs) != 2 {
 		t.Fatalf("tasks prepared = %d", len(ctxs))
 	}

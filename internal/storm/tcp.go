@@ -1,0 +1,706 @@
+package storm
+
+// TCP peer transport: worker membership over a static peer list, one
+// directed connection per ordered worker pair (each worker dials every
+// other and announces itself with a hello frame), heartbeat liveness, and
+// the distributed halves of producer accounting (eof frames), anchored-
+// tuple tracking (ackResult frames for forwarded subtrees), rebalance
+// drains (fence/fenceAck), and the control plane (request/response frames
+// for e.g. remote rule migration).
+//
+// Per-sender FIFO comes straight from TCP: everything a worker sends to a
+// given peer — batches, the eofs that retire the emitting executors, drain
+// fences — shares one connection and is processed in order by a single
+// reader goroutine. That ordering is what makes close-on-last-producer and
+// fence-based drains race-free without any cross-worker locking.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// tcpPeer is the outbound link to one worker. It implements Peer. Frame
+// writes are serialized by mu; the encode scratch buffer is reused under
+// the same lock, so steady-state sends allocate nothing.
+type tcpPeer struct {
+	id   int
+	conn net.Conn
+	dead atomic.Bool
+
+	mu  sync.Mutex
+	buf []byte
+}
+
+// Send implements Peer: one full frame per call, FIFO with every other
+// Send to this peer.
+func (p *tcpPeer) Send(frame []byte) error {
+	if p.dead.Load() {
+		return fmt.Errorf("storm: peer %d is down", p.id)
+	}
+	p.mu.Lock()
+	_, err := p.conn.Write(frame)
+	p.mu.Unlock()
+	return err
+}
+
+// sendSmall builds a frame under the peer's lock (reusing its scratch
+// buffer) and writes it, for the fixed-size control traffic.
+func (p *tcpPeer) sendSmall(build func([]byte) []byte) error {
+	if p.dead.Load() {
+		return fmt.Errorf("storm: peer %d is down", p.id)
+	}
+	p.mu.Lock()
+	p.buf = build(p.buf)
+	_, err := p.conn.Write(p.buf)
+	p.mu.Unlock()
+	return err
+}
+
+func (p *tcpPeer) Close() error {
+	if p.conn != nil {
+		return p.conn.Close()
+	}
+	return nil
+}
+
+// rpcResult carries one control response back to its waiting caller.
+type rpcResult struct {
+	payload []byte
+	err     error
+}
+
+// fenceWait counts outstanding fence arrivals (local executors plus peer
+// acks); the last arrival fires fn.
+type fenceWait struct {
+	n  atomic.Int32
+	fn func()
+}
+
+func (f *fenceWait) arrive() {
+	if f.n.Add(-1) == 0 && f.fn != nil {
+		f.fn()
+	}
+}
+
+// tcpTransport implements Transport across worker processes. Destinations
+// local to this worker take the exact chanTransport path; remote ones are
+// encoded with the wire codec and shipped to the owning peer.
+type tcpTransport struct {
+	r     *Runtime
+	self  int
+	hb    time.Duration
+	ln    net.Listener
+	peers []*tcpPeer // by worker id; nil at self
+
+	// epoch is the routing-table epoch stamped into outgoing batch
+	// frames; DrainComponent bumps it at each fence. recvEpoch tracks the
+	// highest epoch seen from each peer, for observability and tests.
+	epoch     atomic.Uint64
+	recvEpoch []atomic.Uint64
+
+	// fences are this worker's outstanding DrainComponent barriers, keyed
+	// by component/epoch.
+	fenceMu sync.Mutex
+	fences  map[string]*fenceWait
+
+	rpcMu   sync.Mutex
+	rpcSeq  uint64
+	rpcWait map[uint64]chan rpcResult
+
+	// ready is closed once the peers slice is fully built; inbound readers
+	// park on it before dispatching their first frame, so early-connecting
+	// peers never observe a half-constructed membership.
+	ready  chan struct{}
+	stopCh chan struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// newTCPTransport brings up this worker's data plane: listen, dial every
+// peer, exchange hellos, and start the heartbeat. It returns only once all
+// outbound links are up, so executors never observe a half-connected
+// membership.
+func newTCPTransport(r *Runtime) (*tcpTransport, error) {
+	t := &tcpTransport{
+		r: r, self: r.cfg.selfWorker, hb: r.cfg.heartbeat,
+		peers:     make([]*tcpPeer, len(r.cfg.peers)),
+		recvEpoch: make([]atomic.Uint64, len(r.cfg.peers)),
+		fences:    make(map[string]*fenceWait),
+		rpcWait:   make(map[uint64]chan rpcResult),
+		ready:     make(chan struct{}),
+		stopCh:    make(chan struct{}),
+	}
+	if r.tracker != nil {
+		r.tracker.onRemoteResolve = t.sendAckResult
+	}
+	ln := r.cfg.listener
+	if ln == nil {
+		var err error
+		if ln, err = net.Listen("tcp", r.cfg.peers[t.self]); err != nil {
+			return nil, fmt.Errorf("storm: worker %d listen: %w", t.self, err)
+		}
+	}
+	t.ln = ln
+	t.wg.Add(1)
+	go t.acceptLoop()
+
+	deadline := time.Now().Add(r.cfg.dialTimeout)
+	for w, addr := range r.cfg.peers {
+		if w == t.self {
+			continue
+		}
+		conn, err := t.dial(addr, deadline)
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("storm: worker %d dialing worker %d (%s): %w", t.self, w, addr, err)
+		}
+		p := &tcpPeer{id: w, conn: conn}
+		p.buf = appendHelloFrame(p.buf, t.self)
+		if _, err := conn.Write(p.buf); err != nil {
+			t.Close()
+			return nil, fmt.Errorf("storm: worker %d hello to worker %d: %w", t.self, w, err)
+		}
+		t.peers[w] = p
+	}
+	close(t.ready)
+	t.wg.Add(1)
+	go t.heartbeatLoop()
+	return t, nil
+}
+
+func (t *tcpTransport) dial(addr string, deadline time.Time) (net.Conn, error) {
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 250*time.Millisecond)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		select {
+		case <-t.stopCh:
+			return nil, err
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// Deliver implements Transport.
+func (t *tcpTransport) Deliver(eid int, b *Batch) error {
+	if eid < 0 || eid >= len(t.r.execs) {
+		return fmt.Errorf("storm: deliver to unknown executor %d", eid)
+	}
+	ex := t.r.execs[eid]
+	if ex.worker == t.self {
+		ex.deliver(b)
+		return nil
+	}
+	p := t.peers[ex.worker]
+	if p == nil || p.dead.Load() {
+		return fmt.Errorf("storm: worker %d is down", ex.worker)
+	}
+	p.mu.Lock()
+	buf, err := appendBatchFrame(p.buf, eid, t.epoch.Load(), b.envs)
+	if err == nil {
+		p.buf = buf
+		_, err = p.conn.Write(buf)
+	}
+	p.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// The frame owns copies of everything; release the pooled batch here,
+	// playing the receiving executor's role in the ownership contract.
+	t.r.putBatch(b)
+	return nil
+}
+
+// Close implements Transport; idempotent.
+func (t *tcpTransport) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	close(t.stopCh)
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	for _, p := range t.peers {
+		if p != nil {
+			p.Close()
+		}
+	}
+	t.wg.Wait()
+	return nil
+}
+
+func (t *tcpTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+// heartbeatLoop keeps every outbound link warm so idle peers do not trip
+// each other's read deadlines, and detects dead links by write failure.
+func (t *tcpTransport) heartbeatLoop() {
+	defer t.wg.Done()
+	tick := time.NewTicker(t.hb)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stopCh:
+			return
+		case <-tick.C:
+			for _, p := range t.peers {
+				if p == nil || p.dead.Load() {
+					continue
+				}
+				if err := p.sendSmall(appendHeartbeatFrame); err != nil {
+					t.peerLost(p.id, fmt.Errorf("heartbeat: %w", err))
+				}
+			}
+		}
+	}
+}
+
+// readLoop serves one inbound connection. The first frame must be the
+// peer's hello; every later frame is dispatched in order. Liveness: each
+// header read is armed with a 4-heartbeat deadline, so a genuinely silent
+// peer is detected while a reader merely blocked delivering into a full
+// executor queue (backpressure) is not — the deadline only covers the
+// socket wait.
+func (t *tcpTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	select {
+	case <-t.ready: // membership built; safe to dispatch
+	case <-t.stopCh:
+		return
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var header [frameHeaderLen]byte
+	var payload []byte
+	peer := -1
+	fail := func(err error) {
+		if t.closed.Load() || peer < 0 {
+			return
+		}
+		if t.r.peerRetired(peer) {
+			return // clean exit: every executor of the peer already retired
+		}
+		t.peerLost(peer, err)
+	}
+	// A delivery can race peerLost force-closing downstream channels; treat
+	// the resulting panic as a connection failure, not a process crash.
+	defer func() {
+		if p := recover(); p != nil {
+			fail(fmt.Errorf("storm: inbound dispatch: %v", p))
+		}
+	}()
+	for {
+		conn.SetReadDeadline(time.Now().Add(4 * t.hb))
+		if _, err := io.ReadFull(br, header[:]); err != nil {
+			fail(err)
+			return
+		}
+		n := binary.BigEndian.Uint32(header[:])
+		if n == 0 || n > maxFramePayload {
+			fail(fmt.Errorf("storm: bad frame length %d", n))
+			return
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		conn.SetReadDeadline(time.Now().Add(4 * t.hb))
+		if _, err := io.ReadFull(br, payload); err != nil {
+			fail(err)
+			return
+		}
+		typ, body := payload[0], payload[1:]
+		if peer < 0 {
+			w, _, err := decodeUvarint(body)
+			if typ != frameHello || err != nil || int(w) >= len(t.peers) || int(w) == t.self {
+				return // not a peer of ours
+			}
+			peer = int(w)
+			continue
+		}
+		if err := t.dispatch(peer, typ, body); err != nil {
+			fail(err)
+			return
+		}
+	}
+}
+
+func (t *tcpTransport) dispatch(peer int, typ byte, body []byte) error {
+	switch typ {
+	case frameHeartbeat:
+		return nil
+	case frameBatch:
+		destEID, epoch, b, err := t.r.decodeBatchFrame(body)
+		if err != nil {
+			return err
+		}
+		if p := t.peers[peer]; p != nil && p.dead.Load() {
+			// The peer was declared lost and its executors force-retired, so
+			// downstream channels may already be closed: a straggler batch
+			// from its still-open inbound connection is dropped, not
+			// delivered.
+			t.r.dropBatch(t.r.execs[destEID].comp, b, fmt.Errorf("storm: batch from lost worker %d", peer))
+			return nil
+		}
+		for e := t.recvEpoch[peer].Load(); epoch > e; e = t.recvEpoch[peer].Load() {
+			if t.recvEpoch[peer].CompareAndSwap(e, epoch) {
+				break
+			}
+		}
+		t.adoptAnchors(peer, b)
+		return t.r.DeliverLocal(destEID, b)
+	case frameEOF:
+		eid, _, err := decodeUvarint(body)
+		if err != nil {
+			return err
+		}
+		t.r.remoteExecDone(int(eid))
+		return nil
+	case frameAckResult:
+		id, rest, err := decodeUvarint(body)
+		if err != nil || len(rest) != 1 {
+			return errShortFrame
+		}
+		if t.r.tracker != nil {
+			t.r.tracker.finish(id, rest[0] != 0)
+		}
+		return nil
+	case frameFence:
+		epoch, rest, err := decodeUvarint(body)
+		if err != nil {
+			return err
+		}
+		comp, _, err := decodeWireString(rest)
+		if err != nil {
+			return err
+		}
+		t.fenceLocal(comp, epoch, func() {
+			if p := t.peers[peer]; p != nil {
+				p.sendSmall(func(b []byte) []byte { return appendFenceFrame(b, frameFenceAck, epoch, comp) })
+			}
+		})
+		return nil
+	case frameFenceAck:
+		epoch, rest, err := decodeUvarint(body)
+		if err != nil {
+			return err
+		}
+		comp, _, err := decodeWireString(rest)
+		if err != nil {
+			return err
+		}
+		t.fenceMu.Lock()
+		fw := t.fences[fenceKey(comp, epoch)]
+		t.fenceMu.Unlock()
+		if fw != nil {
+			fw.arrive()
+		}
+		return nil
+	case frameControl:
+		cf, err := decodeControlFrame(body)
+		if err != nil {
+			return err
+		}
+		t.handleControl(peer, cf)
+		return nil
+	case frameHello:
+		return nil // redundant hello: ignore
+	}
+	return fmt.Errorf("storm: unknown frame type %d", typ)
+}
+
+// adoptAnchors opens a local sub-anchor for every anchored envelope
+// received from a peer: the local tracker follows the local subtree
+// (including further sub-contracted hops) and reports one ackResult back
+// to the sender when it drains — the counting that prevents a root from
+// being acked while partial results are still in flight on other
+// connections. Without a local tracker (configuration mismatch between
+// workers) tracking degrades to at-most-once: the delivery is acked
+// immediately so the sender's tree is not wedged.
+func (t *tcpTransport) adoptAnchors(peer int, b *Batch) {
+	for i := range b.envs {
+		ack := b.envs[i].tuple.ack
+		if ack == 0 {
+			continue
+		}
+		id := uint64(0)
+		if t.r.tracker != nil {
+			id = t.r.tracker.beginRemote(peer, ack)
+		}
+		if id == 0 {
+			// Tracker missing or stopped: resolve the sender's hold now.
+			t.sendAckResult(peer, ack, t.r.tracker != nil)
+		}
+		b.envs[i].tuple.ack = id
+	}
+}
+
+// sendAckResult reports a forwarded subtree's resolution to the worker it
+// came from; best-effort (a dead peer's roots expire on their own).
+func (t *tcpTransport) sendAckResult(peer int, id uint64, failed bool) {
+	if peer < 0 || peer >= len(t.peers) {
+		return
+	}
+	if p := t.peers[peer]; p != nil {
+		p.sendSmall(func(b []byte) []byte { return appendAckResultFrame(b, id, failed) })
+	}
+}
+
+// broadcastEOF tells every peer one of this worker's executors exited.
+// Sent on the same connections as the executor's batches, after its final
+// flush — FIFO ordering guarantees no batch arrives after its eof.
+func (t *tcpTransport) broadcastEOF(eid int) {
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.sendSmall(func(b []byte) []byte { return appendEOFFrame(b, eid) })
+	}
+}
+
+// peerLost declares a worker dead: its in-flight batches are gone, so its
+// executors are retired (idempotently) to unblock producer accounting,
+// and the failure is surfaced as the run error under FailFast.
+func (t *tcpTransport) peerLost(worker int, cause error) {
+	p := t.peers[worker]
+	if p == nil || p.dead.Swap(true) {
+		return
+	}
+	p.Close()
+	if t.r.policy != Degrade {
+		t.r.recordErr(fmt.Errorf("storm: worker %d: lost worker %d: %w", t.self, worker, cause))
+	}
+	for _, ex := range t.r.execs {
+		if ex.worker == worker {
+			t.r.remoteExecDone(ex.eid)
+		}
+	}
+}
+
+func fenceKey(component string, epoch uint64) string {
+	return fmt.Sprintf("%s/%d", component, epoch)
+}
+
+// fenceLocal injects a fence sentinel into every local executor of a
+// component and fires done once all of them passed it. With no local
+// executors the fence completes immediately.
+func (t *tcpTransport) fenceLocal(component string, epoch uint64, done func()) {
+	t.r.fenceLocalExecs(component, done)
+}
+
+// fenceLocalExecs is the transport-independent half of a drain barrier.
+func (r *Runtime) fenceLocalExecs(component string, done func()) {
+	rc := r.comps[component]
+	var locals []*executor
+	if rc != nil {
+		for _, ex := range rc.execs {
+			if r.localExec(ex) {
+				locals = append(locals, ex)
+			}
+		}
+	}
+	if len(locals) == 0 {
+		done()
+		return
+	}
+	fw := &fenceWait{fn: done}
+	fw.n.Store(int32(len(locals)))
+	for _, ex := range locals {
+		fb := r.getBatch()
+		fb.fence = fw
+		ex.deliver(fb)
+	}
+}
+
+// DrainComponent flushes a routing change through the data plane: it
+// bumps the routing epoch, sends a fence down every path into the
+// component — through the local executor queues and across every peer —
+// and blocks until all of them report the fence passed, proving every
+// envelope delivered to the component before the call has been executed.
+// The caller must have flushed its own output batches first
+// (Flusher.FlushBatches); the component must not be fed by other
+// still-emitting upstreams, or the fence can be overtaken by their
+// buffered tuples. Used by the rebalancer between a routing-table swap
+// and ReleaseSource, so in-flight tuples for the old table drain before
+// source engines shed state.
+func (r *Runtime) DrainComponent(component string, timeout time.Duration) error {
+	if r.comps[component] == nil {
+		return fmt.Errorf("storm: unknown component %q", component)
+	}
+	<-r.trReady // wait for RunContext to settle the transport
+	t, _ := r.tr.(*tcpTransport)
+	var peers []*tcpPeer
+	if t != nil {
+		for _, p := range t.peers {
+			if p != nil && !p.dead.Load() {
+				peers = append(peers, p)
+			}
+		}
+	}
+	done := make(chan struct{})
+	master := &fenceWait{fn: func() { close(done) }}
+	master.n.Store(int32(1 + len(peers)))
+
+	var epoch uint64
+	if t != nil {
+		epoch = t.epoch.Add(1)
+		key := fenceKey(component, epoch)
+		t.fenceMu.Lock()
+		t.fences[key] = master
+		t.fenceMu.Unlock()
+		defer func() {
+			t.fenceMu.Lock()
+			delete(t.fences, key)
+			t.fenceMu.Unlock()
+		}()
+	}
+	r.fenceLocalExecs(component, master.arrive)
+	for _, p := range peers {
+		if err := p.sendSmall(func(b []byte) []byte { return appendFenceFrame(b, frameFence, epoch, component) }); err != nil {
+			master.arrive() // dead link: its tuples are lost, not in flight
+		}
+	}
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("storm: drain of %q timed out after %v", component, timeout)
+	}
+}
+
+// peerRetired reports whether every executor of a worker has been retired
+// (its eof processed), i.e. a connection from it closing is a clean exit.
+func (r *Runtime) peerRetired(worker int) bool {
+	r.eofMu.Lock()
+	defer r.eofMu.Unlock()
+	for _, ex := range r.execs {
+		if ex.worker == worker && !r.eofSeen[ex.eid] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- control plane ---
+
+// OnControl registers the handler serving peer control requests (remote
+// rule migration, operational RPCs). Must be set before Run; requests
+// arriving with no handler fail back to the caller.
+func (r *Runtime) OnControl(h func(method string, payload []byte) ([]byte, error)) {
+	r.ctrl.Store(&h)
+}
+
+// Control sends a control request to a worker and blocks for its reply.
+// Requests to this worker's own id are served inline by the registered
+// handler, so callers need not special-case locality.
+func (r *Runtime) Control(worker int, method string, payload []byte) ([]byte, error) {
+	if worker == r.cfg.selfWorker || r.cfg.peers == nil {
+		h := r.ctrl.Load()
+		if h == nil {
+			return nil, fmt.Errorf("storm: no control handler registered")
+		}
+		return (*h)(method, payload)
+	}
+	<-r.trReady // wait for RunContext to settle the transport
+	t, ok := r.tr.(*tcpTransport)
+	if !ok {
+		return nil, fmt.Errorf("storm: control requires the TCP transport")
+	}
+	return t.control(worker, method, payload)
+}
+
+func (t *tcpTransport) control(worker int, method string, payload []byte) ([]byte, error) {
+	if worker < 0 || worker >= len(t.peers) || t.peers[worker] == nil {
+		return nil, fmt.Errorf("storm: no such worker %d", worker)
+	}
+	p := t.peers[worker]
+	ch := make(chan rpcResult, 1)
+	t.rpcMu.Lock()
+	t.rpcSeq++
+	id := t.rpcSeq
+	t.rpcWait[id] = ch
+	t.rpcMu.Unlock()
+	defer func() {
+		t.rpcMu.Lock()
+		delete(t.rpcWait, id)
+		t.rpcMu.Unlock()
+	}()
+	if err := p.sendSmall(func(b []byte) []byte {
+		return appendControlFrame(b, controlRequest, id, method, payload)
+	}); err != nil {
+		return nil, err
+	}
+	select {
+	case res := <-ch:
+		return res.payload, res.err
+	case <-t.stopCh:
+		return nil, fmt.Errorf("storm: transport closed awaiting %s from worker %d", method, worker)
+	case <-time.After(t.r.cfg.dialTimeout):
+		return nil, fmt.Errorf("storm: control %s to worker %d timed out", method, worker)
+	}
+}
+
+// handleControl serves one inbound control frame. Requests run on their
+// own goroutine — a migration RPC must not stall the data-plane reader.
+func (t *tcpTransport) handleControl(peer int, cf controlFrame) {
+	switch cf.kind {
+	case controlRequest:
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			var resp []byte
+			var err error
+			if h := t.r.ctrl.Load(); h != nil {
+				resp, err = (*h)(cf.method, cf.payload)
+			} else {
+				err = fmt.Errorf("worker %d has no control handler", t.self)
+			}
+			kind, body := controlResponse, resp
+			if err != nil {
+				kind, body = controlError, []byte(err.Error())
+			}
+			if p := t.peers[peer]; p != nil {
+				p.sendSmall(func(b []byte) []byte {
+					return appendControlFrame(b, kind, cf.id, cf.method, body)
+				})
+			}
+		}()
+	case controlResponse, controlError:
+		t.rpcMu.Lock()
+		ch := t.rpcWait[cf.id]
+		t.rpcMu.Unlock()
+		if ch == nil {
+			return
+		}
+		res := rpcResult{payload: cf.payload}
+		if cf.kind == controlError {
+			res = rpcResult{err: fmt.Errorf("storm: control %s on worker %d: %s", cf.method, peer, cf.payload)}
+		}
+		select {
+		case ch <- res:
+		default:
+		}
+	}
+}

@@ -1,0 +1,342 @@
+package storm
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// distRig is a multi-worker topology running in one test process: every
+// worker is a full Runtime with its own TCP transport, talking to the
+// others over 127.0.0.1.
+type distRig struct {
+	rts   []*Runtime
+	errs  []error
+	peers []string
+}
+
+// newDistRig builds n workers over pre-bound loopback listeners (so the
+// peer list is known before any runtime starts) with build supplying each
+// worker's identical topology. Extra options apply to every worker.
+func newDistRig(t *testing.T, n int, build func(worker int) *TopologyBuilder, opts ...Option) *distRig {
+	t.Helper()
+	rig := &distRig{rts: make([]*Runtime, n), errs: make([]error, n)}
+	lns := make([]net.Listener, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		rig.peers = append(rig.peers, ln.Addr().String())
+	}
+	for i := 0; i < n; i++ {
+		topo, err := build(i).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wopts := append([]Option{WithWorker(i, rig.peers), WithListener(lns[i])}, opts...)
+		rt, err := New(topo, wopts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rig.rts[i] = rt
+	}
+	return rig
+}
+
+// run starts every worker and waits for all of them to drain.
+func (rig *distRig) run(t *testing.T, timeout time.Duration) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for i, rt := range rig.rts {
+		wg.Add(1)
+		go func(i int, rt *Runtime) {
+			defer wg.Done()
+			rig.errs[i] = rt.Run()
+		}(i, rt)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		t.Fatal("distributed run did not drain")
+	}
+}
+
+// summed per-task metrics across all workers: every counter is touched on
+// exactly one worker (executed at the owner, emitted at the emitter,
+// drops where they happen), so addition reassembles the global view.
+func (rig *distRig) metrics() map[string][]TaskMetrics {
+	sum := map[string][]TaskMetrics{}
+	for _, rt := range rig.rts {
+		for comp, tasks := range rt.taskMetricsSnapshot() {
+			if sum[comp] == nil {
+				sum[comp] = make([]TaskMetrics, len(tasks))
+			}
+			for i, tm := range tasks {
+				sum[comp][i].Executed += tm.Executed
+				sum[comp][i].Emitted += tm.Emitted
+				sum[comp][i].Errors += tm.Errors
+				sum[comp][i].Dropped += tm.Dropped
+			}
+		}
+	}
+	return sum
+}
+
+// edgeReconcilesDistributed is edgeReconciles over the summed counters of
+// all workers: emitted == executed + dropped on a cross-process edge.
+func (rig *distRig) edgeReconciles(t *testing.T, up, down string) {
+	t.Helper()
+	var emitted, executed, dropped uint64
+	for _, rt := range rig.rts {
+		for _, ts := range rt.comps[up].tasks {
+			emitted += ts.emitted.Load()
+		}
+		dc := rt.comps[down]
+		for _, ts := range dc.tasks {
+			executed += ts.executed.Load()
+			dropped += ts.dropped.Load()
+		}
+		dropped += dc.dropped.Load()
+	}
+	if emitted != executed+dropped {
+		t.Fatalf("edge %s→%s: emitted %d != executed %d + dropped %d", up, down, emitted, executed, dropped)
+	}
+}
+
+// TestDistributedFigure8CountEquivalence splits the Figure-8 pipeline
+// across two worker processes over TCP and asserts the run is count-
+// equivalent to the in-process run: identical per-task executed/emitted/
+// dropped counters, every edge reconciling on the summed counters, and
+// both workers actually doing work (the split is real, not degenerate).
+func TestDistributedFigure8CountEquivalence(t *testing.T) {
+	const n = 2000
+	esper := func() Bolt { return &passBolt{} }
+	sink := func() Bolt { return &funcBolt{exec: func(Tuple, Collector) error { return nil }} }
+
+	topo, err := figure8(n, esper, sink).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := New(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := single.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := single.taskMetricsSnapshot()
+
+	rig := newDistRig(t, 2, func(int) *TopologyBuilder { return figure8(n, esper, sink) })
+	rig.run(t, 30*time.Second)
+	for i, err := range rig.errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+
+	got := rig.metrics()
+	for comp, wantTasks := range want {
+		gotTasks := got[comp]
+		if len(gotTasks) != len(wantTasks) {
+			t.Fatalf("%s: task count %d vs %d", comp, len(gotTasks), len(wantTasks))
+		}
+		for i := range wantTasks {
+			if gotTasks[i].Executed != wantTasks[i].Executed ||
+				gotTasks[i].Emitted != wantTasks[i].Emitted ||
+				gotTasks[i].Dropped != wantTasks[i].Dropped {
+				t.Errorf("%s task %d: distributed %+v, single-process %+v",
+					comp, i, gotTasks[i], wantTasks[i])
+			}
+		}
+	}
+	chain := []string{"busreader", "preprocess", "areatracker", "busstops", "splitter", "esper", "storer"}
+	for i := 0; i < len(chain)-1; i++ {
+		rig.edgeReconciles(t, chain[i], chain[i+1])
+	}
+	for w, rt := range rig.rts {
+		var executed uint64
+		for _, tasks := range rt.taskMetricsSnapshot() {
+			for _, tm := range tasks {
+				executed += tm.Executed
+			}
+		}
+		if executed == 0 {
+			t.Errorf("worker %d executed nothing — topology was not split", w)
+		}
+	}
+}
+
+// TestDistributedAnchoredReplayOverTCP pins the cross-worker reliability
+// path: anchored roots live on worker 0, the failing bolt on worker 1, so
+// every attempt crosses the wire, every failure travels back as an
+// ackResult, and the replay is re-sent over TCP. Every message id must be
+// acked after its transient failure — with an intact payload: the decoded
+// values a replayed execution sees must match what was emitted, proving
+// decode copied them out of the (long since reused) receive buffer.
+func TestDistributedAnchoredReplayOverTCP(t *testing.T) {
+	const n = 20
+	spout := newAckSpout(n)
+	var mu sync.Mutex
+	attempts := map[int]int{}
+	badPayload := []string{}
+	flaky := func() Bolt {
+		return &funcBolt{exec: func(tp Tuple, _ Collector) error {
+			i, ok := tp.Values["i"].(int)
+			key, kok := tp.Values["key"].(int)
+			if !ok || !kok || key != i%4 {
+				mu.Lock()
+				badPayload = append(badPayload, fmt.Sprintf("%#v", tp.Values))
+				mu.Unlock()
+				return nil
+			}
+			mu.Lock()
+			attempts[i]++
+			first := attempts[i] == 1
+			mu.Unlock()
+			if first {
+				return fmt.Errorf("transient failure")
+			}
+			return nil
+		}}
+	}
+	// Two executors → round-robin placement puts src on worker 0 and flaky
+	// on worker 1.
+	build := func(int) *TopologyBuilder {
+		b := NewTopologyBuilder("t")
+		b.SetSpout("src", func() Spout { return spout }, 1, 1)
+		b.SetBolt("flaky", flaky, 1, 1).ShuffleGrouping("src")
+		return b
+	}
+	rig := newDistRig(t, 2, build,
+		WithAckTimeout(50*time.Millisecond),
+		WithMaxRetries(5),
+		WithFailurePolicy(Degrade),
+		WithQuarantineAfter(1000),
+	)
+	if w := rig.rts[0].execs[1].worker; w != 1 {
+		t.Fatalf("flaky executor placed on worker %d, want 1", w)
+	}
+	rig.run(t, 30*time.Second)
+	for i, err := range rig.errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if len(badPayload) > 0 {
+		t.Fatalf("corrupt payloads over the wire: %v", badPayload)
+	}
+	spout.mu.Lock()
+	defer spout.mu.Unlock()
+	if len(spout.acked) != n || len(spout.failed) != 0 {
+		t.Fatalf("acked %d failed %d, want %d and 0", len(spout.acked), len(spout.failed), n)
+	}
+	for i := 0; i < n; i++ {
+		if attempts[i] < 2 {
+			t.Errorf("tuple %d executed %d times, want ≥ 2 (fail + replay)", i, attempts[i])
+		}
+		if spout.acked[strconv.Itoa(i)] != 1 {
+			t.Errorf("msg %d acked %d times, want exactly 1", i, spout.acked[strconv.Itoa(i)])
+		}
+	}
+	// The replay really crossed the wire: worker 0 counts them.
+	if replays := rig.rts[0].FaultTotals().Replays; replays < n {
+		t.Errorf("replays = %d, want ≥ %d", replays, n)
+	}
+}
+
+// gatedSpout emits n tuples then idles until released, keeping the run —
+// and its transport — alive for control-plane tests.
+type gatedSpout struct {
+	n, i    int
+	release chan struct{}
+}
+
+func (s *gatedSpout) Open(TaskContext) error { return nil }
+func (s *gatedSpout) Close() error           { return nil }
+func (s *gatedSpout) NextTuple(col Collector) (bool, error) {
+	if s.i < s.n {
+		col.Emit(map[string]any{"i": s.i})
+		s.i++
+		return true, nil
+	}
+	select {
+	case <-s.release:
+		return false, nil
+	case <-time.After(time.Millisecond):
+		return true, nil
+	}
+}
+
+// TestDistributedControlAndDrain exercises the control plane between live
+// workers: a Control round-trip to a peer (and its error path), and a
+// DrainComponent barrier that must fence executors on both sides of the
+// wire before returning.
+func TestDistributedControlAndDrain(t *testing.T) {
+	release := make(chan struct{})
+	build := func(int) *TopologyBuilder {
+		b := NewTopologyBuilder("t")
+		b.SetSpout("src", func() Spout { return &gatedSpout{n: 100, release: release} }, 1, 1)
+		b.SetBolt("sink", func() Bolt { return &passBolt{} }, 2, 2).ShuffleGrouping("src")
+		return b
+	}
+	rig := newDistRig(t, 2, build, WithHeartbeat(100*time.Millisecond))
+	for w, rt := range rig.rts {
+		w := w
+		rt.OnControl(func(method string, payload []byte) ([]byte, error) {
+			if method != "echo" {
+				return nil, fmt.Errorf("unknown method %q", method)
+			}
+			return []byte(fmt.Sprintf("worker%d:%s", w, payload)), nil
+		})
+	}
+	var wg sync.WaitGroup
+	for i, rt := range rig.rts {
+		wg.Add(1)
+		go func(i int, rt *Runtime) {
+			defer wg.Done()
+			rig.errs[i] = rt.Run()
+		}(i, rt)
+	}
+
+	// Remote round-trip (worker 0 → worker 1), local short-circuit, and the
+	// error path.
+	resp, err := rig.rts[0].Control(1, "echo", []byte("ping"))
+	if err != nil {
+		t.Fatalf("control: %v", err)
+	}
+	if string(resp) != "worker1:ping" {
+		t.Fatalf("control response = %q", resp)
+	}
+	resp, err = rig.rts[0].Control(0, "echo", []byte("self"))
+	if err != nil || string(resp) != "worker0:self" {
+		t.Fatalf("local control = %q, %v", resp, err)
+	}
+	if _, err := rig.rts[0].Control(1, "nope", nil); err == nil {
+		t.Fatal("unknown method: control succeeded")
+	}
+
+	// The sink has one executor on each worker: the drain barrier must
+	// fence both (the remote one via fence/fenceAck frames).
+	if err := rig.rts[0].DrainComponent("sink", 5*time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := rig.rts[0].DrainComponent("missing", time.Second); err == nil {
+		t.Fatal("drain of unknown component succeeded")
+	}
+
+	close(release)
+	wg.Wait()
+	for i, err := range rig.errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	rig.edgeReconciles(t, "src", "sink")
+}

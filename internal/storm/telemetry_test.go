@@ -76,7 +76,7 @@ func TestTracingDisabledZeroCost(t *testing.T) {
 	b := NewTopologyBuilder("t")
 	b.SetSpout("src", func() Spout { return &seqSpout{n: 20, keys: 2} }, 1, 1)
 	b.SetBolt("sink", sink, 1, 1).ShuffleGrouping("src")
-	runSimple(t, b, Config{})
+	runSimple(t, b)
 	mu.Lock()
 	defer mu.Unlock()
 	for _, tp := range *got {

@@ -1,0 +1,266 @@
+package storm
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+	"time"
+
+	"trafficcep/internal/telemetry"
+)
+
+// wireTestRuntime builds a minimal runtime so decodeBatchFrame has a batch
+// pool to draw from.
+func wireTestRuntime(t testing.TB) *Runtime {
+	t.Helper()
+	b := NewTopologyBuilder("wire")
+	b.SetSpout("src", func() Spout { return &seqSpout{n: 1, keys: 1} }, 1, 1)
+	b.SetBolt("sink", func() Bolt { return &passBolt{} }, 1, 1).ShuffleGrouping("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// TestWireBatchRoundTrip encodes a batch covering every value tag — and a
+// traced envelope — and asserts the decode reproduces the envelopes with
+// the exact Go types intact (fields-grouping hashes and bolt type switches
+// must behave identically on both sides of the wire).
+func TestWireBatchRoundTrip(t *testing.T) {
+	rt := wireTestRuntime(t)
+	envs := []envelope{
+		{local: 0, tuple: Tuple{Stream: "default", Values: map[string]any{
+			"nil":     nil,
+			"true":    true,
+			"false":   false,
+			"int":     -42,
+			"int64":   int64(1) << 60,
+			"uint64":  uint64(18446744073709551615),
+			"float64": 3.14159,
+			"float32": float32(2.5),
+			"string":  "vehicle-17",
+			"bytes":   []byte{0, 1, 2, 0xff},
+			"time":    time.Unix(0, 1700000000123456789),
+			"strings": []string{"a", "", "c"},
+			"slice":   []any{1, "two", 3.0, nil},
+			"map":     map[string]any{"k": "v", "n": 7},
+		}}},
+		{local: 2, tuple: Tuple{Stream: "speed", ack: 99, Values: map[string]any{"i": 5}}},
+		{local: 1, tuple: Tuple{
+			Stream: "default",
+			Trace:  telemetry.TupleTrace{StartNanos: 123, EmitNanos: 456, Hops: 3},
+			Values: map[string]any{"key": "L07"},
+		}},
+		{local: 0, tuple: Tuple{Stream: "empty"}}, // nil Values
+	}
+	frame, err := appendBatchFrame(nil, 7, 3, envs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.BigEndian.Uint32(frame); int(got) != len(frame)-frameHeaderLen {
+		t.Fatalf("length prefix = %d, want %d", got, len(frame)-frameHeaderLen)
+	}
+	if frame[frameHeaderLen] != frameBatch {
+		t.Fatalf("frame type = %d, want %d", frame[frameHeaderLen], frameBatch)
+	}
+	destEID, epoch, bt, err := rt.decodeBatchFrame(frame[frameHeaderLen+1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if destEID != 7 || epoch != 3 {
+		t.Fatalf("destEID, epoch = %d, %d, want 7, 3", destEID, epoch)
+	}
+	if len(bt.envs) != len(envs) {
+		t.Fatalf("decoded %d envelopes, want %d", len(bt.envs), len(envs))
+	}
+	for i := range envs {
+		want, got := envs[i], bt.envs[i]
+		if got.local != want.local || got.tuple.Stream != want.tuple.Stream ||
+			got.tuple.ack != want.tuple.ack || got.tuple.Trace != want.tuple.Trace {
+			t.Errorf("envelope %d header: got %+v, want %+v", i, got, want)
+		}
+		if !reflect.DeepEqual(got.tuple.Values, want.tuple.Values) {
+			t.Errorf("envelope %d values: got %#v, want %#v", i, got.tuple.Values, want.tuple.Values)
+		}
+		for k, v := range want.tuple.Values {
+			if reflect.TypeOf(got.tuple.Values[k]) != reflect.TypeOf(v) {
+				t.Errorf("envelope %d key %q: type %T, want %T", i, k, got.tuple.Values[k], v)
+			}
+		}
+	}
+	rt.putBatch(bt)
+}
+
+// TestWireDecodeCopiesOutOfBuffer scribbles over the receive buffer after a
+// decode and asserts the decoded payload is untouched. The ack tracker
+// caches replay roots and executors may process envelopes long after
+// arrival, so decoded values must never alias wire memory (the transport
+// reuses its read buffer for the next frame).
+func TestWireDecodeCopiesOutOfBuffer(t *testing.T) {
+	rt := wireTestRuntime(t)
+	envs := []envelope{{local: 0, tuple: Tuple{Stream: "default", Values: map[string]any{
+		"route": "L07-outbound",
+		"raw":   []byte("payload-bytes"),
+		"tags":  []string{"bus", "stop"},
+	}}}}
+	frame, err := appendBatchFrame(nil, 0, 0, envs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, bt, err := rt.decodeBatchFrame(frame[frameHeaderLen+1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range frame {
+		frame[i] = 0xAA
+	}
+	vals := bt.envs[0].tuple.Values
+	if vals["route"] != "L07-outbound" {
+		t.Errorf("route = %q after buffer reuse", vals["route"])
+	}
+	if string(vals["raw"].([]byte)) != "payload-bytes" {
+		t.Errorf("raw = %q after buffer reuse", vals["raw"])
+	}
+	if got := vals["tags"].([]string); got[0] != "bus" || got[1] != "stop" {
+		t.Errorf("tags = %v after buffer reuse", got)
+	}
+	if bt.envs[0].tuple.Stream != "default" {
+		t.Errorf("stream = %q after buffer reuse", bt.envs[0].tuple.Stream)
+	}
+	rt.putBatch(bt)
+}
+
+// TestWireDecodeRejectsMalformedFrames: truncations at every interesting
+// offset, trailing garbage, lying envelope counts and unknown value tags
+// must all fail cleanly (error, no panic, no pooled batch leak).
+func TestWireDecodeRejectsMalformedFrames(t *testing.T) {
+	rt := wireTestRuntime(t)
+	envs := []envelope{{local: 1, tuple: Tuple{Stream: "default", Values: map[string]any{"i": 1, "key": "k"}}}}
+	frame, err := appendBatchFrame(nil, 3, 1, envs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := frame[frameHeaderLen+1:]
+
+	for cut := 0; cut < len(payload); cut++ {
+		if _, _, bt, err := rt.decodeBatchFrame(payload[:cut]); err == nil {
+			// A truncation that still parses must at least not fabricate
+			// envelopes beyond the declared count.
+			rt.putBatch(bt)
+			t.Errorf("truncated at %d/%d bytes: decode succeeded", cut, len(payload))
+		}
+	}
+	if _, _, _, err := rt.decodeBatchFrame(append(append([]byte(nil), payload...), 0x00)); err == nil {
+		t.Error("trailing byte: decode succeeded")
+	}
+	// Envelope count far beyond the remaining bytes must be rejected before
+	// any allocation sized from it.
+	lying := appendUvarint(appendUvarint(appendUvarint(nil, 3), 1), 1<<40)
+	if _, _, _, err := rt.decodeBatchFrame(lying); err == nil {
+		t.Error("oversized envelope count: decode succeeded")
+	}
+	if _, _, err := decodeValue([]byte{0xFE}); err == nil {
+		t.Error("unknown value tag: decode succeeded")
+	}
+	if _, _, err := decodeValue(nil); err == nil {
+		t.Error("empty value: decode succeeded")
+	}
+}
+
+// TestWireControlFrameRoundTrip pins the control-plane codec, including the
+// payload copy-out (responses outlive the read buffer: a waiting Control
+// caller consumes them on another goroutine).
+func TestWireControlFrameRoundTrip(t *testing.T) {
+	payload := []byte(`{"moves":[{"field":"key"}]}`)
+	frame := appendControlFrame(nil, controlRequest, 42, "core.prepare", payload)
+	cf, err := decodeControlFrame(frame[frameHeaderLen+1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.kind != controlRequest || cf.id != 42 || cf.method != "core.prepare" || string(cf.payload) != string(payload) {
+		t.Fatalf("decoded %+v", cf)
+	}
+	for i := range frame {
+		frame[i] = 0
+	}
+	if string(cf.payload) != `{"moves":[{"field":"key"}]}` {
+		t.Fatal("control payload aliases the read buffer")
+	}
+	if _, err := decodeControlFrame(nil); err == nil {
+		t.Error("empty control frame: decode succeeded")
+	}
+}
+
+// TestWireSmallFrames pins the fixed frames' layout: hello, eof, ackResult,
+// fence/fenceAck and heartbeat.
+func TestWireSmallFrames(t *testing.T) {
+	check := func(frame []byte, typ byte) []byte {
+		t.Helper()
+		if got := binary.BigEndian.Uint32(frame); int(got) != len(frame)-frameHeaderLen {
+			t.Fatalf("length prefix = %d, want %d", got, len(frame)-frameHeaderLen)
+		}
+		if frame[frameHeaderLen] != typ {
+			t.Fatalf("type = %d, want %d", frame[frameHeaderLen], typ)
+		}
+		return frame[frameHeaderLen+1:]
+	}
+	b := check(appendHelloFrame(nil, 3), frameHello)
+	if w, _, _ := decodeUvarint(b); w != 3 {
+		t.Errorf("hello worker = %d", w)
+	}
+	b = check(appendEOFFrame(nil, 11), frameEOF)
+	if eid, _, _ := decodeUvarint(b); eid != 11 {
+		t.Errorf("eof eid = %d", eid)
+	}
+	b = check(appendAckResultFrame(nil, 77, true), frameAckResult)
+	id, rest, _ := decodeUvarint(b)
+	if id != 77 || len(rest) != 1 || rest[0] != 1 {
+		t.Errorf("ackResult = %d %v", id, rest)
+	}
+	b = check(appendFenceFrame(nil, frameFence, 9, "esper"), frameFence)
+	epoch, rest, _ := decodeUvarint(b)
+	comp, _, _ := decodeWireString(rest)
+	if epoch != 9 || comp != "esper" {
+		t.Errorf("fence = %d %q", epoch, comp)
+	}
+	check(appendFenceFrame(nil, frameFenceAck, 9, "esper"), frameFenceAck)
+	check(appendHeartbeatFrame(nil), frameHeartbeat)
+}
+
+// FuzzWireFrame throws arbitrary payloads at the batch and control
+// decoders: they must never panic and every successfully decoded batch
+// must re-encode. Seeds cover a valid frame, a zero-envelope batch, a
+// truncated frame and an oversized length claim.
+func FuzzWireFrame(f *testing.F) {
+	valid, err := appendBatchFrame(nil, 2, 1, []envelope{
+		{local: 0, tuple: Tuple{Stream: "default", Values: map[string]any{"i": 7, "key": "k3"}}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid[frameHeaderLen+1:])
+	empty, err := appendBatchFrame(nil, 0, 0, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty[frameHeaderLen+1:])                                      // zero-envelope batch
+	f.Add(valid[frameHeaderLen+1 : len(valid)-3])                        // truncated frame
+	f.Add(appendUvarint(appendUvarint(appendUvarint(nil, 1), 1), 1<<40)) // oversized envelope count
+	f.Add(appendControlFrame(nil, controlRequest, 1, "m", []byte("p"))[frameHeaderLen+1:])
+
+	rt := wireTestRuntime(f)
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if _, _, bt, err := rt.decodeBatchFrame(payload); err == nil {
+			if _, err := appendBatchFrame(nil, 0, 0, bt.envs); err != nil {
+				t.Fatalf("decoded batch does not re-encode: %v", err)
+			}
+			rt.putBatch(bt)
+		}
+		decodeControlFrame(payload)
+	})
+}

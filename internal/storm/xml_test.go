@@ -69,7 +69,7 @@ func TestLoadXMLRunsTopology(t *testing.T) {
 		rules[1].Window != 10 || rules[1].Sensitivity != 2 {
 		t.Fatalf("template rule = %+v", rules[1])
 	}
-	rt, err := NewRuntime(topo, Config{})
+	rt, err := New(topo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestLoadXMLDefaultShuffleGrouping(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := NewRuntime(topo, Config{})
+	rt, err := New(topo)
 	if err != nil {
 		t.Fatal(err)
 	}

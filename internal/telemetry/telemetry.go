@@ -63,8 +63,8 @@ func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
 // Source is the one interface every instrumented subsystem implements:
 // Describe names the source for operators, Collect publishes its current
 // state into the registry. Registry.Gather walks all registered sources, so
-// a single registry walk replaces the per-package snapshot methods
-// (storm.TaskMetricsSnapshot, cep.EngineMetrics, statement counters).
+// a single registry walk replaces per-package snapshot polling (storm task
+// counters, cep engine and statement counters).
 type Source interface {
 	Describe() string
 	Collect(r *Registry)

@@ -1,0 +1,46 @@
+#!/bin/sh
+# Runs the distributed data-plane benchmark (the Figure 8 pipeline split
+# across worker runtimes over loopback TCP) and merges the results into the
+# "distributed" section of BENCH_storm.json, preserving the in-process
+# transport numbers from bench_storm.sh. Non-blocking: tracks the cost of
+# the wire hop (codec + framing + per-peer connections) over time.
+#
+# Usage: scripts/bench_distributed.sh [benchtime]   (default 300000x)
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-300000x}"
+out="BENCH_storm.json"
+raw="$(mktemp)"
+section="$(mktemp)"
+trap 'rm -f "$raw" "$section"' EXIT
+
+go test -run '^$' \
+	-bench 'BenchmarkDistributedThroughput' \
+	-benchtime "$benchtime" . | tee "$raw"
+
+awk -v benchtime="$benchtime" '
+	BEGIN { n = 0 }
+	/^Benchmark/ && $4 == "ns/op" {
+		name = $1
+		sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix
+		names[n] = name
+		nsop[n++] = $3 + 0
+	}
+	END {
+		if (n == 0) { print "bench_distributed.sh: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+		printf "{\n  \"benchtime\": \"%s\",\n  \"ns_per_op\": {\n", benchtime
+		for (i = 0; i < n; i++)
+			printf "    \"%s\": %s%s\n", names[i], nsop[i], (i < n-1 ? "," : "")
+		printf "  }\n}\n"
+	}
+' "$raw" > "$section"
+
+if [ -f "$out" ]; then
+	jq --slurpfile d "$section" '.distributed = $d[0]' "$out" > "$out.tmp"
+else
+	jq -n --slurpfile d "$section" '{distributed: $d[0]}' > "$out.tmp"
+fi
+mv "$out.tmp" "$out"
+
+echo "wrote distributed section of $out"

@@ -33,6 +33,14 @@ awk -v benchtime="$benchtime" '
 			printf "    \"%s\": %s%s\n", names[i], nsop[i], (i < n-1 ? "," : "")
 		printf "  }\n}\n"
 	}
-' "$raw" > "$out"
+' "$raw" > "$out.tmp"
+
+# Preserve the distributed section maintained by bench_distributed.sh.
+if [ -f "$out" ] && jq -e '.distributed' "$out" > /dev/null 2>&1; then
+	jq --slurpfile old "$out" '.distributed = $old[0].distributed' "$out.tmp" > "$out"
+	rm -f "$out.tmp"
+else
+	mv "$out.tmp" "$out"
+fi
 
 echo "wrote $out"
