@@ -454,10 +454,12 @@ func BenchmarkStormPipelineFaults(b *testing.B) {
 // BenchmarkStormThroughput measures end-to-end transport throughput of the
 // batched data plane on a Figure-8-shaped topology (spout → fields → two
 // shuffle stages → splitter → direct-grouped engines → sink), across batch
-// sizes and with the two per-tuple taxes — telemetry tracing and ack
-// tracking — on and off. batch=1 is the pre-batching per-tuple transport
-// (ablation baseline); the tentpole acceptance bar is ≥ 2× tuples/s at
-// batch=64 with telemetry and acking off.
+// sizes, with telemetry tracing on and off, and across the acking modes:
+// off (no reliability), xor (the sharded checksum acker, the default when
+// acking is enabled) and tree (the explicit per-tree tracker, kept for
+// ablation). batch=1 is the pre-batching per-tuple transport (ablation
+// baseline); the acceptance bars are ≥ 2× tuples/s at batch=64 with
+// telemetry and acking off, and ack=xor within 1.5× of ack=off there.
 func BenchmarkStormThroughput(b *testing.B) {
 	onoff := func(v bool) string {
 		if v {
@@ -467,8 +469,8 @@ func BenchmarkStormThroughput(b *testing.B) {
 	}
 	for _, size := range []int{1, 8, 64, 256} {
 		for _, tel := range []bool{false, true} {
-			for _, ack := range []bool{false, true} {
-				name := fmt.Sprintf("batch=%d/telemetry=%s/ack=%s", size, onoff(tel), onoff(ack))
+			for _, ack := range []string{"off", "tree", "xor"} {
+				name := fmt.Sprintf("batch=%d/telemetry=%s/ack=%s", size, onoff(tel), ack)
 				b.Run(name, func(b *testing.B) {
 					opts := []storm.Option{
 						storm.WithBatchSize(size),
@@ -477,10 +479,13 @@ func BenchmarkStormThroughput(b *testing.B) {
 					if tel {
 						opts = append(opts, storm.WithTelemetry(telemetry.NewRegistry()))
 					}
-					if ack {
-						opts = append(opts, storm.WithAckTimeout(30*time.Second))
+					switch ack {
+					case "tree":
+						opts = append(opts, storm.WithAckTimeout(30*time.Second), storm.WithAckMode(storm.AckTree))
+					case "xor":
+						opts = append(opts, storm.WithAckTimeout(30*time.Second), storm.WithAckMode(storm.AckXOR))
 					}
-					rt, err := benchFigure8(b.N, ack, opts...)
+					rt, err := benchFigure8(b.N, ack != "off", opts...)
 					if err != nil {
 						b.Fatal(err)
 					}

@@ -60,6 +60,8 @@ type options struct {
 
 	ackTimeout    time.Duration
 	ackRetries    int
+	ackMode       storm.AckMode
+	ackShards     int
 	failurePolicy string
 	runDeadline   time.Duration
 
@@ -74,31 +76,74 @@ type options struct {
 	workerHeartbeat time.Duration
 }
 
-func main() {
+// parseFlags parses the command line into options, validating flag
+// combinations that would otherwise be silent no-ops (the reliability
+// knobs all depend on -ack.timeout actually enabling acking).
+func parseFlags(args []string) (options, error) {
 	var opt options
-	flag.StringVar(&opt.tracesPath, "traces", "", "trace CSV (required; produce one with trafficgen)")
-	flag.StringVar(&opt.topoPath, "topology", "", "topology XML (defaults to the embedded Figure 8 topology)")
-	flag.IntVar(&opt.nodes, "nodes", 3, "simulated cluster nodes")
-	flag.IntVar(&opt.monitorSec, "monitor", 40, "monitor window in seconds (0 = only final totals)")
-	flag.Float64Var(&opt.sensitivity, "s", 1, "threshold sensitivity s (threshold = mean + s*stdv)")
-	flag.StringVar(&opt.telemetryAddr, "telemetry.addr", "", "serve live telemetry snapshots + pprof on this address (e.g. :8077)")
-	flag.DurationVar(&opt.telemetryInterval, "telemetry.interval", 5*time.Second, "period between telemetry JSON-lines snapshots on stdout")
-	flag.BoolVar(&opt.noTelemetry, "telemetry.off", false, "disable the telemetry registry and tuple tracing entirely")
-	flag.DurationVar(&opt.ackTimeout, "ack.timeout", 0, "enable at-least-once delivery: replay anchored tuples not acked within this timeout (0 = off)")
-	flag.IntVar(&opt.ackRetries, "ack.retries", 3, "replays per anchored tuple before it expires as dropped")
-	flag.StringVar(&opt.failurePolicy, "failure.policy", "failfast", "task failure policy: failfast (first error fails the run) or degrade (quarantine failing tasks, keep running)")
-	flag.DurationVar(&opt.runDeadline, "run.deadline", 0, "cancel the run gracefully after this duration (0 = no deadline)")
-	flag.DurationVar(&opt.rebalanceInterval, "rebalance.interval", 0, "re-run the rules partitioning over live rate estimates this often and swap the routing table when skewed (0 = static routing)")
-	flag.Float64Var(&opt.rebalanceSkew, "rebalance.skew", 2, "skew trigger for live rebalancing: swap when max/mean per-engine rate reaches this")
-	flag.IntVar(&opt.batchSize, "batch.size", 64, "envelopes per transport batch between executors (1 = unbatched, the pre-batching data plane)")
-	flag.DurationVar(&opt.batchTimeout, "batch.timeout", time.Millisecond, "flush partially filled batches after the oldest envelope has waited this long")
-	flag.IntVar(&opt.workerID, "worker.id", 0, "this process's index into -worker.peers (multi-worker mode)")
-	flag.StringVar(&opt.workerPeers, "worker.peers", "", "comma-separated host:port list, one per worker process; empty = single-process mode")
-	flag.DurationVar(&opt.workerHeartbeat, "worker.heartbeat", time.Second, "peer heartbeat period; a peer silent for 4 periods is declared lost")
-	flag.Parse()
-
+	var ackMode string
+	fs := flag.NewFlagSet("trafficd", flag.ContinueOnError)
+	fs.StringVar(&opt.tracesPath, "traces", "", "trace CSV (required; produce one with trafficgen)")
+	fs.StringVar(&opt.topoPath, "topology", "", "topology XML (defaults to the embedded Figure 8 topology)")
+	fs.IntVar(&opt.nodes, "nodes", 3, "simulated cluster nodes")
+	fs.IntVar(&opt.monitorSec, "monitor", 40, "monitor window in seconds (0 = only final totals)")
+	fs.Float64Var(&opt.sensitivity, "s", 1, "threshold sensitivity s (threshold = mean + s*stdv)")
+	fs.StringVar(&opt.telemetryAddr, "telemetry.addr", "", "serve live telemetry snapshots + pprof on this address (e.g. :8077)")
+	fs.DurationVar(&opt.telemetryInterval, "telemetry.interval", 5*time.Second, "period between telemetry JSON-lines snapshots on stdout")
+	fs.BoolVar(&opt.noTelemetry, "telemetry.off", false, "disable the telemetry registry and tuple tracing entirely")
+	fs.DurationVar(&opt.ackTimeout, "ack.timeout", 0, "enable at-least-once delivery: replay anchored tuples not acked within this timeout (0 = off)")
+	fs.IntVar(&opt.ackRetries, "ack.retries", 3, "replays per anchored tuple before it expires as dropped")
+	fs.StringVar(&ackMode, "ack.mode", "xor", "ack tracking engine: xor (sharded checksum acker) or tree (per-tree tracker)")
+	fs.IntVar(&opt.ackShards, "ack.shards", 0, "lock-striped shards in the xor acker, rounded up to a power of two (0 = default 8)")
+	fs.StringVar(&opt.failurePolicy, "failure.policy", "failfast", "task failure policy: failfast (first error fails the run) or degrade (quarantine failing tasks, keep running)")
+	fs.DurationVar(&opt.runDeadline, "run.deadline", 0, "cancel the run gracefully after this duration (0 = no deadline)")
+	fs.DurationVar(&opt.rebalanceInterval, "rebalance.interval", 0, "re-run the rules partitioning over live rate estimates this often and swap the routing table when skewed (0 = static routing)")
+	fs.Float64Var(&opt.rebalanceSkew, "rebalance.skew", 2, "skew trigger for live rebalancing: swap when max/mean per-engine rate reaches this")
+	fs.IntVar(&opt.batchSize, "batch.size", 64, "envelopes per transport batch between executors (1 = unbatched, the pre-batching data plane)")
+	fs.DurationVar(&opt.batchTimeout, "batch.timeout", time.Millisecond, "flush partially filled batches after the oldest envelope has waited this long")
+	fs.IntVar(&opt.workerID, "worker.id", 0, "this process's index into -worker.peers (multi-worker mode)")
+	fs.StringVar(&opt.workerPeers, "worker.peers", "", "comma-separated host:port list, one per worker process; empty = single-process mode")
+	fs.DurationVar(&opt.workerHeartbeat, "worker.heartbeat", time.Second, "peer heartbeat period; a peer silent for 4 periods is declared lost")
+	if err := fs.Parse(args); err != nil {
+		return opt, err
+	}
+	var err error
+	if opt.ackMode, err = storm.ParseAckMode(ackMode); err != nil {
+		return opt, fmt.Errorf("-ack.mode: %w", err)
+	}
+	if opt.ackShards < 0 {
+		return opt, fmt.Errorf("-ack.shards must be >= 0, got %d", opt.ackShards)
+	}
+	// The reliability knobs do nothing unless -ack.timeout enables acking:
+	// setting one without it used to be accepted silently, hiding typos and
+	// configurations that never took effect.
+	if opt.ackTimeout <= 0 {
+		var orphan string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "ack.retries", "ack.mode", "ack.shards":
+				orphan = f.Name
+			}
+		})
+		if orphan != "" {
+			return opt, fmt.Errorf("-%s has no effect without -ack.timeout > 0 (acking is off)", orphan)
+		}
+	}
+	if opt.ackTimeout > 0 && opt.ackTimeout < time.Millisecond {
+		return opt, fmt.Errorf("-ack.timeout %v is below the 1ms sweep granularity (see storm.WithAckTimeout)", opt.ackTimeout)
+	}
 	if opt.tracesPath == "" {
-		fmt.Fprintln(os.Stderr, "trafficd: -traces is required")
+		return opt, fmt.Errorf("-traces is required")
+	}
+	return opt, nil
+}
+
+func main() {
+	opt, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintln(os.Stderr, "trafficd:", err)
+		}
 		os.Exit(2)
 	}
 	if err := run(opt); err != nil {
@@ -313,7 +358,11 @@ func run(opt options) error {
 		stormOpts = append(stormOpts,
 			storm.WithAckTimeout(opt.ackTimeout),
 			storm.WithMaxRetries(opt.ackRetries),
+			storm.WithAckMode(opt.ackMode),
 		)
+		if opt.ackShards > 0 {
+			stormOpts = append(stormOpts, storm.WithAckShards(opt.ackShards))
+		}
 	}
 	rt, err := storm.New(topo, stormOpts...)
 	if err != nil {

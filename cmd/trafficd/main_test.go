@@ -1,0 +1,105 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"trafficcep/internal/storm"
+)
+
+// TestParseFlagsAckValidation pins the flag-combination checks: reliability
+// knobs without -ack.timeout used to parse fine and silently do nothing.
+func TestParseFlagsAckValidation(t *testing.T) {
+	base := []string{"-traces", "t.csv"}
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring; "" = must parse
+		check   func(t *testing.T, opt options)
+	}{
+		{
+			name: "defaults",
+			args: nil,
+			check: func(t *testing.T, opt options) {
+				if opt.ackMode != storm.AckXOR {
+					t.Errorf("default ack mode = %v, want xor", opt.ackMode)
+				}
+				if opt.ackRetries != 3 {
+					t.Errorf("default ack retries = %d, want 3", opt.ackRetries)
+				}
+			},
+		},
+		{
+			name: "acking enabled with knobs",
+			args: []string{"-ack.timeout", "5s", "-ack.retries", "7", "-ack.mode", "tree", "-ack.shards", "16"},
+			check: func(t *testing.T, opt options) {
+				if opt.ackTimeout != 5*time.Second || opt.ackRetries != 7 ||
+					opt.ackMode != storm.AckTree || opt.ackShards != 16 {
+					t.Errorf("parsed ack options = %+v", opt)
+				}
+			},
+		},
+		{
+			name:    "retries without timeout",
+			args:    []string{"-ack.retries", "5"},
+			wantErr: "-ack.retries has no effect without -ack.timeout",
+		},
+		{
+			name:    "mode without timeout",
+			args:    []string{"-ack.mode", "tree"},
+			wantErr: "-ack.mode has no effect without -ack.timeout",
+		},
+		{
+			name:    "shards without timeout",
+			args:    []string{"-ack.shards", "4"},
+			wantErr: "-ack.shards has no effect without -ack.timeout",
+		},
+		{
+			name:    "retries with explicit zero timeout",
+			args:    []string{"-ack.timeout", "0s", "-ack.retries", "5"},
+			wantErr: "has no effect without -ack.timeout",
+		},
+		{
+			name:    "unknown mode",
+			args:    []string{"-ack.timeout", "1s", "-ack.mode", "bogus"},
+			wantErr: `unknown ack mode "bogus"`,
+		},
+		{
+			name:    "negative shards",
+			args:    []string{"-ack.timeout", "1s", "-ack.shards", "-2"},
+			wantErr: "-ack.shards must be >= 0",
+		},
+		{
+			name:    "sub-millisecond timeout",
+			args:    []string{"-ack.timeout", "200us"},
+			wantErr: "below the 1ms sweep granularity",
+		},
+		{
+			name:    "missing traces",
+			args:    []string{"-ack.timeout", "1s"},
+			wantErr: "-traces is required",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := tc.args
+			if tc.name != "missing traces" {
+				args = append(append([]string{}, base...), tc.args...)
+			}
+			opt, err := parseFlags(args)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("parseFlags(%q) error = %v, want substring %q", args, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseFlags(%q) unexpected error: %v", args, err)
+			}
+			if tc.check != nil {
+				tc.check(t, opt)
+			}
+		})
+	}
+}

@@ -128,7 +128,10 @@ type RebalancerConfig struct {
 	// drain barrier: it must return only once every tuple routed under the
 	// old table has been executed (storm.Runtime.DrainComponent provides
 	// this across worker processes). An error defers the source releases
-	// exactly like an InFlight timeout.
+	// exactly like an InFlight timeout. The barrier proves execution, not
+	// acking: under an ack mode (tree or XOR) a replay of a pre-swap tuple
+	// re-routes through the *new* table, which is exactly the semantics the
+	// release needs — drained state never receives stale-table traffic.
 	DrainBarrier func() error
 	// DrainTimeout bounds the post-swap drain wait. Defaults to 2s.
 	DrainTimeout time.Duration

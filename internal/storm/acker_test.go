@@ -1,0 +1,275 @@
+package storm
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAckModeParseAndString pins the flag surface of the mode selector.
+func TestAckModeParseAndString(t *testing.T) {
+	for in, want := range map[string]AckMode{
+		"xor": AckXOR, "XOR": AckXOR, "Xor": AckXOR,
+		"tree": AckTree, "TREE": AckTree,
+	} {
+		got, err := ParseAckMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseAckMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseAckMode("bogus"); err == nil {
+		t.Error("ParseAckMode(bogus) succeeded, want error")
+	}
+	if AckXOR.String() != "xor" || AckTree.String() != "tree" {
+		t.Errorf("String() = %q/%q, want xor/tree", AckXOR, AckTree)
+	}
+}
+
+// TestAckerBackoffOverflowClamp is the regression for the exponential
+// backoff at high retry counts: timeout << retries used to overflow for
+// retries ≥ 64 (and for large timeouts much earlier), yielding negative or
+// zero deadlines that put expired roots into a hot replay loop.
+func TestAckerBackoffOverflowClamp(t *testing.T) {
+	timeout := 30 * time.Second
+	prev := time.Duration(0)
+	for r := 0; r <= 12; r++ {
+		b := backoffFor(timeout, r)
+		if b <= 0 {
+			t.Fatalf("backoffFor(%v, %d) = %v, want > 0", timeout, r, b)
+		}
+		if b < prev {
+			t.Fatalf("backoffFor(%v, %d) = %v < previous %v, want monotone", timeout, r, b, prev)
+		}
+		prev = b
+	}
+	// The shift clamps at 10, so every higher retry count matches.
+	if got, want := backoffFor(timeout, 64), backoffFor(timeout, 10); got != want {
+		t.Fatalf("backoffFor(64) = %v, want clamp to backoffFor(10) = %v", got, want)
+	}
+	for _, r := range []int{63, 64, 65, 1000, math.MaxInt32} {
+		if b := backoffFor(timeout, r); b != timeout<<10 {
+			t.Fatalf("backoffFor(%v, %d) = %v, want %v", timeout, r, b, timeout<<10)
+		}
+	}
+	// Large timeouts saturate instead of wrapping negative.
+	for _, d := range []time.Duration{math.MaxInt64, math.MaxInt64 / 2, math.MaxInt64 >> 10} {
+		for _, r := range []int{1, 10, 64} {
+			if b := backoffFor(d, r); b <= 0 {
+				t.Fatalf("backoffFor(%v, %d) = %v, want positive (saturated)", d, r, b)
+			}
+		}
+	}
+	// Deadline arithmetic saturates too: a saturated backoff added to a
+	// wall-clock nanosecond stamp must not wrap past MaxInt64.
+	if got := satAddNanos(math.MaxInt64-5, int64(time.Hour)); got != math.MaxInt64 {
+		t.Fatalf("satAddNanos near MaxInt64 = %d, want MaxInt64", got)
+	}
+	if got := satAddNanos(time.Now().UnixNano(), math.MaxInt64>>1); got <= 0 {
+		t.Fatalf("satAddNanos(now, MaxInt64>>1) = %d, want positive", got)
+	}
+}
+
+// TestAckModeTimeoutQuantization pins the sweep-granularity contract of
+// WithAckTimeout: sub-millisecond timeouts used to be accepted silently
+// but enforced by a sweeper ticking at the 1ms floor, firing replays up to
+// 4× later than requested. The config now rounds them up to 1ms, and for
+// any honored timeout the tick never exceeds the timeout itself, so a
+// replay or expiry fires at most 2× the configured deadline.
+func TestAckModeTimeoutQuantization(t *testing.T) {
+	c := config{AckTimeout: 200 * time.Microsecond}
+	c.fill()
+	if c.AckTimeout != time.Millisecond {
+		t.Fatalf("fill() left sub-ms AckTimeout at %v, want rounding up to 1ms", c.AckTimeout)
+	}
+	var off config
+	off.fill()
+	if off.AckTimeout != 0 {
+		t.Fatalf("fill() enabled acking: AckTimeout = %v, want 0", off.AckTimeout)
+	}
+	for _, d := range []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+		40 * time.Millisecond, 400 * time.Millisecond, 10 * time.Second,
+	} {
+		tick := sweepTick(d)
+		if tick < time.Millisecond || tick > 100*time.Millisecond {
+			t.Errorf("sweepTick(%v) = %v, want within [1ms, 100ms]", d, tick)
+		}
+		if tick > d {
+			t.Errorf("sweepTick(%v) = %v exceeds the timeout: worst-case replay would fire later than 2× the deadline", d, tick)
+		}
+	}
+}
+
+// TestAckShardsRoundToPowerOfTwo pins the fill() normalization the XOR
+// acker's mask indexing depends on.
+func TestAckShardsRoundToPowerOfTwo(t *testing.T) {
+	for in, want := range map[int]int{0: 8, 1: 1, 2: 2, 3: 4, 8: 8, 9: 16, 100: 128} {
+		c := config{AckShards: in}
+		c.fill()
+		if c.AckShards != want {
+			t.Errorf("fill() AckShards %d → %d, want %d", in, c.AckShards, want)
+		}
+	}
+}
+
+// diffCounts is the comparable outcome of one differential run: spout
+// callbacks, fault totals, and per-task delivery counters (ProcNanos is
+// timing and excluded).
+type diffCounts struct {
+	Acked   map[string]int
+	Failed  map[string]int
+	Replays uint64
+	AckedN  uint64
+	Dropped uint64
+	Tasks   map[string][]TaskMetrics
+}
+
+func stripNanos(m map[string][]TaskMetrics) map[string][]TaskMetrics {
+	out := make(map[string][]TaskMetrics, len(m))
+	for comp, tasks := range m {
+		ts := make([]TaskMetrics, len(tasks))
+		for i, tm := range tasks {
+			tm.ProcNanos = 0
+			ts[i] = tm
+		}
+		out[comp] = ts
+	}
+	return out
+}
+
+// diffScenario runs the Figure-8-shaped anchored pipeline with induced
+// failures under one (mode, batch, workers) configuration: every i%5==0
+// tuple fails its first attempt (transient, replays once, then acks) and
+// tuple 7 fails every attempt (poison, expires after maxRetries replays).
+func diffScenario(t *testing.T, mode AckMode, batch, workers int) diffCounts {
+	t.Helper()
+	const n = 40
+	spout := newAckSpout(n)
+	var mu sync.Mutex
+	attempts := map[any]int{}
+	flaky := func() Bolt {
+		return &funcBolt{exec: func(tp Tuple, col Collector) error {
+			i := tp.Values["i"]
+			mu.Lock()
+			attempts[i]++
+			a := attempts[i]
+			mu.Unlock()
+			if i == 7 {
+				return fmt.Errorf("poison tuple")
+			}
+			if ii, _ := i.(int); ii%5 == 0 && a == 1 {
+				return fmt.Errorf("transient failure")
+			}
+			col.Emit(tp.Values)
+			return nil
+		}}
+	}
+	build := func(worker int) *TopologyBuilder {
+		b := NewTopologyBuilder("diff")
+		b.SetSpout("src", func() Spout { return spout }, 1, 1)
+		b.SetBolt("flaky", flaky, 2, 2).FieldsGrouping("src", "key")
+		b.SetBolt("sink", func() Bolt {
+			return &funcBolt{exec: func(Tuple, Collector) error { return nil }}
+		}, 1, 1).ShuffleGrouping("flaky")
+		return b
+	}
+	opts := []Option{
+		WithAckTimeout(150 * time.Millisecond),
+		WithMaxRetries(1),
+		WithAckMode(mode),
+		WithFailurePolicy(Degrade),
+		WithQuarantineAfter(1_000_000),
+		WithBatchSize(batch),
+	}
+	res := diffCounts{Replays: 0}
+	if workers <= 1 {
+		topo, err := build(0).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := New(topo, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Run(); err != nil {
+			t.Fatalf("mode=%v batch=%d: %v", mode, batch, err)
+		}
+		ft := rt.FaultTotals()
+		res.Replays, res.AckedN, res.Dropped = ft.Replays, ft.Acked, ft.Dropped
+		res.Tasks = stripNanos(rt.taskMetricsSnapshot())
+	} else {
+		rig := newDistRig(t, workers, build, opts...)
+		rig.run(t, 30*time.Second)
+		for i, err := range rig.errs {
+			if err != nil {
+				t.Fatalf("mode=%v batch=%d worker %d: %v", mode, batch, i, err)
+			}
+		}
+		for _, rt := range rig.rts {
+			ft := rt.FaultTotals()
+			res.Replays += ft.Replays
+			res.AckedN += ft.Acked
+			res.Dropped += ft.Dropped
+		}
+		res.Tasks = stripNanos(rig.metrics())
+	}
+	spout.mu.Lock()
+	res.Acked = spout.acked
+	res.Failed = spout.failed
+	spout.mu.Unlock()
+	return res
+}
+
+// TestAckerDifferentialCountEquivalence is the XOR-vs-tree harness: under
+// identical induced failures, both ack engines must produce identical
+// spout callbacks, replay/ack/drop totals and per-task delivery counters,
+// at batch sizes 1 and 64, in-process and across a 2-worker loopback
+// cluster. Any semantic drift between the engines shows up as a counter
+// mismatch here.
+func TestAckerDifferentialCountEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		batch, workers int
+	}{
+		{batch: 1, workers: 1},
+		{batch: 64, workers: 1},
+		{batch: 1, workers: 2},
+		{batch: 64, workers: 2},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("batch=%d/workers=%d", tc.batch, tc.workers), func(t *testing.T) {
+			tree := diffScenario(t, AckTree, tc.batch, tc.workers)
+			xor := diffScenario(t, AckXOR, tc.batch, tc.workers)
+
+			// Absolute expectations first, so a failure names the broken
+			// engine instead of just "they differ": 39 of 40 tuples ack
+			// (tuple 7 expires), 8 transients replay once each, the poison
+			// replays once before expiring.
+			for name, r := range map[string]diffCounts{"tree": tree, "xor": xor} {
+				if len(r.Acked) != 39 || r.Failed["7"] != 1 || len(r.Failed) != 1 {
+					t.Errorf("%s: acked %d ids, failed %v; want 39 acked and only id 7 failed",
+						name, len(r.Acked), r.Failed)
+				}
+				if r.Replays != 9 {
+					t.Errorf("%s: replays = %d, want 9 (8 transient + 1 poison)", name, r.Replays)
+				}
+				if r.AckedN != 39 || r.Dropped != 1 {
+					t.Errorf("%s: acked = %d dropped = %d, want 39 and 1", name, r.AckedN, r.Dropped)
+				}
+			}
+			if !reflect.DeepEqual(tree.Acked, xor.Acked) || !reflect.DeepEqual(tree.Failed, xor.Failed) {
+				t.Errorf("spout callbacks diverge:\n tree acked=%v failed=%v\n xor  acked=%v failed=%v",
+					tree.Acked, tree.Failed, xor.Acked, xor.Failed)
+			}
+			if tree.Replays != xor.Replays || tree.AckedN != xor.AckedN || tree.Dropped != xor.Dropped {
+				t.Errorf("fault totals diverge: tree {replays %d acked %d dropped %d} vs xor {replays %d acked %d dropped %d}",
+					tree.Replays, tree.AckedN, tree.Dropped, xor.Replays, xor.AckedN, xor.Dropped)
+			}
+			if !reflect.DeepEqual(tree.Tasks, xor.Tasks) {
+				t.Errorf("per-task counters diverge:\n tree: %v\n xor:  %v", tree.Tasks, xor.Tasks)
+			}
+		})
+	}
+}

@@ -13,7 +13,10 @@ package storm
 //     waited past BatchTimeout (checked between NextTuple calls), when a
 //     bolt's input queue goes idle, and always before an executor exits —
 //     so batching never strands a tuple and never deadlocks: an executor
-//     only sleeps on input with its output buffers empty.
+//     only sleeps on input with its output buffers empty. Under the XOR
+//     acker the same triggers also drain the executor's buffered ack
+//     updates (acker.go's ackBatcher), so checksum progress is never
+//     stranded behind an idle bolt either.
 //   - Batches come from a sync.Pool with a receiver-releases ownership
 //     contract: the sending side hands the batch to the destination
 //     executor's channel and never touches it again; the receiving executor
@@ -75,6 +78,11 @@ type outBatcher struct {
 	queued  []bool   // dests membership per destination executor id
 	dests   []*executor
 	first   time.Time // clock at the first buffered envelope since the last flush
+	// pinned, when non-nil, holds an envelope whose edge id the in-flight
+	// Execute call may still rewrite (XOR acker edge chaining): add grows
+	// the batch past the size cap instead of shipping it mid-call. The
+	// executor clears the pin when the call settles.
+	pinned *Batch
 }
 
 func (r *Runtime) newOutBatcher() *outBatcher {
@@ -104,10 +112,45 @@ func (o *outBatcher) add(dest *executor, env envelope, now time.Time) {
 		}
 	}
 	b.envs = append(b.envs, env)
-	if len(b.envs) >= o.size {
+	if len(b.envs) >= o.size && b != o.pinned {
 		o.bufs[dest.eid] = nil
 		o.r.deliverOrDrop(dest, b)
 	}
+}
+
+// pin readies dest's buffer for an edge-chained envelope and pins it: the
+// caller appends the envelope itself (keeping the copy inline at the call
+// site) and the batch stays unshipped until the executor unpins it after
+// the Execute call settles, so a late error can retarget the envelope onto
+// a fresh edge id before it ships. A full buffer ships before the pin (the
+// previous pin is gone by now — it cleared when that call settled), so
+// pinning never grows batches past the cap in the steady state.
+func (o *outBatcher) pin(dest *executor, now time.Time) *Batch {
+	b := o.bufs[dest.eid]
+	if b != nil && len(b.envs) >= o.size {
+		o.bufs[dest.eid] = nil
+		o.r.deliverOrDrop(dest, b)
+		b = nil
+	}
+	if b == nil {
+		b = o.newBuf(dest, now)
+	}
+	o.pinned = b
+	return b
+}
+
+// newBuf starts a fresh buffer for dest and marks it dirty.
+func (o *outBatcher) newBuf(dest *executor, now time.Time) *Batch {
+	b := o.r.getBatch()
+	o.bufs[dest.eid] = b
+	if !o.queued[dest.eid] {
+		o.queued[dest.eid] = true
+		if len(o.dests) == 0 {
+			o.first = now
+		}
+		o.dests = append(o.dests, dest)
+	}
+	return b
 }
 
 // flushAll sends every pending buffer and resets the dirty set.

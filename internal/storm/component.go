@@ -23,6 +23,11 @@ type Tuple struct {
 	// unanchored). Bolts that re-emit propagate it automatically, extending
 	// the tuple tree.
 	ack uint64
+	// edge is this delivery's random edge id in the XOR acker's checksum
+	// (zero under the tree tracker or when unanchored): XORed into the
+	// root's checksum once by the emitter and once by the executor that
+	// consumes the delivery (see acker.go).
+	edge uint64
 }
 
 // DefaultStream is the stream id used by plain Emit.

@@ -32,6 +32,7 @@ package storm
 
 import (
 	"fmt"
+	"math"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -305,14 +306,7 @@ func (a *ackTracker) stop() {
 
 func (a *ackTracker) loop(done <-chan struct{}) {
 	defer a.wg.Done()
-	tick := a.timeout / 4
-	if tick < time.Millisecond {
-		tick = time.Millisecond
-	}
-	if tick > 100*time.Millisecond {
-		tick = 100 * time.Millisecond
-	}
-	t := time.NewTicker(tick)
+	t := time.NewTicker(sweepTick(a.timeout))
 	defer t.Stop()
 	for {
 		select {
@@ -468,11 +462,41 @@ func (a *ackTracker) removeLocked(p *pendingTuple) {
 }
 
 func (a *ackTracker) backoff(retries int) time.Duration {
+	return backoffFor(a.timeout, retries)
+}
+
+// backoffFor is the replay backoff schedule shared by both acking modes:
+// timeout << retries, with the shift clamped and the product saturated.
+// Without the saturation a large WithAckTimeout (or a caller-supplied huge
+// retry count before the clamp) overflows int64 into a negative backoff,
+// which produces already-expired deadlines that replay in a hot loop.
+func backoffFor(timeout time.Duration, retries int) time.Duration {
 	shift := uint(retries)
 	if shift > 10 {
 		shift = 10
 	}
-	return a.timeout << shift
+	// Saturate at MaxInt64>>1 so deadline arithmetic (now + backoff) still
+	// has headroom.
+	if timeout > math.MaxInt64>>(shift+1) {
+		return math.MaxInt64 >> 1
+	}
+	return timeout << shift
+}
+
+// sweepTick is the deadline sweeper's interval for both acking modes:
+// timeout/4, clamped to [1ms, 100ms]. The 1ms floor is the acking
+// granularity documented on WithAckTimeout (config.fill rounds smaller
+// timeouts up to it, so a deadline fires at most one timeout late); the
+// 100ms ceiling bounds expiry latency under huge timeouts.
+func sweepTick(timeout time.Duration) time.Duration {
+	tick := timeout / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	if tick > 100*time.Millisecond {
+		tick = 100 * time.Millisecond
+	}
+	return tick
 }
 
 // sweep replays every pending tuple whose deadline passed — failed trees

@@ -211,6 +211,12 @@ func (m *Monitor) Collect(reg *telemetry.Registry) {
 			}
 		}
 	}
+	if ak := m.r.acker; ak != nil {
+		// In-flight anchored roots awaiting their checksum to return to
+		// zero; a persistently growing value means acks are not keeping up
+		// with anchored emissions.
+		reg.Gauge("storm.acker.pending").Set(float64(ak.pendingRoots()))
+	}
 }
 
 // Reports returns the accumulated report history.

@@ -47,11 +47,30 @@ func WithQuarantineAfter(k int) Option { return func(c *config) { c.QuarantineAf
 // tree not fully processed within d — or failed at any hop — is replayed
 // with exponential backoff. Zero (the default) keeps the reliability
 // machinery, and its hot-path cost, entirely off.
+//
+// Granularity: timeouts are enforced by a sweeper ticking every d/4,
+// clamped to [1ms, 100ms], so a replay or expiry fires up to one tick
+// after its deadline. Values below 1ms are rounded up to 1ms — the
+// sweeper cannot honor sub-millisecond deadlines, and silently accepting
+// them would fire replays up to 4× late relative to the requested d.
 func WithAckTimeout(d time.Duration) Option { return func(c *config) { c.AckTimeout = d } }
 
 // WithMaxRetries bounds replays per anchored tuple; past it the tuple
 // expires as dropped and the spout's Fail callback fires. Defaults to 3.
 func WithMaxRetries(n int) Option { return func(c *config) { c.MaxRetries = n } }
+
+// WithAckMode selects the ack-tracking engine used when WithAckTimeout is
+// set. AckXOR (the default) tracks each anchored tree as a single rotating
+// XOR checksum sharded across lock-striped tables — O(1) state per root,
+// updates batched onto the existing transport. AckTree keeps the explicit
+// per-tree tracker (global mutex, per-hop sub-anchors) for ablation and
+// comparison; see DESIGN.md §10.
+func WithAckMode(m AckMode) Option { return func(c *config) { c.AckMode = m } }
+
+// WithAckShards sets how many lock-striped shards the XOR acker spreads
+// roots over (rounded up to a power of two; defaults to 8). Ignored under
+// AckTree.
+func WithAckShards(n int) Option { return func(c *config) { c.AckShards = n } }
 
 // WithBatchSize sets how many envelopes the inter-executor transport packs
 // into one channel send (see batch.go for the flush triggers and ownership

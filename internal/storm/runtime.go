@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"math/bits"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -51,6 +52,13 @@ type config struct {
 	// MaxRetries bounds replays per anchored tuple; past it the tuple
 	// expires as dropped and the spout's Fail callback fires. Defaults to 3.
 	MaxRetries int
+	// AckMode selects the reliability implementation behind AckTimeout:
+	// AckXOR (default) is the sharded XOR-checksum acker, AckTree the
+	// original tree-walking tracker kept as the ablation (see acker.go).
+	AckMode AckMode
+	// AckShards is the XOR acker's shard count (rounded up to a power of
+	// two). Defaults to 8.
+	AckShards int
 	// BatchSize is the envelope capacity of the inter-executor transport
 	// batches: emissions buffer per destination executor and one channel
 	// send moves up to BatchSize tuples (see batch.go). Defaults to 64.
@@ -96,6 +104,16 @@ func (c *config) fill() {
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 3
 	}
+	if c.AckShards <= 0 {
+		c.AckShards = 8
+	}
+	c.AckShards = 1 << bits.Len(uint(c.AckShards-1)) // power of two for mask indexing
+	// Sub-millisecond timeouts cannot be honored: the deadline sweeper's
+	// tick floor is 1ms (sweepTick), so a 100µs timeout would silently fire
+	// up to 10x late. Round up to the granularity instead.
+	if c.AckTimeout > 0 && c.AckTimeout < time.Millisecond {
+		c.AckTimeout = time.Millisecond
+	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 64
 	}
@@ -134,11 +152,21 @@ type taskState struct {
 	spout Spout
 	bolt  Bolt
 
+	// ackSpout caches the AckingSpout assertion on spout (nil when the
+	// spout doesn't implement it): the ack trackers check it once per
+	// resolved tuple, which is too hot for a repeated interface assertion.
+	ackSpout AckingSpout
+
 	executed  atomic.Uint64
 	emitted   atomic.Uint64
 	errors    atomic.Uint64
 	dropped   atomic.Uint64 // envelopes discarded at this task (failed/quarantined)
 	procNanos atomic.Uint64
+
+	// ackPending counts this spout task's unresolved anchored roots under
+	// the XOR acker (registered minus resolved); the acker's drain cond
+	// parks waitTask until it returns to zero.
+	ackPending atomic.Int64
 
 	// consecErr counts consecutive failures toward quarantine; touched only
 	// by the executor goroutine that owns the task.
@@ -253,9 +281,12 @@ type Runtime struct {
 	batchPool    sync.Pool
 	execs        []*executor
 
-	// tracker is non-nil while a run with AckTimeout > 0 is active; done is
-	// the run context's cancellation channel (nil for Run/Background).
+	// Exactly one of tracker/acker is non-nil while a run with AckTimeout
+	// > 0 is active — tracker under AckTree, acker under AckXOR (the
+	// default). done is the run context's cancellation channel (nil for
+	// Run/Background).
 	tracker *ackTracker
+	acker   *xorAcker
 	done    <-chan struct{}
 
 	placements []Placement
@@ -336,6 +367,7 @@ func newRuntime(topo *Topology, cfg config) (*Runtime, error) {
 					if ts.spout == nil {
 						return nil, fmt.Errorf("storm: spout factory for %q returned nil", id)
 					}
+					ts.ackSpout, _ = ts.spout.(AckingSpout)
 				} else {
 					ts.bolt = spec.bolt()
 					if ts.bolt == nil {
@@ -426,8 +458,13 @@ func (r *Runtime) Run() error {
 func (r *Runtime) RunContext(ctx context.Context) error {
 	r.done = ctx.Done()
 	if r.cfg.AckTimeout > 0 {
-		r.tracker = newAckTracker(r, r.cfg.AckTimeout, r.cfg.MaxRetries)
-		r.tracker.start(r.done)
+		if r.cfg.AckMode == AckTree {
+			r.tracker = newAckTracker(r, r.cfg.AckTimeout, r.cfg.MaxRetries)
+			r.tracker.start(r.done)
+		} else {
+			r.acker = newXorAcker(r, r.cfg.AckTimeout, r.cfg.MaxRetries, r.cfg.AckShards)
+			r.acker.start(r.done)
+		}
 	}
 	switch {
 	case r.cfg.transport != nil:
@@ -435,9 +472,7 @@ func (r *Runtime) RunContext(ctx context.Context) error {
 	case r.cfg.peers != nil:
 		t, err := newTCPTransport(r)
 		if err != nil {
-			if r.tracker != nil {
-				r.tracker.stop()
-			}
+			r.stopAcking()
 			return err
 		}
 		r.tr = t
@@ -474,9 +509,7 @@ func (r *Runtime) RunContext(ctx context.Context) error {
 		}
 	}
 	wg.Wait()
-	if r.tracker != nil {
-		r.tracker.stop()
-	}
+	r.stopAcking()
 
 	r.errMu.Lock()
 	err := r.firstErr
@@ -485,6 +518,16 @@ func (r *Runtime) RunContext(ctx context.Context) error {
 		return err
 	}
 	return ctx.Err()
+}
+
+// stopAcking stops whichever reliability implementation the run started.
+func (r *Runtime) stopAcking() {
+	if r.tracker != nil {
+		r.tracker.stop()
+	}
+	if r.acker != nil {
+		r.acker.stop()
+	}
 }
 
 // execDone retires one executor: every downstream component's producer
@@ -585,6 +628,9 @@ func (r *Runtime) runSpoutExecutor(rc *runningComponent, ex *executor) {
 	// fields (task, clock) are reset below, so the steady state allocates
 	// nothing per tuple.
 	col := &taskCollector{r: r, rc: rc, out: out, root: r.tracing}
+	if r.acker != nil {
+		col.edges = newEdgeStream()
+	}
 	// cur is the NextTuple call in flight, for the panic handler.
 	var cur struct {
 		i      int
@@ -670,6 +716,11 @@ func (r *Runtime) runSpoutExecutor(rc *runningComponent, ex *executor) {
 			r.tracker.waitTask(ts)
 		}
 	}
+	if r.acker != nil {
+		for _, ts := range ex.tasks {
+			r.acker.waitTask(ts)
+		}
+	}
 }
 
 // runBoltExecutor prepares the executor's bolt tasks, processes its input
@@ -694,13 +745,24 @@ func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
 		prepared[i] = true
 	}
 	out := r.newOutBatcher()
+	// ab buffers XOR-acker checksum updates under the same flush triggers
+	// as the tuple batches (nil unless the XOR acker is on).
+	var ab *ackBatcher
+	if r.acker != nil {
+		ab = r.acker.newBatcher()
+	}
 	// One collector serves every Execute call of this executor; per-tuple
 	// fields are reset per envelope, so the steady state allocates nothing.
-	col := &taskCollector{r: r, rc: rc, out: out}
+	col := &taskCollector{r: r, rc: rc, out: out, ab: ab}
+	if r.acker != nil {
+		col.edges = newEdgeStream()
+	}
 	// recv returns the next input batch, flushing buffered output first
 	// whenever the input queue is empty: the executor never sleeps on input
 	// while holding unsent output, which both bounds batching latency and
-	// keeps an acyclic topology deadlock-free under backpressure.
+	// keeps an acyclic topology deadlock-free under backpressure. Buffered
+	// ack updates flush on the same trigger: a spout's drain wait must not
+	// stall on checksum bits parked in an idle executor.
 	recv := func() (*Batch, bool) {
 		select {
 		case b, ok := <-ex.in:
@@ -708,6 +770,9 @@ func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
 		default:
 		}
 		out.flushAll()
+		if ab != nil {
+			ab.flush()
+		}
 		b, ok := <-ex.in
 		return b, ok
 	}
@@ -732,6 +797,7 @@ func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
 	var cur struct {
 		ts     *taskState
 		ack    uint64
+		edge   uint64
 		inCall bool
 	}
 	loop := func() (finished bool) {
@@ -751,7 +817,30 @@ func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
 			cur.ts.executed.Add(1)
 			r.taskFailed(rc, cur.ts, fmt.Errorf("storm: bolt %s task %d: %w", rc.spec.id, cur.ts.ctx.TaskID, err))
 			if cur.ack != 0 {
-				r.tracker.finish(cur.ack, true)
+				if ab != nil {
+					// Consume the delivery edge plus whatever the poisoned
+					// call emitted before dying, failing the tree. If the
+					// call chained its input edge onto an emission, retarget
+					// that envelope onto a fresh edge first so the fail
+					// update still carries a live edge (same invariant as
+					// the error path).
+					x := col.pendXor
+					if col.chainEdge != 0 {
+						x ^= col.chainEdge
+						col.chainEdge = 0
+					} else if col.chainBatch != nil {
+						e := col.edges.next()
+						col.chainBatch.envs[col.chainIdx].tuple.edge = e
+						x ^= cur.edge ^ e
+					}
+					ab.push(cur.ack, x, true)
+				} else {
+					r.tracker.finish(cur.ack, true)
+				}
+			}
+			if col.chainBatch != nil {
+				col.chainBatch = nil
+				col.out.pinned = nil
 			}
 			next++ // resume with the envelope after the poisoned one
 		}()
@@ -787,7 +876,11 @@ func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
 						}
 					}
 					if env.tuple.ack != 0 {
-						r.tracker.finish(env.tuple.ack, true)
+						if ab != nil {
+							ab.push(env.tuple.ack, env.tuple.edge, true)
+						} else {
+							r.tracker.finish(env.tuple.ack, true)
+						}
 					}
 					next++
 					continue
@@ -800,7 +893,11 @@ func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
 					col.ts = ts
 					col.inAck = env.tuple.ack
 					col.start = btStart
-					cur.ts, cur.ack, cur.inCall = ts, env.tuple.ack, true
+					col.pendXor, col.pendFail = 0, false
+					if ab != nil {
+						col.chainEdge, col.chainBatch = env.tuple.edge, nil
+					}
+					cur.ts, cur.ack, cur.edge, cur.inCall = ts, env.tuple.ack, env.tuple.edge, true
 					err = ts.bolt.Execute(env.tuple, col)
 					cur.inCall = false
 					ts.executed.Add(1)
@@ -823,7 +920,11 @@ func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
 						col.in = telemetry.TupleTrace{}
 						col.nowNanos = 0
 					}
-					cur.ts, cur.ack, cur.inCall = ts, env.tuple.ack, true
+					col.pendXor, col.pendFail = 0, false
+					if ab != nil {
+						col.chainEdge, col.chainBatch = env.tuple.edge, nil
+					}
+					cur.ts, cur.ack, cur.edge, cur.inCall = ts, env.tuple.ack, env.tuple.edge, true
 					err = ts.bolt.Execute(env.tuple, col)
 					cur.inCall = false
 					elapsed := time.Since(start)
@@ -839,7 +940,39 @@ func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
 					ts.consecErr = 0
 				}
 				if env.tuple.ack != 0 {
-					r.tracker.finish(env.tuple.ack, err != nil)
+					if ab != nil {
+						// Settle the hop's ack update. The consumed input
+						// edge either cancels against a chained emission
+						// (out-edge = in-edge; the downstream hop consumes
+						// it instead) or is XORed in explicitly; fresh edges
+						// from further emissions ride along. A clean chained
+						// pass-through nets to zero and pushes nothing.
+						x := col.pendXor
+						fail := err != nil || col.pendFail
+						if col.chainEdge != 0 {
+							x ^= col.chainEdge
+							col.chainEdge = 0
+						} else if col.chainBatch != nil {
+							if fail {
+								// Errored after chaining: retarget the still
+								// pinned envelope onto a fresh edge so this
+								// fail update carries a live edge — it both
+								// consumes the input edge and introduces the
+								// new one, so the tree cannot zero out
+								// before the fail bit lands.
+								e := col.edges.next()
+								col.chainBatch.envs[col.chainIdx].tuple.edge = e
+								x ^= env.tuple.edge ^ e
+							}
+							col.chainBatch = nil
+							col.out.pinned = nil
+						}
+						if x != 0 || fail {
+							ab.push(env.tuple.ack, x, fail)
+						}
+					} else {
+						r.tracker.finish(env.tuple.ack, err != nil)
+					}
 				}
 				next++
 			}
@@ -872,6 +1005,9 @@ func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
 	// Input closed: put the remainder of the pipeline on the wire before
 	// this executor reports itself done and downstream channels can close.
 	out.flushAll()
+	if ab != nil {
+		ab.flush()
+	}
 	for i, ts := range ex.tasks {
 		if !prepared[i] {
 			continue
@@ -900,6 +1036,30 @@ type taskCollector struct {
 	nowNanos int64
 	// inAck anchors a bolt's emissions to the input tuple's tracked tree.
 	inAck uint64
+	// XOR-acker state (acker.go), all dead under the tree tracker: edges
+	// is this collector's private edge-id stream; pendXor accumulates the
+	// edge ids created by the current NextTuple/Execute call and pendFail
+	// whether any of them was dropped at routing; ab batches the updates
+	// (nil on spout and replay collectors, which apply directly).
+	edges    edgeState
+	pendXor  uint64
+	pendFail bool
+	ab       *ackBatcher
+	// Edge chaining: chainEdge offers the current Execute call's input edge
+	// for reuse by its first anchored emission (out-edge = in-edge), which
+	// makes a clean pass-through hop contribute no ack update at all — the
+	// input edge cancels algebraically. chainBatch/chainIdx locate the
+	// chained envelope inside the out batcher while it is pinned there, so
+	// an error after the emission can retarget it onto a fresh edge id
+	// (restoring the invariant that a fail update carries a live edge).
+	chainEdge  uint64
+	chainBatch *Batch
+	chainIdx   int
+	// rootNext/rootLeft are the collector's reserved window of root ids
+	// (spout collectors only): one shared-counter trip per rootBlock
+	// emissions instead of per tuple.
+	rootNext uint64
+	rootLeft int
 	// shuffle overrides the task's round-robin counters; set only on the
 	// ack tracker's replay collector, which runs on a different goroutine
 	// than the task's own executor.
@@ -930,6 +1090,9 @@ type taskCollector struct {
 func (c *taskCollector) FlushBatches() {
 	if c.out != nil {
 		c.out.flushAll()
+	}
+	if c.ab != nil {
+		c.ab.flush()
 	}
 }
 
@@ -972,6 +1135,10 @@ func (c *taskCollector) EmitDirect(stream string, task int, values map[string]an
 // delivery (one "emitter hold" keeps the tree alive until every initial
 // send was issued); everywhere else it is a plain Emit.
 func (c *taskCollector) EmitAnchored(msgID string, values map[string]any) {
+	if ak := c.r.acker; ak != nil && c.ts.spout != nil {
+		c.emitAnchoredXOR(ak, msgID, DefaultStream, -1, values)
+		return
+	}
 	tr := c.r.tracker
 	if tr == nil || c.ts.spout == nil {
 		c.Emit(values)
@@ -988,6 +1155,53 @@ func (c *taskCollector) EmitAnchored(msgID string, values map[string]any) {
 	}
 }
 
+// emitAnchoredXOR is the XOR-acker root emission shared by EmitAnchored
+// (directTask -1) and EmitDirectAnchored: allocate the root id, deliver —
+// accumulating the created edge ids in pendXor — then register the root
+// with the accumulated initial checksum. Registration comes last so the
+// hot path takes the shard lock exactly once per root; updates racing
+// ahead of it merge via the shard's placeholder entries.
+// nextRoot hands out root ids from the collector's reserved block,
+// refilling from the acker's shared counter every rootBlock emissions.
+// A stop is observed at the next refill at the latest; ids registered
+// after a stop are discarded by register, so the stale window only delays
+// the unanchored-emission fallback by a few tuples.
+func (c *taskCollector) nextRoot(ak *xorAcker) uint64 {
+	if c.rootLeft == 0 {
+		base := ak.newRootBlock(rootBlock)
+		if base == 0 {
+			return 0
+		}
+		c.rootNext, c.rootLeft = base, rootBlock
+	}
+	r := c.rootNext
+	c.rootNext += 1 << ak.workerBits
+	c.rootLeft--
+	return r
+}
+
+func (c *taskCollector) emitAnchoredXOR(ak *xorAcker, msgID, stream string, directTask int, values map[string]any) {
+	root := c.nextRoot(ak)
+	if root == 0 { // acker stopped (cancellation): emit unanchored
+		if directTask >= 0 {
+			c.EmitDirect(stream, directTask, values)
+		} else {
+			c.EmitTo(stream, values)
+		}
+		return
+	}
+	c.ts.emitted.Add(1)
+	t := Tuple{Stream: stream, Values: values, Trace: c.outTrace(), ack: root}
+	c.pendXor, c.pendFail = 0, false
+	for _, sub := range c.rc.subs[stream] {
+		if directTask >= 0 && sub.grouping.Type != DirectGrouping {
+			continue
+		}
+		c.deliver(sub, t, directTask)
+	}
+	ak.register(root, c.rc, c.ts, msgID, t, directTask, c.pendXor, c.pendFail, c.start)
+}
+
 // EmitDirectAnchored implements DirectAnchorCollector. On a tracking spout
 // collector it begins a tracked tuple tree (like EmitAnchored) and delivers
 // to the chosen task of every direct-grouped subscription; replays of the
@@ -995,6 +1209,10 @@ func (c *taskCollector) EmitAnchored(msgID string, values map[string]any) {
 // tracking is off — it is exactly EmitDirect: the emission rides the input
 // tuple's tree via inAck, keeping routed tuples inside the acker's view.
 func (c *taskCollector) EmitDirectAnchored(msgID, stream string, task int, values map[string]any) {
+	if ak := c.r.acker; ak != nil && c.ts.spout != nil {
+		c.emitAnchoredXOR(ak, msgID, stream, task, values)
+		return
+	}
 	tr := c.r.tracker
 	if tr == nil || c.ts.spout == nil {
 		c.EmitDirect(stream, task, values)
@@ -1021,7 +1239,9 @@ func (c *taskCollector) EmitDirectAnchored(msgID, stream string, task int, value
 func (c *taskCollector) ReportDrop() { c.ts.dropped.Add(1) }
 
 // Acking implements AnchorCollector.
-func (c *taskCollector) Acking() bool { return c.r.tracker != nil && c.ts.spout != nil }
+func (c *taskCollector) Acking() bool {
+	return (c.r.tracker != nil || c.r.acker != nil) && c.ts.spout != nil
+}
 
 // deliver routes one tuple to the tasks selected by the subscription's
 // grouping. directTask is only used for direct groupings. Quarantined tasks
@@ -1143,7 +1363,14 @@ func (c *taskCollector) shuffleCtr(sub *subscription) *uint64 {
 func (c *taskCollector) dropRouted(target *runningComponent, t Tuple) {
 	target.dropped.Add(1)
 	if t.ack != 0 {
-		c.r.tracker.markFailed(t.ack)
+		if c.r.acker != nil {
+			// The fail bit rides the emitter's pending update (which always
+			// carries a live edge of the tree), so the root cannot resolve
+			// clean before the drop is known.
+			c.pendFail = true
+		} else {
+			c.r.tracker.markFailed(t.ack)
+		}
 	}
 }
 
@@ -1153,12 +1380,37 @@ func (c *taskCollector) dropRouted(target *runningComponent, t Tuple) {
 // still buffered. The replay collector (out == nil) ships the envelope
 // immediately in its own pooled batch.
 func (c *taskCollector) send(target *runningComponent, taskIdx int, t Tuple) {
+	chained := false
 	if t.ack != 0 {
-		c.r.tracker.inc(t.ack)
+		if c.r.acker != nil {
+			if c.chainEdge != 0 && c.out != nil {
+				// First anchored emission of this Execute call: reuse the
+				// input edge instead of minting one. The hop then needs no
+				// ack update unless it emits again, errors, or drops.
+				t.edge = c.chainEdge
+				c.chainEdge = 0
+				chained = true
+			} else {
+				// XOR mode: tag the delivery with a fresh edge id (t is a
+				// copy, so each send owns its own edge) and accumulate it
+				// for the emitter's side of the double-XOR.
+				e := c.edges.next()
+				t.edge = e
+				c.pendXor ^= e
+			}
+		} else {
+			c.r.tracker.inc(t.ack)
+		}
 	}
 	route := target.taskRoute[taskIdx]
 	dest := target.execs[route.exec]
 	if c.out != nil {
+		if chained {
+			b := c.out.pin(dest, c.start)
+			b.envs = append(b.envs, envelope{local: route.local, tuple: t})
+			c.chainBatch, c.chainIdx = b, len(b.envs)-1
+			return
+		}
 		c.out.add(dest, envelope{local: route.local, tuple: t}, c.start)
 		return
 	}

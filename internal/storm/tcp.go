@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/bits"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -138,6 +139,9 @@ func newTCPTransport(r *Runtime) (*tcpTransport, error) {
 	}
 	if r.tracker != nil {
 		r.tracker.onRemoteResolve = t.sendAckResult
+	}
+	if r.acker != nil {
+		r.acker.sendRemote = t.sendAckBatch
 	}
 	ln := r.cfg.listener
 	if ln == nil {
@@ -366,7 +370,16 @@ func (t *tcpTransport) dispatch(peer int, typ byte, body []byte) error {
 				break
 			}
 		}
-		t.adoptAnchors(peer, b)
+		switch {
+		case t.r.tracker != nil:
+			t.adoptAnchors(peer, b)
+		case t.r.acker != nil:
+			// XOR mode: root ids are global and every worker can route
+			// checksum updates to the owner directly, so anchored envelopes
+			// pass through untranslated — no per-hop sub-anchor needed.
+		default:
+			t.releaseAnchors(peer, b)
+		}
 		return t.r.DeliverLocal(destEID, b)
 	case frameEOF:
 		eid, _, err := decodeUvarint(body)
@@ -382,6 +395,27 @@ func (t *tcpTransport) dispatch(peer int, typ byte, body []byte) error {
 		}
 		if t.r.tracker != nil {
 			t.r.tracker.finish(id, rest[0] != 0)
+		}
+		return nil
+	case frameAckBatch:
+		count, b, err := decodeUvarint(body)
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < count; i++ {
+			var root uint64
+			if root, b, err = decodeUvarint(b); err != nil {
+				return err
+			}
+			if len(b) < 9 {
+				return errShortFrame
+			}
+			xor := binary.BigEndian.Uint64(b)
+			failed := b[8] != 0
+			b = b[9:]
+			if t.r.acker != nil {
+				t.r.acker.apply(root, xor, failed)
+			}
 		}
 		return nil
 	case frameFence:
@@ -451,6 +485,49 @@ func (t *tcpTransport) adoptAnchors(peer int, b *Batch) {
 			t.sendAckResult(peer, ack, t.r.tracker != nil)
 		}
 		b.envs[i].tuple.ack = id
+	}
+}
+
+// releaseAnchors handles anchored envelopes arriving at a worker that runs
+// no acking at all (configuration mismatch): tracking degrades to
+// at-most-once. An envelope carrying an XOR edge has that edge consumed
+// (without the fail bit) by forwarding one checksum update to the root's
+// owner, so the sender's tree can still resolve; a tree-mode envelope gets
+// an immediate ackResult back to the sender, exactly like adoptAnchors
+// without a tracker. Either way the anchor fields are zeroed so local
+// executors never touch a tracker/acker that does not exist here.
+func (t *tcpTransport) releaseAnchors(peer int, b *Batch) {
+	for i := range b.envs {
+		env := &b.envs[i]
+		if env.tuple.ack == 0 {
+			continue
+		}
+		if env.tuple.edge != 0 {
+			wb := 0
+			if n := len(t.r.cfg.peers); n > 1 {
+				wb = bits.Len(uint(n - 1))
+			}
+			owner := int(env.tuple.ack & (1<<uint(wb) - 1))
+			if owner != t.self {
+				ents := []ackUpdate{{root: env.tuple.ack, xor: env.tuple.edge}}
+				t.sendAckBatch(owner, ents)
+			}
+		} else {
+			t.sendAckResult(peer, env.tuple.ack, false)
+		}
+		env.tuple.ack, env.tuple.edge = 0, 0
+	}
+}
+
+// sendAckBatch ships a coalesced batch of XOR checksum updates to the
+// worker owning their roots; best-effort (a dead peer's roots replay or
+// expire on their own timeouts).
+func (t *tcpTransport) sendAckBatch(worker int, ents []ackUpdate) {
+	if worker < 0 || worker >= len(t.peers) || len(ents) == 0 {
+		return
+	}
+	if p := t.peers[worker]; p != nil {
+		p.sendSmall(func(buf []byte) []byte { return appendAckBatchFrame(buf, ents) })
 	}
 }
 

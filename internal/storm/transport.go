@@ -116,8 +116,15 @@ func (r *Runtime) deliverOrDrop(dest *executor, b *Batch) {
 func (r *Runtime) dropBatch(target *runningComponent, b *Batch, cause error) {
 	for _, env := range b.envs {
 		target.dropped.Add(1)
-		if env.tuple.ack != 0 && r.tracker != nil {
-			r.tracker.finish(env.tuple.ack, true)
+		if env.tuple.ack != 0 {
+			if r.acker != nil {
+				// Consume the lost delivery's edge with the fail bit set; the
+				// owner (local shard or remote worker) replays or expires the
+				// root instead of waiting out its timeout.
+				r.acker.apply(env.tuple.ack, env.tuple.edge, true)
+			} else if r.tracker != nil {
+				r.tracker.finish(env.tuple.ack, true)
+			}
 		}
 	}
 	if r.policy != Degrade {

@@ -39,6 +39,7 @@ const (
 	frameFenceAck                  // drain barrier completion
 	frameHeartbeat                 // liveness keepalive
 	frameControl                   // control-plane request/response
+	frameAckBatch                  // coalesced XOR-acker checksum updates
 )
 
 const (
@@ -279,6 +280,11 @@ func appendBatchFrame(buf []byte, destEID int, epoch uint64, envs []envelope) ([
 		env := &envs[i]
 		buf = appendUvarint(buf, uint64(env.local))
 		buf = appendUvarint(buf, env.tuple.ack)
+		if env.tuple.ack != 0 {
+			// Anchored envelopes carry their XOR-acker edge id (zero under
+			// the tree tracker; that mode ignores it on receipt).
+			buf = binary.BigEndian.AppendUint64(buf, env.tuple.edge)
+		}
 		buf = appendWireString(buf, env.tuple.Stream)
 		if tr := env.tuple.Trace; tr.Active() {
 			buf = append(buf, 1)
@@ -330,6 +336,13 @@ func (r *Runtime) decodeBatchFrame(b []byte) (destEID int, epoch uint64, bt *Bat
 		env.local = int(v)
 		if env.tuple.ack, b, err = decodeUvarint(b); err != nil {
 			return fail(err)
+		}
+		if env.tuple.ack != 0 {
+			if len(b) < 8 {
+				return fail(errShortFrame)
+			}
+			env.tuple.edge = binary.BigEndian.Uint64(b)
+			b = b[8:]
 		}
 		if env.tuple.Stream, b, err = decodeWireString(b); err != nil {
 			return fail(err)
@@ -398,6 +411,24 @@ func appendAckResultFrame(buf []byte, id uint64, failed bool) []byte {
 		buf = append(buf, 1)
 	} else {
 		buf = append(buf, 0)
+	}
+	return endFrame(buf)
+}
+
+// appendAckBatchFrame encodes a coalesced batch of XOR-acker checksum
+// updates destined for roots owned by the receiving worker: per entry the
+// root id (uvarint, global id space), the accumulated XOR term (fixed 8
+// bytes) and the fail bit.
+func appendAckBatchFrame(buf []byte, ents []ackUpdate) []byte {
+	buf = appendUvarint(beginFrame(buf, frameAckBatch), uint64(len(ents)))
+	for i := range ents {
+		buf = appendUvarint(buf, ents[i].root)
+		buf = binary.BigEndian.AppendUint64(buf, ents[i].xor)
+		if ents[i].fail {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
 	}
 	return endFrame(buf)
 }

@@ -3,41 +3,61 @@
 # into BENCH_storm.json at the repo root. Non-blocking: meant for tracking
 # the batched data plane (batch size x telemetry x acking) over time, not
 # as a pass/fail gate. batch=1 is the ablation row: the pre-batching
-# one-channel-send-per-tuple transport.
+# one-channel-send-per-tuple transport. The ack dimension sweeps
+# off/tree/xor — tree is the retired per-tuple tracker kept as ablation,
+# xor the sharded checksum acker, which targets <= 1.5x ack=off at
+# batch=64/telemetry=off; the measured ratio is recorded under
+# "ack_xor_over_off_batch64" so the target stays machine-checkable.
 #
-# Usage: scripts/bench_storm.sh [benchtime]   (default 300000x)
+# Usage: scripts/bench_storm.sh [benchtime] [count]   (default 300000x 3)
 set -eu
 
 cd "$(dirname "$0")/.."
 benchtime="${1:-300000x}"
+count="${2:-3}"
 out="BENCH_storm.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
 	-bench 'BenchmarkStormThroughput' \
-	-benchtime "$benchtime" . | tee "$raw"
+	-benchtime "$benchtime" -count "$count" . | tee "$raw"
 
+# Each configuration records its best-of-count ns/op: the minimum filters
+# scheduler noise on a shared box, which single 300000x shots are very
+# exposed to.
 awk -v benchtime="$benchtime" '
 	BEGIN { n = 0 }
 	/^Benchmark/ && $4 == "ns/op" {
 		name = $1
 		sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix
-		names[n] = name
-		nsop[n++] = $3 + 0
+		if (!(name in best)) { names[n++] = name; best[name] = $3 + 0 }
+		else if ($3 + 0 < best[name]) best[name] = $3 + 0
 	}
 	END {
 		if (n == 0) { print "bench_storm.sh: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
-		printf "{\n  \"benchtime\": \"%s\",\n  \"ns_per_op\": {\n", benchtime
+		printf "{\n  \"benchtime\": \"%s\",\n", benchtime
+		base = "BenchmarkStormThroughput/batch=64/telemetry=off/ack="
+		for (i = 0; i < n; i++) {
+			if (names[i] == base "off") off = best[names[i]]
+			if (names[i] == base "xor") xor = best[names[i]]
+		}
+		if (off > 0 && xor > 0)
+			printf "  \"ack_xor_over_off_batch64\": %.3f,\n", xor / off
+		printf "  \"ns_per_op\": {\n"
 		for (i = 0; i < n; i++)
-			printf "    \"%s\": %s%s\n", names[i], nsop[i], (i < n-1 ? "," : "")
+			printf "    \"%s\": %s%s\n", names[i], best[names[i]], (i < n-1 ? "," : "")
 		printf "  }\n}\n"
 	}
 ' "$raw" > "$out.tmp"
 
 # Preserve the distributed section maintained by bench_distributed.sh.
+# The merge must land in a third file: `jq ... "$out.tmp" > "$out"` with
+# $out also named via --slurpfile would truncate $out before jq reads it,
+# silently nulling the preserved section.
 if [ -f "$out" ] && jq -e '.distributed' "$out" > /dev/null 2>&1; then
-	jq --slurpfile old "$out" '.distributed = $old[0].distributed' "$out.tmp" > "$out"
+	jq --slurpfile old "$out" '.distributed = $old[0].distributed' "$out.tmp" > "$out.merged"
+	mv "$out.merged" "$out"
 	rm -f "$out.tmp"
 else
 	mv "$out.tmp" "$out"
