@@ -292,7 +292,7 @@ type xorAcker struct {
 	workerMask uint64
 	workerBits uint
 	shardMask  uint64
-	keyShift   uint // workerBits: strips the worker for the slot key
+	shardBits  uint // log2(len(shards)): stripped from slot keys
 
 	seq     atomic.Uint64
 	stopped atomic.Bool
@@ -331,7 +331,7 @@ func newXorAcker(r *Runtime, timeout time.Duration, maxRetries, shards int) *xor
 		workerMask: 1<<workerBits - 1,
 		workerBits: workerBits,
 		shardMask:  uint64(shards - 1),
-		keyShift:   workerBits,
+		shardBits:  uint(bits.Len(uint(shards - 1))),
 		shards:     make([]*ackerShard, shards),
 		shuffle:    make(map[*subscription]*uint64),
 		stopCh:     make(chan struct{}),
@@ -370,13 +370,28 @@ func (a *xorAcker) loop(done <-chan struct{}) {
 	}
 }
 
-func (a *xorAcker) owner(root uint64) int   { return int(root & a.workerMask) }
+func (a *xorAcker) owner(root uint64) int { return int(root & a.workerMask) }
+
 // shardBlockBits sizes the run of consecutive roots assigned to one shard
 // (see the root-id layout comment on xorAcker).
 const shardBlockBits = 8
 
 func (a *xorAcker) shardOf(root uint64) int {
 	return int((root >> (a.workerBits + shardBlockBits)) & a.shardMask)
+}
+
+// slotKey compresses a root id into its shard's dense slot key. Within one
+// shard every root agrees on the worker bits and the shard-selector bits
+// [shardBlockBits, shardBlockBits+shardBits) of the sequence, so both carry
+// no information and are stripped: key = block<<shardBlockBits | offset,
+// where offset is the sequence below the selector and block the sequence
+// above it. Consecutive roots of a shard's block then occupy consecutive
+// ring slots, keeping the power-of-two ring dense — leaving the selector
+// bits in (they are fixed per shard) would make only 1/len(shards) of the
+// ring slots addressable.
+func (a *xorAcker) slotKey(root uint64) uint64 {
+	seq := root >> a.workerBits
+	return (seq>>(shardBlockBits+a.shardBits))<<shardBlockBits | seq&(1<<shardBlockBits-1)
 }
 
 // newRoot allocates the next root id for this worker. Returns 0 when the
@@ -409,11 +424,16 @@ func (a *xorAcker) newRootBlock(n uint64) uint64 {
 // deliveries were issued: initXor is the XOR of the delivered edge ids,
 // initFail whether any initial delivery was dropped at routing. Updates
 // that raced ahead of registration have accumulated in a placeholder and
-// are merged. The root tuple's payload is cloned here — topologies emit
-// pooled maps the consumer may release, and a replay must not alias them.
-func (a *xorAcker) register(root uint64, rc *runningComponent, ts *taskState, msgID string, t Tuple, directTask int, initXor uint64, initFail bool, start time.Time) {
+// are merged. *vals is the emitter's payload snapshot, taken BEFORE the
+// first delivery shipped — topologies emit pooled maps the consumer may
+// mutate or release as soon as an envelope reaches its executor, so by the
+// time register runs the live map must no longer be touched. The root
+// takes ownership of the snapshot's backing array and *vals receives the
+// root's recycled one in exchange, so the steady state flattens each
+// payload exactly once and copies nothing.
+func (a *xorAcker) register(root uint64, rc *runningComponent, ts *taskState, msgID string, t Tuple, directTask int, vals *[]kvEntry, initXor uint64, initFail bool, start time.Time) {
 	s := a.shards[a.shardOf(root)]
-	key := root >> a.keyShift
+	key := a.slotKey(root)
 	s.mu.Lock()
 	if a.stopped.Load() {
 		s.mu.Unlock()
@@ -427,11 +447,7 @@ func (a *xorAcker) register(root uint64, rc *runningComponent, ts *taskState, ms
 	p.rc, p.ts, p.msgID = rc, ts, msgID
 	p.tuple = t
 	p.tuple.Values = nil
-	vals := p.vals[:0]
-	for k, v := range t.Values {
-		vals = append(vals, kvEntry{k, v})
-	}
-	p.vals = vals
+	p.vals, *vals = *vals, p.vals[:0]
 	p.directTask = directTask
 	p.checksum ^= initXor
 	p.failed = p.failed || initFail
@@ -480,7 +496,7 @@ func (a *xorAcker) applyShard(si int, ents []ackUpdate, rb *resolveBatch) {
 	}
 	for i := range ents {
 		u := &ents[i]
-		key := u.root >> a.keyShift
+		key := a.slotKey(u.root)
 		p := s.get(key)
 		if p == nil {
 			// The update beat the spout's register to the shard (the bolt

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"reflect"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -271,5 +272,217 @@ func TestAckerDifferentialCountEquivalence(t *testing.T) {
 				t.Errorf("per-task counters diverge:\n tree: %v\n xor:  %v", tree.Tasks, xor.Tasks)
 			}
 		})
+	}
+}
+
+// TestAckerSlotKeyDensity pins the dense-ring property of the shard slot
+// key: the shard-selector bits of the sequence are fixed within a shard, so
+// leaving them in the key would make only 1/len(shards) of the ring slots
+// addressable (the table would grow ~shards× oversized and spill to the
+// overflow map early). Sequential roots must therefore map to distinct ring
+// slots until a shard's live population actually reaches the ring size.
+func TestAckerSlotKeyDensity(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  config
+	}{
+		{name: "single-worker", cfg: config{}},
+		{name: "two-workers", cfg: config{selfWorker: 1, peers: []string{"a", "b"}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const shards = 8
+			a := newXorAcker(&Runtime{cfg: tc.cfg}, time.Second, 3, shards)
+			seen := make([]map[uint64]uint64, shards) // shard → ring slot → root
+			for i := range seen {
+				seen[i] = make(map[uint64]uint64, initShardSlots)
+			}
+			for i := 0; i < shards*initShardSlots; i++ {
+				root := a.newRoot()
+				si := a.shardOf(root)
+				slot := a.slotKey(root) & uint64(initShardSlots-1)
+				if prev, dup := seen[si][slot]; dup {
+					t.Fatalf("roots %#x and %#x collide on shard %d ring slot %d before the ring is full (%d/%d live)",
+						prev, root, si, slot, len(seen[si]), initShardSlots)
+				}
+				seen[si][slot] = root
+			}
+		})
+	}
+}
+
+// pooledSpout emits anchored tuples whose Values maps come from a shared
+// pool — the pattern (busdata.PutValues) where the consumer releases the
+// map as soon as it has executed the tuple.
+type pooledSpout struct {
+	n, i int
+	pool *sync.Pool
+
+	mu     sync.Mutex
+	acked  map[string]int
+	failed map[string]int
+}
+
+func (s *pooledSpout) Open(TaskContext) error { return nil }
+func (s *pooledSpout) Close() error           { return nil }
+func (s *pooledSpout) NextTuple(col Collector) (bool, error) {
+	if s.i >= s.n {
+		return false, nil
+	}
+	vals := s.pool.Get().(map[string]any)
+	clear(vals)
+	vals["i"] = s.i
+	col.(AnchorCollector).EmitAnchored(strconv.Itoa(s.i), vals)
+	s.i++
+	return s.i < s.n, nil
+}
+func (s *pooledSpout) Ack(msgID string) {
+	s.mu.Lock()
+	s.acked[msgID]++
+	s.mu.Unlock()
+}
+func (s *pooledSpout) Fail(msgID string) {
+	s.mu.Lock()
+	s.failed[msgID]++
+	s.mu.Unlock()
+}
+
+// TestAckerRegisterSnapshotsBeforeDelivery is the regression for the
+// pooled-payload race on root registration: at batch size 1 an anchored
+// envelope reaches its consumer inside the emission's deliver loop, so a
+// bolt that clears and releases the emitted Values map runs concurrently
+// with whatever still reads that map on the emitting side. The replay
+// snapshot must therefore be taken before the first delivery ships —
+// snapshotting in register (after delivery) races the live map (caught by
+// -race) and corrupts replay payloads. Induced transient failures force
+// replays that must still see the original payload.
+func TestAckerRegisterSnapshotsBeforeDelivery(t *testing.T) {
+	const n = 60
+	pool := &sync.Pool{New: func() any { return map[string]any{} }}
+	spout := &pooledSpout{n: n, pool: pool, acked: map[string]int{}, failed: map[string]int{}}
+	var mu sync.Mutex
+	attempts := map[int]int{}
+	badPayload := 0
+	eater := func() Bolt {
+		return &funcBolt{exec: func(tp Tuple, _ Collector) error {
+			i, ok := tp.Values["i"].(int)
+			if !ok {
+				mu.Lock()
+				badPayload++
+				mu.Unlock()
+				return nil
+			}
+			mu.Lock()
+			attempts[i]++
+			first := attempts[i] == 1
+			mu.Unlock()
+			// Release the payload the moment it was read: the exact hazard
+			// the pre-delivery snapshot exists for.
+			clear(tp.Values)
+			pool.Put(tp.Values)
+			if first && i%3 == 0 {
+				return fmt.Errorf("transient failure")
+			}
+			return nil
+		}}
+	}
+	b := NewTopologyBuilder("pooled")
+	b.SetSpout("src", func() Spout { return spout }, 1, 1)
+	b.SetBolt("eater", eater, 1, 1).ShuffleGrouping("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(topo,
+		WithAckTimeout(100*time.Millisecond),
+		WithMaxRetries(5),
+		WithAckMode(AckXOR),
+		WithFailurePolicy(Degrade),
+		WithQuarantineAfter(1_000_000),
+		WithBatchSize(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if badPayload != 0 {
+		t.Errorf("%d deliveries arrived with a corrupted payload (missing %q field)", badPayload, "i")
+	}
+	spout.mu.Lock()
+	defer spout.mu.Unlock()
+	if len(spout.acked) != n || len(spout.failed) != 0 {
+		t.Errorf("acked %d ids, failed %v; want %d acked and none failed", len(spout.acked), spout.failed, n)
+	}
+	for i := 0; i < n; i++ {
+		want := 1
+		if i%3 == 0 {
+			want = 2 // transient: original attempt + one replay, both with the original payload
+		}
+		if attempts[i] != want {
+			t.Errorf("tuple %d executed %d times, want %d", i, attempts[i], want)
+		}
+	}
+}
+
+// TestAckerFlushMidExecuteSettlesChain is the regression for the pinned
+// edge-chained batch: a bolt that emits (chaining its input edge onto the
+// emission), then calls Flusher.FlushBatches mid-Execute, then fails, used
+// to leave chainBatch pointing into a batch already shipped to — and
+// possibly recycled by — the receiving executor; the error path then wrote
+// a fresh edge id into that batch, racing the receiver (caught by -race)
+// and corrupting the tree checksum. The flush must settle the chain first,
+// so the induced failures still carry a live edge, still replay, and every
+// tuple still acks.
+func TestAckerFlushMidExecuteSettlesChain(t *testing.T) {
+	const n = 40
+	spout := newAckSpout(n)
+	var mu sync.Mutex
+	attempts := map[any]int{}
+	mid := func() Bolt {
+		return &funcBolt{exec: func(tp Tuple, col Collector) error {
+			col.Emit(tp.Values)          // chained: the emission reuses the input edge
+			col.(Flusher).FlushBatches() // ships the pinned batch mid-call
+			mu.Lock()
+			attempts[tp.Values["i"]]++
+			first := attempts[tp.Values["i"]] == 1
+			mu.Unlock()
+			if first {
+				return fmt.Errorf("transient failure after flush")
+			}
+			return nil
+		}}
+	}
+	b := NewTopologyBuilder("midflush")
+	b.SetSpout("src", func() Spout { return spout }, 1, 1)
+	b.SetBolt("mid", mid, 1, 1).ShuffleGrouping("src")
+	b.SetBolt("sink", func() Bolt {
+		return &funcBolt{exec: func(Tuple, Collector) error { return nil }}
+	}, 1, 1).ShuffleGrouping("mid")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(topo,
+		WithAckTimeout(100*time.Millisecond),
+		WithMaxRetries(5),
+		WithAckMode(AckXOR),
+		WithFailurePolicy(Degrade),
+		WithQuarantineAfter(1_000_000),
+		WithBatchSize(64), // large: only the explicit mid-call flush ships the pinned batch
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	spout.mu.Lock()
+	defer spout.mu.Unlock()
+	if len(spout.acked) != n || len(spout.failed) != 0 {
+		t.Errorf("acked %d ids, failed %v; want %d acked and none failed", len(spout.acked), spout.failed, n)
+	}
+	if ft := rt.FaultTotals(); ft.Replays != n || ft.Acked != n {
+		t.Errorf("fault totals %+v; want %d replays and %d acked", ft, n, n)
 	}
 }

@@ -153,7 +153,12 @@ func (o *outBatcher) newBuf(dest *executor, now time.Time) *Batch {
 	return b
 }
 
-// flushAll sends every pending buffer and resets the dirty set.
+// flushAll sends every pending buffer and resets the dirty set. Callers
+// that can run mid-Execute (Flusher.FlushBatches) must settle the edge
+// chain first (taskCollector.settleChain): shipping a still-pinned batch
+// hands it to the receiver while chainBatch points into it. The pin itself
+// is cleared here — after a full flush no buffer remains to be pinned, and
+// a stale pin must not alias a recycled batch on the next add.
 func (o *outBatcher) flushAll() {
 	for _, dest := range o.dests {
 		o.queued[dest.eid] = false
@@ -165,6 +170,7 @@ func (o *outBatcher) flushAll() {
 		o.r.deliverOrDrop(dest, b)
 	}
 	o.dests = o.dests[:0]
+	o.pinned = nil
 }
 
 // maybeFlush flushes when the oldest buffered envelope has waited at least

@@ -1060,6 +1060,13 @@ type taskCollector struct {
 	// emissions instead of per tuple.
 	rootNext uint64
 	rootLeft int
+	// rootVals is the reused pre-delivery payload snapshot of the root
+	// emission in flight (spout collectors only): the emitter flattens the
+	// Values map into it before the first envelope ships, and register
+	// takes the array for the root, swapping a recycled one back in.
+	// Snapshotting after delivery would race a consumer releasing the
+	// pooled map.
+	rootVals []kvEntry
 	// shuffle overrides the task's round-robin counters; set only on the
 	// ack tracker's replay collector, which runs on a different goroutine
 	// than the task's own executor.
@@ -1089,11 +1096,34 @@ type taskCollector struct {
 // sitting in this executor's buffers.
 func (c *taskCollector) FlushBatches() {
 	if c.out != nil {
+		c.settleChain()
 		c.out.flushAll()
 	}
 	if c.ab != nil {
 		c.ab.flush()
 	}
+}
+
+// settleChain retargets a pinned edge-chained envelope onto a fresh edge id
+// and unpins its batch, so a flush may ship it mid-Execute without leaving
+// chainBatch dangling into receiver-owned (and possibly recycled) memory.
+// The chained envelope currently carries the call's input edge; swapping in
+// a fresh id and folding in^e into pendXor means the call's eventual update
+// both consumes the input edge and introduces the new one — so the batch
+// ownership contract holds after the flush, and a late error or panic in
+// the same Execute call still pushes a fail update carrying a live edge
+// (the input edge stays outstanding until that update lands).
+func (c *taskCollector) settleChain() {
+	b := c.chainBatch
+	if b == nil {
+		return
+	}
+	in := b.envs[c.chainIdx].tuple.edge
+	e := c.edges.next()
+	b.envs[c.chainIdx].tuple.edge = e
+	c.pendXor ^= in ^ e
+	c.chainBatch = nil
+	c.out.pinned = nil
 }
 
 // outTrace stamps the trace context for one emission.
@@ -1192,6 +1222,18 @@ func (c *taskCollector) emitAnchoredXOR(ak *xorAcker, msgID, stream string, dire
 	}
 	c.ts.emitted.Add(1)
 	t := Tuple{Stream: stream, Values: values, Trace: c.outTrace(), ack: root}
+	// Snapshot the payload before any delivery ships: at batch size 1 (and
+	// whenever a buffer fills mid-loop) the envelope reaches its executor
+	// inside deliver, and the consumer may mutate or release a pooled
+	// Values map concurrently — the replay snapshot must be taken while
+	// this goroutine still owns the map. register takes ownership of the
+	// snapshot and swaps a recycled backing array into rootVals for the
+	// next emission.
+	vals := c.rootVals[:0]
+	for k, v := range values {
+		vals = append(vals, kvEntry{k, v})
+	}
+	c.rootVals = vals
 	c.pendXor, c.pendFail = 0, false
 	for _, sub := range c.rc.subs[stream] {
 		if directTask >= 0 && sub.grouping.Type != DirectGrouping {
@@ -1199,7 +1241,7 @@ func (c *taskCollector) emitAnchoredXOR(ak *xorAcker, msgID, stream string, dire
 		}
 		c.deliver(sub, t, directTask)
 	}
-	ak.register(root, c.rc, c.ts, msgID, t, directTask, c.pendXor, c.pendFail, c.start)
+	ak.register(root, c.rc, c.ts, msgID, t, directTask, &c.rootVals, c.pendXor, c.pendFail, c.start)
 }
 
 // EmitDirectAnchored implements DirectAnchorCollector. On a tracking spout

@@ -114,6 +114,12 @@ type tcpTransport struct {
 	rpcSeq  uint64
 	rpcWait map[uint64]chan rpcResult
 
+	// ackWorkerMask extracts the owning worker from an XOR-acker root id
+	// (the same low-bit layout newXorAcker derives from the peer count),
+	// precomputed so the per-envelope no-acking degrade path
+	// (releaseAnchors) does no bit-width arithmetic.
+	ackWorkerMask uint64
+
 	// ready is closed once the peers slice is fully built; inbound readers
 	// park on it before dispatching their first frame, so early-connecting
 	// peers never observe a half-constructed membership.
@@ -136,6 +142,9 @@ func newTCPTransport(r *Runtime) (*tcpTransport, error) {
 		rpcWait:   make(map[uint64]chan rpcResult),
 		ready:     make(chan struct{}),
 		stopCh:    make(chan struct{}),
+	}
+	if n := len(r.cfg.peers); n > 1 {
+		t.ackWorkerMask = 1<<uint(bits.Len(uint(n-1))) - 1
 	}
 	if r.tracker != nil {
 		r.tracker.onRemoteResolve = t.sendAckResult
@@ -503,11 +512,7 @@ func (t *tcpTransport) releaseAnchors(peer int, b *Batch) {
 			continue
 		}
 		if env.tuple.edge != 0 {
-			wb := 0
-			if n := len(t.r.cfg.peers); n > 1 {
-				wb = bits.Len(uint(n - 1))
-			}
-			owner := int(env.tuple.ack & (1<<uint(wb) - 1))
+			owner := int(env.tuple.ack & t.ackWorkerMask)
 			if owner != t.self {
 				ents := []ackUpdate{{root: env.tuple.ack, xor: env.tuple.edge}}
 				t.sendAckBatch(owner, ents)
