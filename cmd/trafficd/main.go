@@ -74,6 +74,9 @@ type options struct {
 	workerID        int
 	workerPeers     string
 	workerHeartbeat time.Duration
+	workerNoDelay   bool
+	workerSndbuf    int
+	workerRcvbuf    int
 }
 
 // parseFlags parses the command line into options, validating flag
@@ -104,6 +107,9 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&opt.workerID, "worker.id", 0, "this process's index into -worker.peers (multi-worker mode)")
 	fs.StringVar(&opt.workerPeers, "worker.peers", "", "comma-separated host:port list, one per worker process; empty = single-process mode")
 	fs.DurationVar(&opt.workerHeartbeat, "worker.heartbeat", time.Second, "peer heartbeat period; a peer silent for 4 periods is declared lost")
+	fs.BoolVar(&opt.workerNoDelay, "worker.nodelay", true, "set TCP_NODELAY on peer connections (the per-peer writer already coalesces frames, so Nagle only adds latency); false re-enables Nagle")
+	fs.IntVar(&opt.workerSndbuf, "worker.sndbuf", 0, "kernel send-buffer bytes for peer connections (0 = OS default)")
+	fs.IntVar(&opt.workerRcvbuf, "worker.rcvbuf", 0, "kernel receive-buffer bytes for peer connections (0 = OS default)")
 	if err := fs.Parse(args); err != nil {
 		return opt, err
 	}
@@ -131,6 +137,28 @@ func parseFlags(args []string) (options, error) {
 	}
 	if opt.ackTimeout > 0 && opt.ackTimeout < time.Millisecond {
 		return opt, fmt.Errorf("-ack.timeout %v is below the 1ms sweep granularity (see storm.WithAckTimeout)", opt.ackTimeout)
+	}
+	if opt.workerSndbuf < 0 {
+		return opt, fmt.Errorf("-worker.sndbuf must be >= 0, got %d", opt.workerSndbuf)
+	}
+	if opt.workerRcvbuf < 0 {
+		return opt, fmt.Errorf("-worker.rcvbuf must be >= 0, got %d", opt.workerRcvbuf)
+	}
+	// The socket knobs configure peer connections, which only exist in
+	// multi-worker mode: reject them outright in single-process mode
+	// instead of accepting configuration that never takes effect (same
+	// policy as the -ack.* knobs above).
+	if opt.workerPeers == "" {
+		var orphan string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "worker.nodelay", "worker.sndbuf", "worker.rcvbuf":
+				orphan = f.Name
+			}
+		})
+		if orphan != "" {
+			return opt, fmt.Errorf("-%s has no effect without -worker.peers (single-process mode)", orphan)
+		}
 	}
 	if opt.tracesPath == "" {
 		return opt, fmt.Errorf("-traces is required")
@@ -352,6 +380,8 @@ func run(opt options) error {
 		stormOpts = append(stormOpts,
 			storm.WithWorker(opt.workerID, peers),
 			storm.WithHeartbeat(opt.workerHeartbeat),
+			storm.WithTCPNoDelay(opt.workerNoDelay),
+			storm.WithSocketBuffers(opt.workerSndbuf, opt.workerRcvbuf),
 		)
 	}
 	if opt.ackTimeout > 0 {

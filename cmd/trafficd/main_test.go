@@ -103,3 +103,90 @@ func TestParseFlagsAckValidation(t *testing.T) {
 		})
 	}
 }
+
+// TestParseFlagsWorkerSocketValidation pins the peer-socket knobs the same
+// way: -worker.nodelay/-worker.sndbuf/-worker.rcvbuf configure peer
+// connections, which only exist in multi-worker mode, so setting one
+// without -worker.peers is rejected rather than silently ignored.
+func TestParseFlagsWorkerSocketValidation(t *testing.T) {
+	base := []string{"-traces", "t.csv"}
+	peers := []string{"-worker.peers", "h0:7000,h1:7000"}
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring; "" = must parse
+		check   func(t *testing.T, opt options)
+	}{
+		{
+			name: "defaults",
+			args: nil,
+			check: func(t *testing.T, opt options) {
+				if !opt.workerNoDelay {
+					t.Error("default -worker.nodelay = false, want true")
+				}
+				if opt.workerSndbuf != 0 || opt.workerRcvbuf != 0 {
+					t.Errorf("default socket buffers = %d/%d, want 0/0 (OS defaults)",
+						opt.workerSndbuf, opt.workerRcvbuf)
+				}
+			},
+		},
+		{
+			name: "socket knobs with peers",
+			args: append(append([]string{}, peers...),
+				"-worker.nodelay=false", "-worker.sndbuf", "262144", "-worker.rcvbuf", "131072"),
+			check: func(t *testing.T, opt options) {
+				if opt.workerNoDelay || opt.workerSndbuf != 262144 || opt.workerRcvbuf != 131072 {
+					t.Errorf("parsed worker options = %+v", opt)
+				}
+			},
+		},
+		{
+			name:    "nodelay without peers",
+			args:    []string{"-worker.nodelay=false"},
+			wantErr: "-worker.nodelay has no effect without -worker.peers",
+		},
+		{
+			name:    "nodelay without peers even when explicitly default",
+			args:    []string{"-worker.nodelay=true"},
+			wantErr: "-worker.nodelay has no effect without -worker.peers",
+		},
+		{
+			name:    "sndbuf without peers",
+			args:    []string{"-worker.sndbuf", "65536"},
+			wantErr: "-worker.sndbuf has no effect without -worker.peers",
+		},
+		{
+			name:    "rcvbuf without peers",
+			args:    []string{"-worker.rcvbuf", "65536"},
+			wantErr: "-worker.rcvbuf has no effect without -worker.peers",
+		},
+		{
+			name:    "negative sndbuf",
+			args:    append(append([]string{}, peers...), "-worker.sndbuf", "-1"),
+			wantErr: "-worker.sndbuf must be >= 0",
+		},
+		{
+			name:    "negative rcvbuf",
+			args:    append(append([]string{}, peers...), "-worker.rcvbuf", "-4096"),
+			wantErr: "-worker.rcvbuf must be >= 0",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := append(append([]string{}, base...), tc.args...)
+			opt, err := parseFlags(args)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("parseFlags(%q) error = %v, want substring %q", args, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseFlags(%q) unexpected error: %v", args, err)
+			}
+			if tc.check != nil {
+				tc.check(t, opt)
+			}
+		})
+	}
+}

@@ -302,6 +302,12 @@ func (b *preProcessBolt) Prepare(storm.TaskContext) error {
 
 func (b *preProcessBolt) Cleanup() error { return nil }
 
+// OwnsInputValues marks the bolt as taking ownership of its input Values
+// maps (storm.ValuesOwner): Execute releases every input map into the
+// busdata pool below, so the runtime must not also recycle maps it pooled
+// on the wire-decode path — one map must not land in two pools.
+func (b *preProcessBolt) OwnsInputValues() {}
+
 func (b *preProcessBolt) Execute(t storm.Tuple, col storm.Collector) error {
 	tr, err := tupleToTrace(t.Values)
 	if err != nil {

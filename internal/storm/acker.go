@@ -701,7 +701,7 @@ func (a *xorAcker) redeliver(p *xorRoot, hold uint64) {
 		if p.directTask >= 0 && sub.grouping.Type != DirectGrouping {
 			continue
 		}
-		col.deliver(sub, rt, p.directTask)
+		col.deliver(sub, &rt, p.directTask)
 	}
 	a.apply(p.id, hold^col.pendXor, col.pendFail)
 }

@@ -70,6 +70,20 @@ type Flusher interface {
 	FlushBatches()
 }
 
+// ValuesOwner marks a Bolt that takes ownership of its input tuples'
+// Values maps — typically releasing them into an application-level pool
+// after copying what it needs. On the distributed transport the runtime
+// pools decoded payload maps and normally recycles an input map itself
+// after Execute returns (unless the bolt re-emitted that exact map, in
+// which case ownership rides downstream with the envelope). A bolt that
+// retains or independently releases its input map must implement
+// ValuesOwner so the runtime leaves the map alone — otherwise two owners
+// would recycle the same map into different pools.
+type ValuesOwner interface {
+	// OwnsInputValues is a marker; it is never called.
+	OwnsInputValues()
+}
+
 // TaskContext describes the task an instance is running as.
 type TaskContext struct {
 	Component string

@@ -543,7 +543,7 @@ func (a *ackTracker) sweep() {
 			if p.directTask >= 0 && sub.grouping.Type != DirectGrouping {
 				continue
 			}
-			col.deliver(sub, rt, p.directTask)
+			col.deliver(sub, &rt, p.directTask)
 		}
 		a.finish(p.id, false)
 	}

@@ -465,9 +465,7 @@ func TestShuffleCounterWrapRegression(t *testing.T) {
 	}
 	src := rt.comps["src"]
 	sub := src.subs[DefaultStream][0]
-	ctr := new(uint64)
-	*ctr = math.MaxUint64 - 2 // wraps to 0 on the third emission
-	src.tasks[0].shuffle[sub] = ctr
+	src.tasks[0].shuffle[sub.idx] = math.MaxUint64 - 2 // wraps to 0 on the third emission
 	if err := rt.Run(); err != nil {
 		t.Fatal(err)
 	}

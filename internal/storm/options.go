@@ -105,6 +105,19 @@ func WithWorker(self int, peers []string) Option {
 // unblocking shutdown. Defaults to 1s.
 func WithHeartbeat(d time.Duration) Option { return func(c *config) { c.heartbeat = d } }
 
+// WithTCPNoDelay toggles TCP_NODELAY on peer connections in distributed
+// runs. It defaults to true — the per-peer writer already coalesces frames
+// into large writes, so Nagle's algorithm only adds latency — and false
+// re-enables Nagle for ablation on high-RTT links.
+func WithTCPNoDelay(enabled bool) Option { return func(c *config) { c.tcpNoDelayOff = !enabled } }
+
+// WithSocketBuffers sets the kernel socket buffer sizes (SO_SNDBUF /
+// SO_RCVBUF, in bytes) on peer connections in distributed runs. Zero for
+// either keeps the OS default.
+func WithSocketBuffers(sndbuf, rcvbuf int) Option {
+	return func(c *config) { c.sockSndbuf, c.sockRcvbuf = sndbuf, rcvbuf }
+}
+
 // WithTransport overrides the inter-executor transport with a custom
 // implementation (see the Transport contract in transport.go). The runtime
 // routes every batch delivery — local or not — through t; membership, eof

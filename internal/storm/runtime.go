@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/bits"
 	"net"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -86,6 +87,13 @@ type config struct {
 	// listener, when set, is the pre-bound listener for peers[selfWorker]
 	// (tests bind :0 first to learn free ports).
 	listener net.Listener
+	// tcpNoDelayOff re-enables Nagle on peer connections (TCP_NODELAY is
+	// on by default: the per-peer writer already coalesces frames, so
+	// Nagle only adds latency). sockSndbuf/sockRcvbuf set the kernel
+	// socket buffer sizes when positive; zero keeps the OS defaults.
+	tcpNoDelayOff bool
+	sockSndbuf    int
+	sockRcvbuf    int
 }
 
 func (c *config) fill() {
@@ -156,6 +164,10 @@ type taskState struct {
 	// spout doesn't implement it): the ack trackers check it once per
 	// resolved tuple, which is too hot for a repeated interface assertion.
 	ackSpout AckingSpout
+	// ownsVals caches the ValuesOwner assertion on bolt: such a bolt takes
+	// ownership of its input Values map (releasing it into its own pool),
+	// so the runtime must never recycle a decode-pooled map delivered to it.
+	ownsVals bool
 
 	executed  atomic.Uint64
 	emitted   atomic.Uint64
@@ -175,9 +187,11 @@ type taskState struct {
 	// consecutive errors; grouping routes read it to skip the task.
 	quarantined atomic.Bool
 
-	// shuffle round-robin counters, one per downstream subscription.
+	// shuffle round-robin counters, one slot per downstream subscription
+	// of the owning component, indexed by subscription.idx (allocated once
+	// after wiring — a slice index on the shuffle hot path, not a map).
 	// uint64 so wraparound stays a valid (non-negative) modulus operand.
-	shuffle map[*subscription]*uint64
+	shuffle []uint64
 }
 
 func (ts *taskState) metrics() TaskMetrics {
@@ -192,7 +206,14 @@ func (ts *taskState) metrics() TaskMetrics {
 
 type envelope struct {
 	local int // task index within the receiving executor
-	tuple Tuple
+	// pooled marks a Values map owned by the runtime's decode pool (set by
+	// the wire decoder, or transferred when a bolt re-emits its pooled
+	// input map): the receiving executor recycles the map after Execute
+	// settles unless the bolt kept it — the receive-side half of the
+	// receiver-releases ownership contract. Always false on the in-process
+	// transport. putBatch's clear() resets it.
+	pooled bool
+	tuple  Tuple
 }
 
 type executor struct {
@@ -215,6 +236,10 @@ func (ex *executor) deliver(b *Batch) {
 type subscription struct {
 	grouping Grouping
 	target   *runningComponent
+	// idx is this subscription's dense slot among the source component's
+	// subscriptions (across all streams): tasks keep their shuffle
+	// counters in a slice indexed by it.
+	idx int
 }
 
 type runningComponent struct {
@@ -225,6 +250,14 @@ type runningComponent struct {
 	taskRoute []struct{ exec, local int }
 	// subs maps a stream id to this component's downstream subscriptions.
 	subs map[string][]*subscription
+	// localTasks lists this component's task indices placed on the local
+	// worker (distributed runs only; nil otherwise). Shuffle deliveries
+	// prefer these — Storm's local-or-shuffle — trading per-worker load
+	// balance for fewer process crossings, the trade the paper makes
+	// throughout (§2.2: minimize inter-worker communication). Remote tasks
+	// still receive fields/all/global/direct traffic, and shuffle falls
+	// back to the full ring when every local task is quarantined.
+	localTasks []int
 	// producers counts upstream executors still running; when it reaches
 	// zero the component's input channels are closed.
 	producers atomic.Int32
@@ -280,6 +313,13 @@ type Runtime struct {
 	batchTimeout time.Duration
 	batchPool    sync.Pool
 	execs        []*executor
+	// valsMu/valsFree recycle decoded tuple Values maps (wire.go's
+	// frameDecoder draws from the freelist; receiving executors release
+	// into it after Execute unless the bolt kept or re-emitted the map —
+	// see runBoltExecutor). A locked freelist with bulk take/give beats a
+	// sync.Pool here: see the comment above valsFreeCap in batch.go.
+	valsMu   sync.Mutex
+	valsFree []map[string]any
 
 	// Exactly one of tracker/acker is non-nil while a run with AckTimeout
 	// > 0 is active — tracker under AckTree, acker under AckXOR (the
@@ -329,9 +369,26 @@ func newRuntime(topo *Topology, cfg config) (*Runtime, error) {
 	}
 	nextWorker := 0
 	nextTaskID := 0
+	totalExecs := 0
+	for _, id := range topo.order {
+		totalExecs += topo.byID[id].executors
+	}
 
-	// Build components in topological order; executors are assigned to
-	// worker processes round-robin, exactly like Storm's even scheduler.
+	// Build components in topological order. In the simulated single-process
+	// modes executors are assigned round-robin, exactly like Storm's even
+	// scheduler. Distributed runs instead use locality-first placement:
+	// round-robin maximizes cross-worker edges, and inter-worker traffic is
+	// the dominant cost of distribution (the T-Storm observation the paper
+	// builds on, §2.2), so a single-executor component is co-located with
+	// its neighbors in topological order (a balanced block partition over
+	// executor slots) — a chain of singleton stages then crosses the wire
+	// only where a parallel stage forces it. A multi-executor component
+	// still spreads round-robin across workers, starting from its block's
+	// worker: parallelism (and per-worker skew repair, rebalance migration)
+	// needs its tasks on distinct workers more than it needs locality.
+	// Placement stays a pure function of the topology and worker count, so
+	// every worker derives the same map.
+	compCursor := 0
 	for _, id := range topo.order {
 		spec := topo.byID[id]
 		rc := &runningComponent{spec: spec, subs: make(map[string][]*subscription)}
@@ -339,6 +396,12 @@ func newRuntime(topo *Topology, cfg config) (*Runtime, error) {
 
 		for e := 0; e < spec.executors; e++ {
 			worker := nextWorker % totalWorkers
+			if cfg.peers != nil {
+				// Block sizes differ by at most one: executor slot i of E
+				// total maps to worker i*W/E.
+				base := compCursor * totalWorkers / totalExecs
+				worker = (base + e) % totalWorkers
+			}
 			nextWorker++
 			node := worker % cfg.Nodes
 			if cfg.peers != nil {
@@ -359,7 +422,6 @@ func newRuntime(topo *Topology, cfg config) (*Runtime, error) {
 						Worker:    worker,
 						Node:      node,
 					},
-					shuffle: make(map[*subscription]*uint64),
 				}
 				nextTaskID++
 				if spec.isSpout {
@@ -373,6 +435,7 @@ func newRuntime(topo *Topology, cfg config) (*Runtime, error) {
 					if ts.bolt == nil {
 						return nil, fmt.Errorf("storm: bolt factory for %q returned nil", id)
 					}
+					_, ts.ownsVals = ts.bolt.(ValuesOwner)
 				}
 				rc.taskRoute[ti] = struct{ exec, local int }{e, len(ex.tasks)}
 				ex.tasks = append(ex.tasks, ts)
@@ -392,6 +455,7 @@ func newRuntime(topo *Topology, cfg config) (*Runtime, error) {
 		}
 		rc.tasks = ordered
 		r.comps[id] = rc
+		compCursor += spec.executors
 	}
 
 	// Wire subscriptions and producer counts.
@@ -403,6 +467,40 @@ func newRuntime(topo *Topology, cfg config) (*Runtime, error) {
 			sub := &subscription{grouping: g, target: rc}
 			src.subs[g.Stream] = append(src.subs[g.Stream], sub)
 			rc.producers.Add(int32(len(src.execs)))
+		}
+	}
+	// Dense per-task shuffle counters, sized to the component's wired
+	// subscriptions (see taskState.shuffle).
+	for _, id := range topo.order {
+		rc := r.comps[id]
+		n := 0
+		for _, subs := range rc.subs {
+			for _, s := range subs {
+				s.idx = n
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		for _, ts := range rc.tasks {
+			ts.shuffle = make([]uint64, n)
+		}
+	}
+	// Local-or-shuffle target sets (see runningComponent.localTasks). A
+	// component entirely on this worker keeps nil: the full ring is already
+	// all-local, so the plain round-robin path is equivalent and cheaper.
+	if cfg.peers != nil {
+		for _, id := range topo.order {
+			rc := r.comps[id]
+			for ti := range rc.tasks {
+				if rc.execs[rc.taskRoute[ti].exec].worker == cfg.selfWorker {
+					rc.localTasks = append(rc.localTasks, ti)
+				}
+			}
+			if len(rc.localTasks) == len(rc.tasks) {
+				rc.localTasks = nil
+			}
 		}
 	}
 
@@ -800,6 +898,9 @@ func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
 		edge   uint64
 		inCall bool
 	}
+	// freed collects settled pooled input maps across one batch so they go
+	// back to the freelist in a single bulk give, not one lock per tuple.
+	freed := make([]map[string]any, 0, r.batchSize)
 	loop := func() (finished bool) {
 		defer func() {
 			p := recover()
@@ -842,6 +943,9 @@ func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
 				col.chainBatch = nil
 				col.out.pinned = nil
 			}
+			// A poisoned call may have stashed its pooled input map anywhere;
+			// leak it to the GC rather than recycle a possibly-kept map.
+			col.inValsPtr = 0
 			next++ // resume with the envelope after the poisoned one
 		}()
 		for {
@@ -865,7 +969,9 @@ func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
 				}
 			}
 			for next < len(bt.envs) {
-				env := bt.envs[next]
+				// Pointer, not copy: the envelope is ~100 bytes and only
+				// read here (the batch slot is never mutated mid-call).
+				env := &bt.envs[next]
 				ts := ex.tasks[env.local]
 				if !prepared[env.local] || ts.quarantined.Load() {
 					ts.dropped.Add(1)
@@ -882,8 +988,20 @@ func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
 							r.tracker.finish(env.tuple.ack, true)
 						}
 					}
+					if env.pooled {
+						freed = append(freed, env.tuple.Values) // never executed: recycle now
+					}
 					next++
 					continue
+				}
+				if env.pooled && !ts.ownsVals {
+					// Arm pooled-Values settlement: after this Execute call the
+					// input map is recycled unless the bolt re-emitted it
+					// exactly once, in which case ownership transfers to the
+					// downstream envelope (see below).
+					col.inValsPtr = mapPtr(env.tuple.Values)
+					col.keptCount = 0
+					col.keptBatch = nil
 				}
 				var err error
 				if !r.tracing {
@@ -974,6 +1092,26 @@ func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
 						r.tracker.finish(env.tuple.ack, err != nil)
 					}
 				}
+				if col.inValsPtr != 0 {
+					// Settle the pooled input map now that the call is done.
+					// keptCount == 0: the bolt is finished with it — recycle.
+					// keptCount == 1 with the buffered envelope still in place
+					// (same batch in the same slot, map identity intact — the
+					// triple check guards against the batch having shipped and
+					// its pointer being pool-recycled): transfer the pooled
+					// flag downstream. Anything else (shipped already, emitted
+					// to 2+ destinations) escapes to the GC — correctness over
+					// reuse.
+					if col.keptCount == 0 {
+						freed = append(freed, env.tuple.Values)
+					} else if col.keptCount == 1 && col.keptBatch != nil &&
+						col.keptBatch == out.bufs[col.keptDest] &&
+						col.keptIdx < len(col.keptBatch.envs) &&
+						mapPtr(col.keptBatch.envs[col.keptIdx].tuple.Values) == col.inValsPtr {
+						col.keptBatch.envs[col.keptIdx].pooled = true
+					}
+					col.inValsPtr = 0
+				}
 				next++
 			}
 			// Settle the batch's processing time across the tasks that did
@@ -996,6 +1134,10 @@ func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
 			}
 			// Receiver releases: every envelope was processed, return the
 			// batch to the pool (the ownership contract of batch.go).
+			if len(freed) > 0 {
+				r.giveVals(freed)
+				freed = freed[:0]
+			}
 			r.putBatch(bt)
 			bt = nil
 		}
@@ -1071,6 +1213,19 @@ type taskCollector struct {
 	// ack tracker's replay collector, which runs on a different goroutine
 	// than the task's own executor.
 	shuffle map[*subscription]*uint64
+	// Pooled-Values settlement (bolt executors only; see runBoltExecutor).
+	// inValsPtr identifies the current input tuple's decode-pooled map
+	// (zero when the input is not pooled or the bolt owns it); emitKept is
+	// set per emission when the bolt re-emitted that exact map; keptCount/
+	// keptBatch/keptDest/keptIdx track where the single re-emission was
+	// buffered so ownership can transfer to the downstream envelope after
+	// the call settles.
+	inValsPtr uintptr
+	emitKept  bool
+	keptCount int
+	keptBatch *Batch
+	keptDest  int
+	keptIdx   int
 
 	// out is the owning executor's batch buffer; emissions are buffered per
 	// destination executor and flushed per batch.go's triggers. Nil on the
@@ -1143,21 +1298,32 @@ func (c *taskCollector) Emit(values map[string]any) { c.EmitTo(DefaultStream, va
 // EmitTo implements Collector.
 func (c *taskCollector) EmitTo(stream string, values map[string]any) {
 	c.ts.emitted.Add(1)
+	c.emitKept = c.inValsPtr != 0 && mapPtr(values) == c.inValsPtr
 	t := Tuple{Stream: stream, Values: values, Trace: c.outTrace(), ack: c.inAck}
 	for _, sub := range c.rc.subs[stream] {
-		c.deliver(sub, t, -1)
+		c.deliver(sub, &t, -1)
 	}
 }
 
 // EmitDirect implements Collector.
 func (c *taskCollector) EmitDirect(stream string, task int, values map[string]any) {
 	c.ts.emitted.Add(1)
+	c.emitKept = c.inValsPtr != 0 && mapPtr(values) == c.inValsPtr
 	t := Tuple{Stream: stream, Values: values, Trace: c.outTrace(), ack: c.inAck}
 	for _, sub := range c.rc.subs[stream] {
 		if sub.grouping.Type == DirectGrouping {
-			c.deliver(sub, t, task)
+			c.deliver(sub, &t, task)
 		}
 	}
+}
+
+// mapPtr returns the identity of a map's backing store, for comparing
+// whether two map values alias the same map without reading its contents.
+func mapPtr(m map[string]any) uintptr {
+	if m == nil {
+		return 0
+	}
+	return reflect.ValueOf(m).Pointer()
 }
 
 // EmitAnchored implements AnchorCollector: on a spout collector with ack
@@ -1178,7 +1344,7 @@ func (c *taskCollector) EmitAnchored(msgID string, values map[string]any) {
 	t := Tuple{Stream: DefaultStream, Values: values, Trace: c.outTrace()}
 	id := tr.begin(c.rc, c.ts, msgID, &t, -1)
 	for _, sub := range c.rc.subs[DefaultStream] {
-		c.deliver(sub, t, -1)
+		c.deliver(sub, &t, -1)
 	}
 	if id != 0 {
 		tr.finish(id, false)
@@ -1239,7 +1405,7 @@ func (c *taskCollector) emitAnchoredXOR(ak *xorAcker, msgID, stream string, dire
 		if directTask >= 0 && sub.grouping.Type != DirectGrouping {
 			continue
 		}
-		c.deliver(sub, t, directTask)
+		c.deliver(sub, &t, directTask)
 	}
 	ak.register(root, c.rc, c.ts, msgID, t, directTask, &c.rootVals, c.pendXor, c.pendFail, c.start)
 }
@@ -1265,7 +1431,7 @@ func (c *taskCollector) EmitDirectAnchored(msgID, stream string, task int, value
 	id := tr.begin(c.rc, c.ts, msgID, &t, task)
 	for _, sub := range c.rc.subs[stream] {
 		if sub.grouping.Type == DirectGrouping {
-			c.deliver(sub, t, task)
+			c.deliver(sub, &t, task)
 		}
 	}
 	if id != 0 {
@@ -1291,13 +1457,28 @@ func (c *taskCollector) Acking() bool {
 // probe linearly from the hashed task (key affinity is traded for liveness
 // while a task is quarantined), all/global skip dead replicas. A tuple with
 // no live target is counted as dropped on the receiving component.
-func (c *taskCollector) deliver(sub *subscription, t Tuple, directTask int) {
+func (c *taskCollector) deliver(sub *subscription, t *Tuple, directTask int) {
 	target := sub.target
 	n := len(target.tasks)
 	quar := target.anyQuarantined.Load()
 	switch sub.grouping.Type {
 	case ShuffleGrouping:
 		ctr := c.shuffleCtr(sub)
+		// Local-or-shuffle: round-robin over the same-worker tasks first
+		// (empty outside distributed runs — see localTasks). Only when all
+		// of them are quarantined does the delivery spill onto the full ring.
+		if lt := target.localTasks; len(lt) > 0 {
+			ln := len(lt)
+			for tries := 0; tries < ln; tries++ {
+				idx := lt[int(*ctr%uint64(ln))]
+				*ctr++
+				if quar && target.tasks[idx].quarantined.Load() {
+					continue
+				}
+				c.send(target, idx, t)
+				return
+			}
+		}
 		for tries := 0; tries < n; tries++ {
 			idx := int(*ctr % uint64(n))
 			*ctr++
@@ -1384,25 +1565,24 @@ func (c *taskCollector) deliver(sub *subscription, t Tuple, directTask int) {
 	}
 }
 
-// shuffleCtr returns the round-robin counter for a subscription, from the
-// replay override when set, else from the emitting task's state.
+// shuffleCtr returns the round-robin counter for a subscription: the
+// emitting task's dense slot, or the replay override map when set.
 func (c *taskCollector) shuffleCtr(sub *subscription) *uint64 {
-	m := c.shuffle
-	if m == nil {
-		m = c.ts.shuffle
+	if m := c.shuffle; m != nil {
+		ctr, ok := m[sub]
+		if !ok {
+			ctr = new(uint64)
+			m[sub] = ctr
+		}
+		return ctr
 	}
-	ctr, ok := m[sub]
-	if !ok {
-		ctr = new(uint64)
-		m[sub] = ctr
-	}
-	return ctr
+	return &c.ts.shuffle[sub.idx]
 }
 
 // dropRouted counts a tuple that could not be routed to any live task of
 // the target component, and fails its anchored tree (if any) so the ack
 // tracker replays or expires it instead of waiting for a timeout.
-func (c *taskCollector) dropRouted(target *runningComponent, t Tuple) {
+func (c *taskCollector) dropRouted(target *runningComponent, t *Tuple) {
 	target.dropped.Add(1)
 	if t.ack != 0 {
 		if c.r.acker != nil {
@@ -1421,7 +1601,12 @@ func (c *taskCollector) dropRouted(target *runningComponent, t Tuple) {
 // so the tracker can never observe a tree as drained while deliveries are
 // still buffered. The replay collector (out == nil) ships the envelope
 // immediately in its own pooled batch.
-func (c *taskCollector) send(target *runningComponent, taskIdx int, t Tuple) {
+func (c *taskCollector) send(target *runningComponent, taskIdx int, t *Tuple) {
+	// t is shared across every send of one emission (AllGrouping fans it
+	// out N times; emitAnchoredXOR reads it again after delivery), so the
+	// per-send edge id is computed into a local and written onto the
+	// buffered envelope — never onto *t.
+	edge := t.edge
 	chained := false
 	if t.ack != 0 {
 		if c.r.acker != nil {
@@ -1429,15 +1614,15 @@ func (c *taskCollector) send(target *runningComponent, taskIdx int, t Tuple) {
 				// First anchored emission of this Execute call: reuse the
 				// input edge instead of minting one. The hop then needs no
 				// ack update unless it emits again, errors, or drops.
-				t.edge = c.chainEdge
+				edge = c.chainEdge
 				c.chainEdge = 0
 				chained = true
 			} else {
-				// XOR mode: tag the delivery with a fresh edge id (t is a
-				// copy, so each send owns its own edge) and accumulate it
-				// for the emitter's side of the double-XOR.
+				// XOR mode: tag the delivery with a fresh edge id (each
+				// send owns its own edge) and accumulate it for the
+				// emitter's side of the double-XOR.
 				e := c.edges.next()
-				t.edge = e
+				edge = e
 				c.pendXor ^= e
 			}
 		} else {
@@ -1449,15 +1634,29 @@ func (c *taskCollector) send(target *runningComponent, taskIdx int, t Tuple) {
 	if c.out != nil {
 		if chained {
 			b := c.out.pin(dest, c.start)
-			b.envs = append(b.envs, envelope{local: route.local, tuple: t})
-			c.chainBatch, c.chainIdx = b, len(b.envs)-1
+			b.envs = append(b.envs, envelope{local: route.local, tuple: *t})
+			i := len(b.envs) - 1
+			b.envs[i].tuple.edge = edge
+			c.chainBatch, c.chainIdx = b, i
+			if c.emitKept {
+				c.keptCount++
+				c.keptBatch, c.keptDest, c.keptIdx = b, dest.eid, i
+			}
 			return
 		}
-		c.out.add(dest, envelope{local: route.local, tuple: t}, c.start)
+		b, idx := c.out.add(dest, route.local, t, edge, c.start)
+		if c.emitKept {
+			// The bolt re-emitted its pooled input map: remember where the
+			// envelope was buffered (nil when its batch already shipped) so
+			// the executor can transfer pool ownership after the call settles.
+			c.keptCount++
+			c.keptBatch, c.keptDest, c.keptIdx = b, dest.eid, idx
+		}
 		return
 	}
 	b := c.r.getBatch()
-	b.envs = append(b.envs, envelope{local: route.local, tuple: t})
+	b.envs = append(b.envs, envelope{local: route.local, tuple: *t})
+	b.envs[len(b.envs)-1].tuple.edge = edge
 	c.r.deliverOrDrop(dest, b)
 }
 

@@ -26,41 +26,253 @@ import (
 	"time"
 )
 
-// tcpPeer is the outbound link to one worker. It implements Peer. Frame
-// writes are serialized by mu; the encode scratch buffer is reused under
-// the same lock, so steady-state sends allocate nothing.
+// frameBuf is a pooled encode buffer: senders build one complete frame
+// into it off the peer lock and hand it to the peer's queue; the writer
+// goroutine returns it to the pool after the coalesced write. Oversized
+// backing arrays (a one-off jumbo frame) are dropped at release so the
+// pool never pins the largest frame ever sent.
+type frameBuf struct{ b []byte }
+
+// maxScratchBytes caps retained scratch buffers on both sides of the wire:
+// pooled frame encode buffers and the reader's payload buffer shrink back
+// to (at most) this after servicing a larger frame.
+const maxScratchBytes = 64 << 10
+
+var frameBufPool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+func getFrameBuf() *frameBuf { return frameBufPool.Get().(*frameBuf) }
+
+func putFrameBuf(f *frameBuf) {
+	if cap(f.b) > maxScratchBytes {
+		f.b = nil // retention cap: drop jumbo backing arrays, keep the box
+	}
+	frameBufPool.Put(f)
+}
+
+// qFrame is one queued outbound frame. Batch frames carry their accounting
+// context — destination component, envelope count and a window into the
+// peer's anchors queue — so peer loss can fail queued-but-unsent frames
+// exactly like a failed write (transport.go's dropBatch contract). Control
+// frames (comp nil) carry none.
+type qFrame struct {
+	buf        *frameBuf
+	comp       *runningComponent
+	n          int // envelopes, for the dropped counter
+	aoff, alen int32
+}
+
+// anchorRef is one anchored envelope's (root, edge) pair, snapshotted at
+// enqueue time so a failed frame can fail its trees after the originating
+// batch was long recycled.
+type anchorRef struct{ ack, edge uint64 }
+
+// peerQueueBytes bounds each peer's outbound queue (frame payload bytes).
+// Enqueueing past it blocks — the same backpressure Deliver previously got
+// from a full kernel send buffer, now one queue earlier. A var so tests
+// can shrink the bound to force the blocking path.
+var peerQueueBytes = 1 << 20
+
+// shutdownFlushTimeout bounds how long Close waits for a peer's writer to
+// flush its queue (eofs, final acks) before the connection is torn down.
+const shutdownFlushTimeout = 2 * time.Second
+
+// tcpPeer is the outbound link to one worker. It implements Peer.
+//
+// Sends are pipelined: callers encode frames off-lock into pooled buffers
+// and append them to a bounded queue; a dedicated writer goroutine drains
+// the whole queue per wakeup into one writev (net.Buffers), so executors
+// never block on the kernel inside Deliver and small control frames stop
+// costing a syscall each. FIFO across all frame types is preserved — the
+// queue is strictly ordered and there is exactly one writer.
 type tcpPeer struct {
 	id   int
+	t    *tcpTransport
 	conn net.Conn
 	dead atomic.Bool
 
-	mu  sync.Mutex
-	buf []byte
+	mu      sync.Mutex
+	cond    *sync.Cond // writer wakeup + queue-space waits
+	frames  []qFrame
+	anchors []anchorRef
+	qBytes  int
+	closing bool
+
+	writerDone chan struct{}
+}
+
+// newTCPPeer wraps an established outbound connection (hello already
+// written) and starts its writer goroutine.
+func newTCPPeer(t *tcpTransport, id int, conn net.Conn) *tcpPeer {
+	p := &tcpPeer{id: id, t: t, conn: conn, writerDone: make(chan struct{})}
+	p.cond = sync.NewCond(&p.mu)
+	t.wg.Add(1)
+	go p.writeLoop()
+	return p
+}
+
+func (p *tcpPeer) down() error { return fmt.Errorf("storm: peer %d is down", p.id) }
+
+// enqueue appends one encoded frame to the outbound queue, blocking while
+// the queue is over its byte bound (backpressure; zero drops). For batch
+// frames (comp non-nil) the envelopes' anchors are snapshotted under the
+// same lock so a later failure can fail their trees. On error the caller
+// keeps ownership of f.
+func (p *tcpPeer) enqueue(f *frameBuf, comp *runningComponent, envs []envelope) error {
+	p.mu.Lock()
+	for p.qBytes >= peerQueueBytes && !p.closing && !p.dead.Load() {
+		p.cond.Wait()
+	}
+	if p.closing || p.dead.Load() {
+		p.mu.Unlock()
+		return p.down()
+	}
+	qf := qFrame{buf: f}
+	if comp != nil {
+		qf.comp = comp
+		qf.n = len(envs)
+		qf.aoff = int32(len(p.anchors))
+		for i := range envs {
+			if a := envs[i].tuple.ack; a != 0 {
+				p.anchors = append(p.anchors, anchorRef{ack: a, edge: envs[i].tuple.edge})
+				qf.alen++
+			}
+		}
+	}
+	p.frames = append(p.frames, qf)
+	p.qBytes += len(f.b)
+	if len(p.frames) == 1 {
+		p.cond.Broadcast() // queue went non-empty: wake the writer
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// writeLoop is the peer's dedicated writer: it swaps the whole queue out
+// under the lock and writes every queued frame in one writev. It exits only
+// while holding the lock with an empty queue (after closing or death), so
+// an enqueue that succeeded is guaranteed to be either written or failed —
+// never stranded.
+func (p *tcpPeer) writeLoop() {
+	defer p.t.wg.Done()
+	defer close(p.writerDone)
+	var bufs net.Buffers
+	var spare []qFrame
+	var spareAnchors []anchorRef
+	for {
+		p.mu.Lock()
+		for len(p.frames) == 0 && !p.closing && !p.dead.Load() {
+			p.cond.Wait()
+		}
+		if len(p.frames) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		frames, anchors := p.frames, p.anchors
+		p.frames, p.anchors = spare[:0], spareAnchors[:0]
+		p.qBytes = 0
+		p.cond.Broadcast() // queue space freed: wake blocked enqueuers
+		dead := p.dead.Load()
+		p.mu.Unlock()
+
+		if dead {
+			p.t.failFrames(frames, anchors, p.down())
+		} else {
+			bufs = bufs[:0]
+			for i := range frames {
+				bufs = append(bufs, frames[i].buf.b)
+			}
+			if _, err := bufs.WriteTo(p.conn); err != nil {
+				// Fail the whole take: a writev error loses the tail and may
+				// duplicate an already-written prefix on replay — at-least-once,
+				// exactly like a partial conn.Write before.
+				p.t.peerLost(p.id, err)
+				p.t.failFrames(frames, anchors, err)
+			}
+		}
+		for i := range frames {
+			putFrameBuf(frames[i].buf)
+			frames[i] = qFrame{}
+		}
+		spare, spareAnchors = frames, anchors
+	}
 }
 
 // Send implements Peer: one full frame per call, FIFO with every other
-// Send to this peer.
+// Send to this peer. The frame is copied (the caller may reuse its buffer
+// the moment Send returns) and queued for the writer.
 func (p *tcpPeer) Send(frame []byte) error {
 	if p.dead.Load() {
-		return fmt.Errorf("storm: peer %d is down", p.id)
+		return p.down()
 	}
-	p.mu.Lock()
-	_, err := p.conn.Write(frame)
-	p.mu.Unlock()
-	return err
+	f := getFrameBuf()
+	f.b = append(f.b[:0], frame...)
+	if err := p.enqueue(f, nil, nil); err != nil {
+		putFrameBuf(f)
+		return err
+	}
+	return nil
 }
 
-// sendSmall builds a frame under the peer's lock (reusing its scratch
-// buffer) and writes it, for the fixed-size control traffic.
+// sendSmall builds a frame into a pooled buffer off the peer lock and
+// queues it, for the fixed-size control traffic. The frame coalesces into
+// the writer's next writev instead of costing its own syscall.
 func (p *tcpPeer) sendSmall(build func([]byte) []byte) error {
 	if p.dead.Load() {
-		return fmt.Errorf("storm: peer %d is down", p.id)
+		return p.down()
+	}
+	f := getFrameBuf()
+	f.b = build(f.b)
+	if err := p.enqueue(f, nil, nil); err != nil {
+		putFrameBuf(f)
+		return err
+	}
+	return nil
+}
+
+// trySendSmall is sendSmall minus the backpressure wait: when the queue is
+// over its bound the frame is skipped. Used for heartbeats — a full queue
+// means data frames are already flowing, which is a stronger liveness
+// signal than the heartbeat it displaces.
+func (p *tcpPeer) trySendSmall(build func([]byte) []byte) {
+	if p.dead.Load() {
+		return
 	}
 	p.mu.Lock()
-	p.buf = build(p.buf)
-	_, err := p.conn.Write(p.buf)
+	if p.qBytes >= peerQueueBytes || p.closing || p.dead.Load() {
+		p.mu.Unlock()
+		return
+	}
+	f := getFrameBuf()
+	f.b = build(f.b)
+	p.frames = append(p.frames, qFrame{buf: f})
+	p.qBytes += len(f.b)
+	if len(p.frames) == 1 {
+		p.cond.Broadcast()
+	}
 	p.mu.Unlock()
-	return err
+}
+
+// beginShutdown starts a graceful drain: no new frames are accepted and
+// the writer exits once the queue is flushed. The write deadline bounds
+// the flush against a peer that stopped reading.
+func (p *tcpPeer) beginShutdown() {
+	p.mu.Lock()
+	p.closing = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	if p.conn != nil {
+		p.conn.SetWriteDeadline(time.Now().Add(shutdownFlushTimeout))
+	}
+}
+
+// finishShutdown waits for the writer to drain and closes the connection.
+func (p *tcpPeer) finishShutdown() {
+	if p.writerDone != nil {
+		<-p.writerDone
+	}
+	if p.conn != nil {
+		p.conn.Close()
+	}
 }
 
 func (p *tcpPeer) Close() error {
@@ -68,6 +280,30 @@ func (p *tcpPeer) Close() error {
 		return p.conn.Close()
 	}
 	return nil
+}
+
+// failFrames accounts for queued frames a peer took to its grave, exactly
+// like dropBatch accounts a batch a send error already lost: per-envelope
+// dropped counts on the destination component, failed anchors so the
+// trackers replay or expire the trees, and the run error under FailFast.
+func (t *tcpTransport) failFrames(frames []qFrame, anchors []anchorRef, cause error) {
+	for i := range frames {
+		f := &frames[i]
+		if f.comp == nil {
+			continue // control frame: nothing to account
+		}
+		f.comp.dropped.Add(uint64(f.n))
+		for _, a := range anchors[f.aoff : f.aoff+int32(f.alen)] {
+			if t.r.acker != nil {
+				t.r.acker.apply(a.ack, a.edge, true)
+			} else if t.r.tracker != nil {
+				t.r.tracker.finish(a.ack, true)
+			}
+		}
+		if t.r.policy != Degrade {
+			t.r.recordErr(fmt.Errorf("storm: dropping %d tuples for %s: %w", f.n, f.comp.spec.id, cause))
+		}
+	}
 }
 
 // rpcResult carries one control response back to its waiting caller.
@@ -173,13 +409,17 @@ func newTCPTransport(r *Runtime) (*tcpTransport, error) {
 			t.Close()
 			return nil, fmt.Errorf("storm: worker %d dialing worker %d (%s): %w", t.self, w, addr, err)
 		}
-		p := &tcpPeer{id: w, conn: conn}
-		p.buf = appendHelloFrame(p.buf, t.self)
-		if _, err := conn.Write(p.buf); err != nil {
+		t.tuneConn(conn)
+		f := getFrameBuf()
+		f.b = appendHelloFrame(f.b[:0], t.self)
+		_, err = conn.Write(f.b) // synchronous: the hello must precede every queued frame
+		putFrameBuf(f)
+		if err != nil {
+			conn.Close()
 			t.Close()
 			return nil, fmt.Errorf("storm: worker %d hello to worker %d: %w", t.self, w, err)
 		}
-		t.peers[w] = p
+		t.peers[w] = newTCPPeer(t, w, conn)
 	}
 	close(t.ready)
 	t.wg.Add(1)
@@ -204,6 +444,23 @@ func (t *tcpTransport) dial(addr string, deadline time.Time) (net.Conn, error) {
 	}
 }
 
+// tuneConn applies the configured socket options to a peer connection:
+// TCP_NODELAY (on unless disabled — the writer already coalesces, so Nagle
+// only adds latency) and optional kernel buffer sizes.
+func (t *tcpTransport) tuneConn(conn net.Conn) {
+	tc, ok := conn.(*net.TCPConn)
+	if !ok {
+		return
+	}
+	tc.SetNoDelay(!t.r.cfg.tcpNoDelayOff)
+	if n := t.r.cfg.sockSndbuf; n > 0 {
+		tc.SetWriteBuffer(n)
+	}
+	if n := t.r.cfg.sockRcvbuf; n > 0 {
+		tc.SetReadBuffer(n)
+	}
+}
+
 // Deliver implements Transport.
 func (t *tcpTransport) Deliver(eid int, b *Batch) error {
 	if eid < 0 || eid >= len(t.r.execs) {
@@ -218,23 +475,32 @@ func (t *tcpTransport) Deliver(eid int, b *Batch) error {
 	if p == nil || p.dead.Load() {
 		return fmt.Errorf("storm: worker %d is down", ex.worker)
 	}
-	p.mu.Lock()
-	buf, err := appendBatchFrame(p.buf, eid, t.epoch.Load(), b.envs)
-	if err == nil {
-		p.buf = buf
-		_, err = p.conn.Write(buf)
-	}
-	p.mu.Unlock()
+	// Encode off the peer lock into a pooled buffer, then queue the frame
+	// for the writer. Enqueueing succeeds or the batch is still ours — the
+	// caller's dropBatch accounting stays correct — and once queued, peer
+	// loss fails the frame with the same accounting via failFrames.
+	f := getFrameBuf()
+	buf, err := appendBatchFrame(f.b[:0], eid, t.epoch.Load(), b.envs)
 	if err != nil {
+		putFrameBuf(f)
+		return err
+	}
+	f.b = buf
+	if err := p.enqueue(f, ex.comp, b.envs); err != nil {
+		putFrameBuf(f)
 		return err
 	}
 	// The frame owns copies of everything; release the pooled batch here,
-	// playing the receiving executor's role in the ownership contract.
+	// playing the receiving executor's role in the ownership contract —
+	// including recycling any decode-pooled Values maps that were forwarded.
+	t.r.recycleBatchVals(b)
 	t.r.putBatch(b)
 	return nil
 }
 
-// Close implements Transport; idempotent.
+// Close implements Transport; idempotent. Peer writers drain their queues
+// first (bounded by shutdownFlushTimeout) so final eofs and acks reach the
+// wire, then the connections close.
 func (t *tcpTransport) Close() error {
 	if t.closed.Swap(true) {
 		return nil
@@ -245,7 +511,12 @@ func (t *tcpTransport) Close() error {
 	}
 	for _, p := range t.peers {
 		if p != nil {
-			p.Close()
+			p.beginShutdown()
+		}
+	}
+	for _, p := range t.peers {
+		if p != nil {
+			p.finishShutdown()
 		}
 	}
 	t.wg.Wait()
@@ -259,13 +530,17 @@ func (t *tcpTransport) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		t.tuneConn(conn)
 		t.wg.Add(1)
 		go t.readLoop(conn)
 	}
 }
 
 // heartbeatLoop keeps every outbound link warm so idle peers do not trip
-// each other's read deadlines, and detects dead links by write failure.
+// each other's read deadlines. Dead links are detected by the peer's
+// writer goroutine (any write failure calls peerLost), so the heartbeat
+// only needs to queue frames — and skips peers whose queue is already
+// backed up with data frames, which prove liveness on their own.
 func (t *tcpTransport) heartbeatLoop() {
 	defer t.wg.Done()
 	tick := time.NewTicker(t.hb)
@@ -279,20 +554,18 @@ func (t *tcpTransport) heartbeatLoop() {
 				if p == nil || p.dead.Load() {
 					continue
 				}
-				if err := p.sendSmall(appendHeartbeatFrame); err != nil {
-					t.peerLost(p.id, fmt.Errorf("heartbeat: %w", err))
-				}
+				p.trySendSmall(appendHeartbeatFrame)
 			}
 		}
 	}
 }
 
 // readLoop serves one inbound connection. The first frame must be the
-// peer's hello; every later frame is dispatched in order. Liveness: each
-// header read is armed with a 4-heartbeat deadline, so a genuinely silent
-// peer is detected while a reader merely blocked delivering into a full
-// executor queue (backpressure) is not — the deadline only covers the
-// socket wait.
+// peer's hello; every later frame is dispatched in order. Liveness: one
+// 4-heartbeat deadline is armed per frame (covering both the header and
+// payload reads), so a genuinely silent peer is detected while a reader
+// merely blocked delivering into a full executor queue (backpressure) is
+// not — the deadline only covers the socket wait.
 func (t *tcpTransport) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer conn.Close()
@@ -302,6 +575,7 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 		return
 	}
 	br := bufio.NewReaderSize(conn, 64<<10)
+	dec := &frameDecoder{r: t.r}
 	var header [frameHeaderLen]byte
 	var payload []byte
 	peer := -1
@@ -322,7 +596,12 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 		}
 	}()
 	for {
-		conn.SetReadDeadline(time.Now().Add(4 * t.hb))
+		// The deadline guards the socket wait only: when the next frame is
+		// already sitting in the buffered reader, skip the re-arm (a
+		// time.Now + poller update per frame on the hot path).
+		if br.Buffered() < frameHeaderLen {
+			conn.SetReadDeadline(time.Now().Add(4 * t.hb))
+		}
 		if _, err := io.ReadFull(br, header[:]); err != nil {
 			fail(err)
 			return
@@ -336,7 +615,9 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 			payload = make([]byte, n)
 		}
 		payload = payload[:n]
-		conn.SetReadDeadline(time.Now().Add(4 * t.hb))
+		if br.Buffered() < int(n) {
+			conn.SetReadDeadline(time.Now().Add(4 * t.hb))
+		}
 		if _, err := io.ReadFull(br, payload); err != nil {
 			fail(err)
 			return
@@ -350,19 +631,23 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 			peer = int(w)
 			continue
 		}
-		if err := t.dispatch(peer, typ, body); err != nil {
+		err := t.dispatch(peer, typ, body, dec)
+		if cap(payload) > maxScratchBytes {
+			payload = nil // retention cap: a jumbo frame's buffer is not pinned
+		}
+		if err != nil {
 			fail(err)
 			return
 		}
 	}
 }
 
-func (t *tcpTransport) dispatch(peer int, typ byte, body []byte) error {
+func (t *tcpTransport) dispatch(peer int, typ byte, body []byte, dec *frameDecoder) error {
 	switch typ {
 	case frameHeartbeat:
 		return nil
 	case frameBatch:
-		destEID, epoch, b, err := t.r.decodeBatchFrame(body)
+		destEID, epoch, b, err := dec.decodeBatchFrame(body)
 		if err != nil {
 			return err
 		}
@@ -387,7 +672,7 @@ func (t *tcpTransport) dispatch(peer int, typ byte, body []byte) error {
 			// checksum updates to the owner directly, so anchored envelopes
 			// pass through untranslated — no per-hop sub-anchor needed.
 		default:
-			t.releaseAnchors(peer, b)
+			t.releaseAnchors(peer, b, dec)
 		}
 		return t.r.DeliverLocal(destEID, b)
 	case frameEOF:
@@ -505,7 +790,11 @@ func (t *tcpTransport) adoptAnchors(peer int, b *Batch) {
 // an immediate ackResult back to the sender, exactly like adoptAnchors
 // without a tracker. Either way the anchor fields are zeroed so local
 // executors never touch a tracker/acker that does not exist here.
-func (t *tcpTransport) releaseAnchors(peer int, b *Batch) {
+//
+// XOR updates coalesce per batch into the decoder's per-owner scratch
+// slices (one ackBatch frame per owning worker per inbound batch) instead
+// of allocating a one-element slice per envelope.
+func (t *tcpTransport) releaseAnchors(peer int, b *Batch, dec *frameDecoder) {
 	for i := range b.envs {
 		env := &b.envs[i]
 		if env.tuple.ack == 0 {
@@ -514,14 +803,26 @@ func (t *tcpTransport) releaseAnchors(peer int, b *Batch) {
 		if env.tuple.edge != 0 {
 			owner := int(env.tuple.ack & t.ackWorkerMask)
 			if owner != t.self {
-				ents := []ackUpdate{{root: env.tuple.ack, xor: env.tuple.edge}}
-				t.sendAckBatch(owner, ents)
+				if dec.ackScratch == nil {
+					dec.ackScratch = make([][]ackUpdate, len(t.peers))
+				}
+				if len(dec.ackScratch[owner]) == 0 {
+					dec.ackDirty = append(dec.ackDirty, owner)
+				}
+				dec.ackScratch[owner] = append(dec.ackScratch[owner], ackUpdate{root: env.tuple.ack, xor: env.tuple.edge})
 			}
 		} else {
 			t.sendAckResult(peer, env.tuple.ack, false)
 		}
 		env.tuple.ack, env.tuple.edge = 0, 0
 	}
+	for _, w := range dec.ackDirty {
+		// appendAckBatchFrame copies the entries into the frame, so the
+		// scratch slice is immediately reusable.
+		t.sendAckBatch(w, dec.ackScratch[w])
+		dec.ackScratch[w] = dec.ackScratch[w][:0]
+	}
+	dec.ackDirty = dec.ackDirty[:0]
 }
 
 // sendAckBatch ships a coalesced batch of XOR checksum updates to the

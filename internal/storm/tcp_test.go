@@ -112,9 +112,13 @@ func (rig *distRig) edgeReconciles(t *testing.T, up, down string) {
 
 // TestDistributedFigure8CountEquivalence splits the Figure-8 pipeline
 // across two worker processes over TCP and asserts the run is count-
-// equivalent to the in-process run: identical per-task executed/emitted/
-// dropped counters, every edge reconciling on the summed counters, and
-// both workers actually doing work (the split is real, not degenerate).
+// equivalent to the in-process run: identical per-component executed/
+// emitted/dropped totals, every edge reconciling on the summed counters,
+// and both workers actually doing work (the split is real, not
+// degenerate). Totals are compared per component, not per task: shuffle
+// deliveries in distributed runs prefer same-worker tasks (local-or-
+// shuffle, see runningComponent.localTasks), so the per-task split
+// legitimately differs from the single-process round-robin.
 func TestDistributedFigure8CountEquivalence(t *testing.T) {
 	const n = 2000
 	esper := func() Bolt { return &passBolt{} }
@@ -147,13 +151,20 @@ func TestDistributedFigure8CountEquivalence(t *testing.T) {
 		if len(gotTasks) != len(wantTasks) {
 			t.Fatalf("%s: task count %d vs %d", comp, len(gotTasks), len(wantTasks))
 		}
+		var wantSum, gotSum TaskMetrics
 		for i := range wantTasks {
-			if gotTasks[i].Executed != wantTasks[i].Executed ||
-				gotTasks[i].Emitted != wantTasks[i].Emitted ||
-				gotTasks[i].Dropped != wantTasks[i].Dropped {
-				t.Errorf("%s task %d: distributed %+v, single-process %+v",
-					comp, i, gotTasks[i], wantTasks[i])
-			}
+			wantSum.Executed += wantTasks[i].Executed
+			wantSum.Emitted += wantTasks[i].Emitted
+			wantSum.Dropped += wantTasks[i].Dropped
+			gotSum.Executed += gotTasks[i].Executed
+			gotSum.Emitted += gotTasks[i].Emitted
+			gotSum.Dropped += gotTasks[i].Dropped
+		}
+		if gotSum.Executed != wantSum.Executed ||
+			gotSum.Emitted != wantSum.Emitted ||
+			gotSum.Dropped != wantSum.Dropped {
+			t.Errorf("%s: distributed totals %+v, single-process totals %+v",
+				comp, gotSum, wantSum)
 		}
 	}
 	chain := []string{"busreader", "preprocess", "areatracker", "busstops", "splitter", "esper", "storer"}

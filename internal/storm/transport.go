@@ -26,13 +26,13 @@ import "fmt"
 // them to DeliverLocal, never retaining a reference afterwards.
 //
 // Blocking contract: Deliver may block for backpressure (a full executor
-// queue, a full TCP send buffer). The runtime guarantees the flush-before-
-// block rule — an executor only sleeps waiting for input after flushing all
-// of its buffered output — so Deliver blocking on a downstream queue cannot
-// deadlock an acyclic topology. A transport must preserve per-sender FIFO
-// order: two Deliver calls from the same executor to the same destination
-// arrive in call order (producer-exit accounting and rebalance fences
-// depend on it).
+// queue, a full per-peer outbound frame queue). The runtime guarantees the
+// flush-before-block rule — an executor only sleeps waiting for input after
+// flushing all of its buffered output — so Deliver blocking on a downstream
+// queue cannot deadlock an acyclic topology. A transport must preserve
+// per-sender FIFO order: two Deliver calls from the same executor to the
+// same destination arrive in call order (producer-exit accounting and
+// rebalance fences depend on it).
 //
 // Deliver returns an error only when the batch could not be handed off at
 // all (unknown destination, dead peer); the runtime then counts the
@@ -46,13 +46,17 @@ type Transport interface {
 // Peer is one directed link to another worker process, as used by the TCP
 // transport: a frame writer with the same FIFO guarantee as Transport.
 // Frames are opaque length-prefixed blobs (wire.go builds them); Send must
-// be safe for concurrent use and must either write the whole frame or
-// return an error. Alternative peer links (TLS, gRPC streams) implement
-// Peer to reuse the built-in membership, heartbeat and framing machinery.
+// be safe for concurrent use and must either accept the whole frame for
+// in-order delivery or return an error — a successful Send may complete
+// asynchronously (the built-in peer queues the frame for its writer
+// goroutine), but the frame is then guaranteed to be written or surfaced
+// as a link failure, never silently dropped. Alternative peer links (TLS,
+// gRPC streams) implement Peer to reuse the built-in membership, heartbeat
+// and framing machinery.
 type Peer interface {
-	// Send writes one complete frame. The buffer is owned by the caller
-	// and may be reused once Send returns: implementations must not retain
-	// it.
+	// Send ships one complete frame, preserving per-peer FIFO order. The
+	// buffer is owned by the caller and may be reused once Send returns:
+	// implementations must not retain it.
 	Send(frame []byte) error
 	Close() error
 }
@@ -130,5 +134,6 @@ func (r *Runtime) dropBatch(target *runningComponent, b *Batch, cause error) {
 	if r.policy != Degrade {
 		r.recordErr(fmt.Errorf("storm: dropping %d tuples for %s: %w", len(b.envs), target.spec.id, cause))
 	}
+	r.recycleBatchVals(b) // dropped envelopes' pooled payload maps go back too
 	r.putBatch(b)
 }

@@ -305,9 +305,110 @@ func appendBatchFrame(buf []byte, destEID int, epoch uint64, envs []envelope) ([
 	return endFrame(buf), nil
 }
 
+// frameDecoder is one reader goroutine's decode state: a bounded string
+// intern table (stream names and map keys repeat endlessly across frames,
+// so each distinct name is materialized once instead of once per
+// envelope) and the releaseAnchors per-owner ack scratch (tcp.go). One
+// decoder per connection, owned by its readLoop — never shared.
+type frameDecoder struct {
+	r *Runtime
+
+	// Intern table: a tiny ring of recently seen strings, scanned linearly.
+	// The working set is a handful of stream names and tuple keys repeated
+	// across every envelope, so a scan of ≤ internSlots short strings beats
+	// a map probe (no hashing); churny or long strings just rotate through
+	// without displacing cost anywhere else.
+	tab     [internSlots]string
+	tabNext int
+
+	// vals is a goroutine-local stash of recycled payload maps, refilled
+	// in bulk from the runtime freelist (one lock per 64 maps instead of
+	// one pool operation per map).
+	vals []map[string]any
+
+	// releaseAnchors scratch: per-owning-worker ackUpdate slices plus the
+	// dirty-owner list, reused across batches (see tcp.go).
+	ackScratch [][]ackUpdate
+	ackDirty   []int
+}
+
+// getVals pops one payload map from the decoder's local stash, bulk
+// refilling it from the runtime freelist when empty.
+func (d *frameDecoder) getVals() map[string]any {
+	n := len(d.vals)
+	if n == 0 {
+		if cap(d.vals) == 0 {
+			d.vals = make([]map[string]any, 64)
+		} else {
+			d.vals = d.vals[:cap(d.vals)]
+		}
+		d.r.takeVals(d.vals)
+		n = len(d.vals)
+	}
+	m := d.vals[n-1]
+	d.vals[n-1] = nil
+	d.vals = d.vals[:n-1]
+	if m == nil {
+		m = make(map[string]any, 8)
+	}
+	return m
+}
+
+// Intern-table bounds: strings longer than maxInternLen are assumed
+// unique-ish payload data and skipped; the table holds internSlots entries
+// and evicts round-robin, so adversarial key churn cannot grow it.
+const (
+	maxInternLen = 64
+	internSlots  = 8
+)
+
+// str materializes b as a string, returning the interned copy when one
+// exists. The s == string(b) comparisons compile to alloc-free probes.
+func (d *frameDecoder) str(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if len(b) > maxInternLen {
+		return string(b)
+	}
+	for _, s := range d.tab {
+		if s == string(b) {
+			return s
+		}
+	}
+	s := string(b)
+	d.tab[d.tabNext] = s
+	d.tabNext = (d.tabNext + 1) % internSlots
+	return s
+}
+
+// decodeStr is decodeWireString through the intern table.
+func (d *frameDecoder) decodeStr(b []byte) (string, []byte, error) {
+	n, b, err := decodeUvarint(b)
+	if err != nil || n > uint64(len(b)) {
+		return "", nil, errShortFrame
+	}
+	return d.str(b[:n]), b[n:], nil
+}
+
 // decodeBatchFrame decodes a batch frame payload (type byte already
 // consumed) into a pooled batch whose payloads share no memory with b.
-func (r *Runtime) decodeBatchFrame(b []byte) (destEID int, epoch uint64, bt *Batch, err error) {
+// This is the transport's Runtime-method entry point; it pays for a fresh
+// decoder (no interning, no pooled maps benefit from reuse context) and
+// exists for tests and one-shot callers — the hot path is the
+// frameDecoder method below.
+func (r *Runtime) decodeBatchFrame(b []byte) (int, uint64, *Batch, error) {
+	d := frameDecoder{r: r}
+	return d.decodeBatchFrame(b)
+}
+
+// decodeBatchFrame (frameDecoder) is the hot-path decode: envelope Values
+// maps come from the runtime's pool (marked env.pooled; the receiving
+// executor recycles them after Execute under the receiver-releases
+// contract — see runtime.go), and stream names and map keys go through the
+// intern table.
+func (d *frameDecoder) decodeBatchFrame(b []byte) (destEID int, epoch uint64, bt *Batch, err error) {
+	r := d.r
 	var v uint64
 	if v, b, err = decodeUvarint(b); err != nil {
 		return 0, 0, nil, err
@@ -325,6 +426,7 @@ func (r *Runtime) decodeBatchFrame(b []byte) (destEID int, epoch uint64, bt *Bat
 	}
 	bt = r.getBatch()
 	fail := func(e error) (int, uint64, *Batch, error) {
+		r.recycleBatchVals(bt) // pooled maps decoded so far go back to the pool
 		r.putBatch(bt)
 		return 0, 0, nil, e
 	}
@@ -344,7 +446,7 @@ func (r *Runtime) decodeBatchFrame(b []byte) (destEID int, epoch uint64, bt *Bat
 			env.tuple.edge = binary.BigEndian.Uint64(b)
 			b = b[8:]
 		}
-		if env.tuple.Stream, b, err = decodeWireString(b); err != nil {
+		if env.tuple.Stream, b, err = d.decodeStr(b); err != nil {
 			return fail(err)
 		}
 		if len(b) == 0 {
@@ -374,11 +476,12 @@ func (r *Runtime) decodeBatchFrame(b []byte) (destEID int, epoch uint64, bt *Bat
 			return fail(errShortFrame)
 		}
 		if nvals > 0 {
-			env.tuple.Values = make(map[string]any, nvals)
+			env.tuple.Values = d.getVals()
+			env.pooled = true
 			for j := uint64(0); j < nvals; j++ {
 				var k string
 				var val any
-				if k, b, err = decodeWireString(b); err != nil {
+				if k, b, err = d.decodeStr(b); err != nil {
 					return fail(err)
 				}
 				if val, b, err = decodeValue(b); err != nil {

@@ -264,3 +264,39 @@ func FuzzWireFrame(f *testing.F) {
 		decodeControlFrame(payload)
 	})
 }
+
+// BenchmarkWireBatchRoundTrip tracks the steady-state codec cost of one
+// batch-frame round trip at the transport's default batch size: encode 64
+// small envelopes into a frame, decode them back through a persistent
+// frameDecoder (the readLoop's configuration, so the intern table and the
+// Values-map stash amortize exactly as in production), then release the
+// decoded batch under the receiver-releases contract. allocs/op is the
+// regression signal: decode-side pooling should hold it near the floor of
+// one boxed value per decoded map entry.
+func BenchmarkWireBatchRoundTrip(b *testing.B) {
+	rt := wireTestRuntime(b)
+	envs := make([]envelope, 64)
+	for i := range envs {
+		envs[i] = envelope{tuple: Tuple{
+			Stream: "default",
+			Values: map[string]any{"k": i % 8, "v": i},
+		}}
+	}
+	dec := &frameDecoder{r: rt}
+	var frame []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		frame, err = appendBatchFrame(frame[:0], 7, 1, envs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _, bt, err := dec.decodeBatchFrame(frame[frameHeaderLen+1:])
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt.recycleBatchVals(bt)
+		rt.putBatch(bt)
+	}
+}
