@@ -456,10 +456,12 @@ func BenchmarkStormPipelineFaults(b *testing.B) {
 // shuffle stages → splitter → direct-grouped engines → sink), across batch
 // sizes, with telemetry tracing on and off, and across the acking modes:
 // off (no reliability), xor (the sharded checksum acker, the default when
-// acking is enabled) and tree (the explicit per-tree tracker, kept for
-// ablation). batch=1 is the pre-batching per-tuple transport (ablation
-// baseline); the acceptance bars are ≥ 2× tuples/s at batch=64 with
-// telemetry and acking off, and ack=xor within 1.5× of ack=off there.
+// acking is enabled), tree (the explicit per-tree tracker, kept for
+// ablation) and epoch (barrier checkpointing — no per-tuple tracking, so
+// the hot path should be near the ack=off baseline). batch=1 is the
+// pre-batching per-tuple transport (ablation baseline); the acceptance
+// bars are ≥ 2× tuples/s at batch=64 with telemetry and acking off,
+// ack=xor within 1.5× of ack=off there, and ack=epoch within 1.15×.
 func BenchmarkStormThroughput(b *testing.B) {
 	onoff := func(v bool) string {
 		if v {
@@ -469,7 +471,7 @@ func BenchmarkStormThroughput(b *testing.B) {
 	}
 	for _, size := range []int{1, 8, 64, 256} {
 		for _, tel := range []bool{false, true} {
-			for _, ack := range []string{"off", "tree", "xor"} {
+			for _, ack := range []string{"off", "tree", "xor", "epoch"} {
 				name := fmt.Sprintf("batch=%d/telemetry=%s/ack=%s", size, onoff(tel), ack)
 				b.Run(name, func(b *testing.B) {
 					opts := []storm.Option{
@@ -484,6 +486,9 @@ func BenchmarkStormThroughput(b *testing.B) {
 						opts = append(opts, storm.WithAckTimeout(30*time.Second), storm.WithAckMode(storm.AckTree))
 					case "xor":
 						opts = append(opts, storm.WithAckTimeout(30*time.Second), storm.WithAckMode(storm.AckXOR))
+					case "epoch":
+						opts = append(opts, storm.WithAckTimeout(30*time.Second),
+							storm.WithAckMode(storm.AckEpoch), storm.WithEpochInterval(50*time.Millisecond))
 					}
 					rt, err := benchFigure8(b.N, ack != "off", opts...)
 					if err != nil {

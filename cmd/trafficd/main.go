@@ -62,6 +62,7 @@ type options struct {
 	ackRetries    int
 	ackMode       storm.AckMode
 	ackShards     int
+	epochInterval time.Duration
 	failurePolicy string
 	runDeadline   time.Duration
 
@@ -96,8 +97,9 @@ func parseFlags(args []string) (options, error) {
 	fs.BoolVar(&opt.noTelemetry, "telemetry.off", false, "disable the telemetry registry and tuple tracing entirely")
 	fs.DurationVar(&opt.ackTimeout, "ack.timeout", 0, "enable at-least-once delivery: replay anchored tuples not acked within this timeout (0 = off)")
 	fs.IntVar(&opt.ackRetries, "ack.retries", 3, "replays per anchored tuple before it expires as dropped")
-	fs.StringVar(&ackMode, "ack.mode", "xor", "ack tracking engine: xor (sharded checksum acker) or tree (per-tree tracker)")
+	fs.StringVar(&ackMode, "ack.mode", "xor", "ack tracking engine: xor (sharded checksum acker), tree (per-tree tracker) or epoch (barrier checkpoints with spout replay)")
 	fs.IntVar(&opt.ackShards, "ack.shards", 0, "lock-striped shards in the xor acker, rounded up to a power of two (0 = default 8)")
+	fs.DurationVar(&opt.epochInterval, "epoch.interval", 0, "barrier injection period under -ack.mode epoch (0 = the storm default, 100ms)")
 	fs.StringVar(&opt.failurePolicy, "failure.policy", "failfast", "task failure policy: failfast (first error fails the run) or degrade (quarantine failing tasks, keep running)")
 	fs.DurationVar(&opt.runDeadline, "run.deadline", 0, "cancel the run gracefully after this duration (0 = no deadline)")
 	fs.DurationVar(&opt.rebalanceInterval, "rebalance.interval", 0, "re-run the rules partitioning over live rate estimates this often and swap the routing table when skewed (0 = static routing)")
@@ -120,6 +122,12 @@ func parseFlags(args []string) (options, error) {
 	if opt.ackShards < 0 {
 		return opt, fmt.Errorf("-ack.shards must be >= 0, got %d", opt.ackShards)
 	}
+	if opt.epochInterval < 0 {
+		return opt, fmt.Errorf("-epoch.interval must be >= 0, got %v", opt.epochInterval)
+	}
+	if opt.epochInterval > 0 && opt.ackMode != storm.AckEpoch {
+		return opt, fmt.Errorf("-epoch.interval has no effect without -ack.mode epoch (mode is %v)", opt.ackMode)
+	}
 	// The reliability knobs do nothing unless -ack.timeout enables acking:
 	// setting one without it used to be accepted silently, hiding typos and
 	// configurations that never took effect.
@@ -127,7 +135,7 @@ func parseFlags(args []string) (options, error) {
 		var orphan string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "ack.retries", "ack.mode", "ack.shards":
+			case "ack.retries", "ack.mode", "ack.shards", "epoch.interval":
 				orphan = f.Name
 			}
 		})
@@ -392,6 +400,9 @@ func run(opt options) error {
 		)
 		if opt.ackShards > 0 {
 			stormOpts = append(stormOpts, storm.WithAckShards(opt.ackShards))
+		}
+		if opt.epochInterval > 0 {
+			stormOpts = append(stormOpts, storm.WithEpochInterval(opt.epochInterval))
 		}
 	}
 	rt, err := storm.New(topo, stormOpts...)

@@ -76,6 +76,44 @@ func TestParseFlagsAckValidation(t *testing.T) {
 			wantErr: "below the 1ms sweep granularity",
 		},
 		{
+			name: "epoch mode with interval",
+			args: []string{"-ack.timeout", "1s", "-ack.mode", "epoch", "-epoch.interval", "25ms"},
+			check: func(t *testing.T, opt options) {
+				if opt.ackMode != storm.AckEpoch || opt.epochInterval != 25*time.Millisecond {
+					t.Errorf("parsed epoch options = %+v", opt)
+				}
+			},
+		},
+		{
+			name: "epoch mode default interval",
+			args: []string{"-ack.timeout", "1s", "-ack.mode", "epoch"},
+			check: func(t *testing.T, opt options) {
+				if opt.epochInterval != 0 {
+					t.Errorf("epoch interval = %v, want 0 (storm default applies)", opt.epochInterval)
+				}
+			},
+		},
+		{
+			name:    "epoch interval without epoch mode",
+			args:    []string{"-ack.timeout", "1s", "-epoch.interval", "25ms"},
+			wantErr: "-epoch.interval has no effect without -ack.mode epoch",
+		},
+		{
+			name:    "epoch interval under tree mode",
+			args:    []string{"-ack.timeout", "1s", "-ack.mode", "tree", "-epoch.interval", "25ms"},
+			wantErr: "-epoch.interval has no effect without -ack.mode epoch",
+		},
+		{
+			name:    "epoch interval without timeout",
+			args:    []string{"-ack.mode", "epoch", "-epoch.interval", "25ms"},
+			wantErr: "has no effect without -ack.timeout",
+		},
+		{
+			name:    "negative epoch interval",
+			args:    []string{"-ack.timeout", "1s", "-ack.mode", "epoch", "-epoch.interval", "-5ms"},
+			wantErr: "-epoch.interval must be >= 0",
+		},
+		{
 			name:    "missing traces",
 			args:    []string{"-ack.timeout", "1s"},
 			wantErr: "-traces is required",

@@ -66,6 +66,11 @@ const (
 	// AckTree keeps the original tree-walking tracker (per-delivery
 	// reference counts under one mutex) as the ablation baseline.
 	AckTree
+	// AckEpoch replaces per-tuple tracking entirely with aligned epoch
+	// barriers and per-epoch spout replay (see epoch.go): zero per-tuple
+	// ack traffic, effectively-once output for idempotent sinks. Spouts
+	// opt into rewind by implementing ReplayableSpout.
+	AckEpoch
 )
 
 func (m AckMode) String() string {
@@ -74,19 +79,23 @@ func (m AckMode) String() string {
 		return "xor"
 	case AckTree:
 		return "tree"
+	case AckEpoch:
+		return "epoch"
 	}
 	return fmt.Sprintf("AckMode(%d)", int(m))
 }
 
-// ParseAckMode parses "xor" or "tree" (case-insensitive).
+// ParseAckMode parses "xor", "tree" or "epoch" (case-insensitive).
 func ParseAckMode(s string) (AckMode, error) {
 	switch strings.ToLower(s) {
 	case "xor":
 		return AckXOR, nil
 	case "tree":
 		return AckTree, nil
+	case "epoch":
+		return AckEpoch, nil
 	}
-	return 0, fmt.Errorf("storm: unknown ack mode %q (want xor or tree)", s)
+	return 0, fmt.Errorf("storm: unknown ack mode %q (want xor, tree or epoch)", s)
 }
 
 // ackUpdate is one checksum update: XOR xor into root's checksum, OR fail
@@ -116,6 +125,7 @@ type xorRoot struct {
 	checksum   uint64
 	failed     bool
 	registered bool
+	backoff    bool // drained-failed, parked awaiting the sweeper's replay
 	retries    int
 	deadline   int64 // unix nanos
 }
@@ -249,7 +259,7 @@ func (s *ackerShard) recycleLocked(p *xorRoot) {
 	// reuse as placeholder doesn't credit a stale task's pending count.
 	p.rc, p.ts = nil, nil
 	p.checksum = 0
-	p.failed, p.registered = false, false
+	p.failed, p.registered, p.backoff = false, false, false
 	p.retries = 0
 	if len(s.freeRoots) < maxShardFree {
 		s.freeRoots = append(s.freeRoots, p)
@@ -471,6 +481,13 @@ func (a *xorAcker) register(root uint64, rc *runningComponent, ts *taskState, ms
 // completion, drops, wire-received updates); the hot path batches through
 // an ackBatcher instead.
 func (a *xorAcker) apply(root, xor uint64, fail bool) {
+	if a.stopped.Load() {
+		// Local updates are already dropped inside applyShard, but the
+		// remote branch below has no shard lock: without this gate a late
+		// drop/replay completion would hand frames to a transport that may
+		// be mid-teardown.
+		return
+	}
 	if w := a.owner(root); w != int(a.self) {
 		if sr := a.sendRemote; sr != nil {
 			sr(w, []ackUpdate{{root: root, xor: xor, fail: fail}})
@@ -608,7 +625,17 @@ func (a *xorAcker) resolveLocked(s *ackerShard, p *xorRoot, now int64, rb *resol
 		}
 		s.recycleLocked(p)
 	default:
-		p.deadline = satAddNanos(now, int64(backoffFor(a.timeout, p.retries)))
+		// A failed tree parks here until the sweeper replays it. The tree
+		// is already drained, but duplicate zero-net updates can still
+		// re-enter (any {xor:0, fail:true} passes the batcher's push guard,
+		// and a multi-drop tree pushes one fail update per dropped hop):
+		// arming the deadline again on each re-entry would keep shoving the
+		// replay into the future, so only the transition INTO backoff sets
+		// it.
+		if !p.backoff {
+			p.backoff = true
+			p.deadline = satAddNanos(now, int64(backoffFor(a.timeout, p.retries)))
+		}
 	}
 }
 
@@ -659,6 +686,7 @@ func (a *xorAcker) sweepShard(si int, now int64) {
 		}
 		p.retries++
 		p.failed = false
+		p.backoff = false
 		// The replay hold: a fresh random edge XORed in before redelivery
 		// and released together with the redelivered edges, so the tree
 		// cannot drain to zero while the replay is still being issued.

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -15,6 +16,7 @@ func TestAckModeParseAndString(t *testing.T) {
 	for in, want := range map[string]AckMode{
 		"xor": AckXOR, "XOR": AckXOR, "Xor": AckXOR,
 		"tree": AckTree, "TREE": AckTree,
+		"epoch": AckEpoch, "EPOCH": AckEpoch, "Epoch": AckEpoch,
 	} {
 		got, err := ParseAckMode(in)
 		if err != nil || got != want {
@@ -24,8 +26,8 @@ func TestAckModeParseAndString(t *testing.T) {
 	if _, err := ParseAckMode("bogus"); err == nil {
 		t.Error("ParseAckMode(bogus) succeeded, want error")
 	}
-	if AckXOR.String() != "xor" || AckTree.String() != "tree" {
-		t.Errorf("String() = %q/%q, want xor/tree", AckXOR, AckTree)
+	if AckXOR.String() != "xor" || AckTree.String() != "tree" || AckEpoch.String() != "epoch" {
+		t.Errorf("String() = %q/%q/%q, want xor/tree/epoch", AckXOR, AckTree, AckEpoch)
 	}
 }
 
@@ -484,5 +486,125 @@ func TestAckerFlushMidExecuteSettlesChain(t *testing.T) {
 	}
 	if ft := rt.FaultTotals(); ft.Replays != n || ft.Acked != n {
 		t.Errorf("fault totals %+v; want %d replays and %d acked", ft, n, n)
+	}
+}
+
+// TestAckerStopSkipsRemoteSends is the regression for the remote branch of
+// apply: unlike local updates (dropped under the shard lock's stopped
+// check), updates for roots owned by another worker used to be handed to
+// sendRemote even after the acker stopped, pushing frames into a transport
+// that may be mid-teardown. A late drop or replay completion arriving
+// after cancellation must be a no-op.
+func TestAckerStopSkipsRemoteSends(t *testing.T) {
+	a := newXorAcker(&Runtime{cfg: config{selfWorker: 0, peers: []string{"a", "b"}}}, time.Hour, 3, 8)
+	var sends atomic.Int32
+	a.sendRemote = func(worker int, ents []ackUpdate) {
+		if worker != 1 {
+			t.Errorf("update routed to worker %d, want 1", worker)
+		}
+		sends.Add(1)
+	}
+	remoteRoot := uint64(1)<<a.workerBits | 1 // sequence 1 owned by worker 1
+	a.apply(remoteRoot, 0xbeef, false)
+	if got := sends.Load(); got != 1 {
+		t.Fatalf("live acker forwarded %d remote updates, want 1", got)
+	}
+	a.cancelAll()
+	a.apply(remoteRoot, 0xbeef, true)
+	a.apply(remoteRoot, 0, true)
+	if got := sends.Load(); got != 1 {
+		t.Fatalf("stopped acker forwarded %d remote updates, want the pre-stop 1 only", got)
+	}
+}
+
+// TestAckerDuplicateFailKeepsBackoffDeadline pins the backoff transition
+// of a failed tree: duplicate zero-net fail updates (any {xor: 0, fail}
+// passes the batcher's push guard, and a multi-drop tree pushes one fail
+// per dropped hop) re-enter resolveLocked while the root is parked
+// awaiting replay. Each re-entry used to re-arm the deadline, shoving the
+// replay arbitrarily far into the future under a steady duplicate trickle.
+func TestAckerDuplicateFailKeepsBackoffDeadline(t *testing.T) {
+	a := newXorAcker(&Runtime{cfg: config{}}, time.Hour, 3, 8)
+	spout := newAckSpout(0)
+	rc := &runningComponent{spec: &componentSpec{id: "src"}}
+	ts := &taskState{ackSpout: spout}
+	root := a.newRoot()
+	const edge = uint64(0xabcdef)
+	var vals []kvEntry
+	a.register(root, rc, ts, "m", Tuple{}, -1, &vals, edge, false, time.Now())
+
+	readRoot := func() (deadline int64, backoff, live bool) {
+		s := a.shards[a.shardOf(root)]
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		p := s.get(a.slotKey(root))
+		if p == nil {
+			return 0, false, false
+		}
+		return p.deadline, p.backoff, true
+	}
+
+	// Drain the tree with a fail bit: the root parks in backoff.
+	a.apply(root, edge, true)
+	d1, backoff, live := readRoot()
+	if !live || !backoff {
+		t.Fatalf("after fail-drain: live=%v backoff=%v, want a parked backoff root", live, backoff)
+	}
+	// Duplicate zero-net fails must leave the armed deadline alone.
+	for i := 0; i < 3; i++ {
+		time.Sleep(2 * time.Millisecond)
+		a.apply(root, 0, true)
+		d2, backoff2, live2 := readRoot()
+		if !live2 || !backoff2 {
+			t.Fatalf("duplicate %d resolved the parked root: live=%v backoff=%v", i, live2, backoff2)
+		}
+		if d2 != d1 {
+			t.Fatalf("duplicate %d moved the replay deadline %d → %d", i, d1, d2)
+		}
+	}
+	spout.mu.Lock()
+	defer spout.mu.Unlock()
+	if len(spout.acked)+len(spout.failed) != 0 {
+		t.Fatalf("parked root fired callbacks: acked=%v failed=%v", spout.acked, spout.failed)
+	}
+}
+
+// TestAckerZeroChecksumRegisterSingleAck pins the checksum==0-at-register
+// fast path against duplicate spout callbacks: when the whole tree's
+// updates beat the register to the shard, register resolves inline — and
+// any update straggling in afterwards must land in a fresh placeholder
+// (the root id is gone), never re-fire Ack for the same message id.
+func TestAckerZeroChecksumRegisterSingleAck(t *testing.T) {
+	a := newXorAcker(&Runtime{cfg: config{}}, time.Hour, 3, 8)
+	spout := newAckSpout(0)
+	rc := &runningComponent{spec: &componentSpec{id: "src"}}
+	ts := &taskState{ackSpout: spout}
+	root := a.newRoot()
+	const edge = uint64(0x1234)
+
+	// The consumer's update arrives first (parks a placeholder), then the
+	// emitter registers with the matching init checksum: zero at register,
+	// inline resolve.
+	a.apply(root, edge, false)
+	var vals []kvEntry
+	a.register(root, rc, ts, "m", Tuple{}, -1, &vals, edge, false, time.Now())
+	spout.mu.Lock()
+	acked := spout.acked["m"]
+	spout.mu.Unlock()
+	if acked != 1 {
+		t.Fatalf("inline register resolve fired Ack %d times, want 1", acked)
+	}
+	if got := ts.ackPending.Load(); got != 0 {
+		t.Fatalf("ackPending = %d after inline resolve, want 0", got)
+	}
+
+	// Stragglers for the recycled id: zero-net acks and fails alike must
+	// not resurrect the resolved root or duplicate its callbacks.
+	a.apply(root, 0, false)
+	a.apply(root, 0, true)
+	spout.mu.Lock()
+	defer spout.mu.Unlock()
+	if spout.acked["m"] != 1 || len(spout.failed) != 0 {
+		t.Fatalf("stragglers duplicated callbacks: acked=%v failed=%v", spout.acked, spout.failed)
 	}
 }

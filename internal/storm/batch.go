@@ -53,6 +53,18 @@ type Batch struct {
 	// DrainComponent). FIFO transport order makes its arrival prove every
 	// earlier delivery to that executor was processed.
 	fence *fenceWait
+	// epoch, when non-zero, marks an aligned epoch barrier (AckEpoch, see
+	// epoch.go): no envelopes, just the epoch number. The receiving
+	// executor counts it against its upstream-arrival expectation and
+	// forwards the barrier once aligned. Rides the same FIFO channels as
+	// data, so a barrier's arrival proves every pre-barrier delivery from
+	// that input is ahead of it.
+	epoch uint64
+	// epochRetire repurposes the barrier batch as an in-band retirement
+	// notice: epoch carries the sender's last passed epoch (possibly 0)
+	// and the receiver exempts that upstream from the alignment
+	// expectation of every later epoch.
+	epochRetire bool
 }
 
 func (r *Runtime) getBatch() *Batch { return r.batchPool.Get().(*Batch) }
@@ -64,6 +76,8 @@ func (r *Runtime) putBatch(b *Batch) {
 	clear(b.envs)
 	b.envs = b.envs[:0]
 	b.fence = nil
+	b.epoch = 0
+	b.epochRetire = false
 	r.batchPool.Put(b)
 }
 

@@ -104,6 +104,21 @@ type Spout interface {
 	Close() error
 }
 
+// ReplayableSpout opts a spout task into epoch-based recovery
+// (WithAckMode(AckEpoch), DESIGN.md §12). Checkpoint snapshots the task's
+// replay position (typically a source offset) and is called between
+// NextTuple calls each time an epoch barrier is injected; Restore rewinds
+// the task to a snapshot taken earlier, after which NextTuple must re-emit
+// everything past that position. Both run on the task's executor
+// goroutine, never concurrently with NextTuple. Spouts that don't
+// implement it still run under AckEpoch but restart from wherever they are
+// on recovery (at-most-once across a rewind).
+type ReplayableSpout interface {
+	Spout
+	Checkpoint() []byte
+	Restore(snapshot []byte)
+}
+
 // Bolt encapsulates processing logic. Prepare is called once per task;
 // Execute once per input tuple; Cleanup after the last tuple.
 type Bolt interface {

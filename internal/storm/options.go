@@ -64,8 +64,22 @@ func WithMaxRetries(n int) Option { return func(c *config) { c.MaxRetries = n } 
 // XOR checksum sharded across lock-striped tables — O(1) state per root,
 // updates batched onto the existing transport. AckTree keeps the explicit
 // per-tree tracker (global mutex, per-hop sub-anchors) for ablation and
-// comparison; see DESIGN.md §10.
+// comparison; see DESIGN.md §10. AckEpoch drops per-tuple tracking
+// entirely: aligned epoch barriers flow through the topology and the
+// runtime rewinds ReplayableSpouts to the last committed epoch on loss —
+// effectively-once for idempotent sinks; see DESIGN.md §12 and
+// WithEpochInterval.
 func WithAckMode(m AckMode) Option { return func(c *config) { c.AckMode = m } }
+
+// WithEpochInterval sets how often the epoch coordinator opens a new epoch
+// under WithAckMode(AckEpoch): each tick injects aligned barriers at every
+// spout, and the epoch commits once every executor on every worker has
+// passed its barrier with no tuple loss since the previous one. Shorter
+// intervals bound the replay window (and the duplicate burst an idempotent
+// sink absorbs after a rewind) at the cost of more barrier traffic.
+// Defaults to 100ms; values below 1ms are rounded up to 1ms. Setting it
+// under any other ack mode is a configuration error.
+func WithEpochInterval(d time.Duration) Option { return func(c *config) { c.EpochInterval = d } }
 
 // WithAckShards sets how many lock-striped shards the XOR acker spreads
 // roots over (rounded up to a power of two; defaults to 8). Ignored under

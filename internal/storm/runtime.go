@@ -60,6 +60,10 @@ type config struct {
 	// AckShards is the XOR acker's shard count (rounded up to a power of
 	// two). Defaults to 8.
 	AckShards int
+	// EpochInterval is the epoch coordinator's barrier injection period
+	// under AckEpoch (see epoch.go). Defaults to 100ms; floored at 1ms.
+	// Positive under any other mode is a configuration error.
+	EpochInterval time.Duration
 	// BatchSize is the envelope capacity of the inter-executor transport
 	// batches: emissions buffer per destination executor and one channel
 	// send moves up to BatchSize tuples (see batch.go). Defaults to 64.
@@ -121,6 +125,14 @@ func (c *config) fill() {
 	// up to 10x late. Round up to the granularity instead.
 	if c.AckTimeout > 0 && c.AckTimeout < time.Millisecond {
 		c.AckTimeout = time.Millisecond
+	}
+	if c.AckMode == AckEpoch {
+		if c.EpochInterval <= 0 {
+			c.EpochInterval = 100 * time.Millisecond
+		}
+		if c.EpochInterval < time.Millisecond {
+			c.EpochInterval = time.Millisecond
+		}
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 64
@@ -321,12 +333,13 @@ type Runtime struct {
 	valsMu   sync.Mutex
 	valsFree []map[string]any
 
-	// Exactly one of tracker/acker is non-nil while a run with AckTimeout
-	// > 0 is active — tracker under AckTree, acker under AckXOR (the
-	// default). done is the run context's cancellation channel (nil for
-	// Run/Background).
+	// Exactly one of tracker/acker/epochs is non-nil while a run with
+	// AckTimeout > 0 is active — tracker under AckTree, epochs under
+	// AckEpoch, acker under AckXOR (the default). done is the run
+	// context's cancellation channel (nil for Run/Background).
 	tracker *ackTracker
 	acker   *xorAcker
+	epochs  *epochCoordinator
 	done    <-chan struct{}
 
 	placements []Placement
@@ -341,6 +354,9 @@ type Runtime struct {
 // count, so every worker process building the same topology computes the
 // identical placement — the scheduler needs no coordination.
 func newRuntime(topo *Topology, cfg config) (*Runtime, error) {
+	if cfg.EpochInterval > 0 && cfg.AckMode != AckEpoch {
+		return nil, fmt.Errorf("storm: WithEpochInterval requires WithAckMode(AckEpoch), have %v", cfg.AckMode)
+	}
 	cfg.fill()
 	if cfg.peers != nil && (cfg.selfWorker < 0 || cfg.selfWorker >= len(cfg.peers)) {
 		return nil, fmt.Errorf("storm: worker id %d out of range for %d peers", cfg.selfWorker, len(cfg.peers))
@@ -556,10 +572,17 @@ func (r *Runtime) Run() error {
 func (r *Runtime) RunContext(ctx context.Context) error {
 	r.done = ctx.Done()
 	if r.cfg.AckTimeout > 0 {
-		if r.cfg.AckMode == AckTree {
+		switch r.cfg.AckMode {
+		case AckTree:
 			r.tracker = newAckTracker(r, r.cfg.AckTimeout, r.cfg.MaxRetries)
 			r.tracker.start(r.done)
-		} else {
+		case AckEpoch:
+			// No per-tuple machinery at all: tracker and acker stay nil,
+			// so EmitAnchored degrades to plain Emit and reliability rides
+			// the barrier protocol (started below, once the transport is
+			// settled — the coordinator speaks over the control plane).
+			r.epochs = newEpochCoordinator(r)
+		default:
 			r.acker = newXorAcker(r, r.cfg.AckTimeout, r.cfg.MaxRetries, r.cfg.AckShards)
 			r.acker.start(r.done)
 		}
@@ -577,6 +600,9 @@ func (r *Runtime) RunContext(ctx context.Context) error {
 	}
 	close(r.trReady)
 	defer r.tr.Close()
+	if r.epochs != nil {
+		r.epochs.start()
+	}
 
 	var wg sync.WaitGroup
 	r.monitor.start()
@@ -592,7 +618,11 @@ func (r *Runtime) RunContext(ctx context.Context) error {
 			go func(rc *runningComponent, ex *executor) {
 				defer wg.Done()
 				if rc.spec.isSpout {
-					r.runSpoutExecutor(rc, ex)
+					if r.epochs != nil {
+						r.runEpochSpoutExecutor(rc, ex)
+					} else {
+						r.runSpoutExecutor(rc, ex)
+					}
 				} else {
 					r.runBoltExecutor(rc, ex)
 				}
@@ -625,6 +655,9 @@ func (r *Runtime) stopAcking() {
 	}
 	if r.acker != nil {
 		r.acker.stop()
+	}
+	if r.epochs != nil {
+		r.epochs.stop()
 	}
 }
 
@@ -963,6 +996,17 @@ func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
 					f.arrive()
 					continue
 				}
+				if r.epochs != nil && (bt.epoch != 0 || bt.epochRetire) {
+					// Epoch barrier (or an upstream executor's retirement):
+					// count it toward alignment; once every live upstream's
+					// barrier arrived, onBarrier flushes this executor's
+					// output and forwards the barrier downstream.
+					e, retire := bt.epoch, bt.epochRetire
+					r.putBatch(bt)
+					bt = nil
+					r.epochs.onBarrier(ex, out, e, retire)
+					continue
+				}
 				next = 0
 				if !r.tracing {
 					btStart = time.Now()
@@ -1149,6 +1193,11 @@ func (r *Runtime) runBoltExecutor(rc *runningComponent, ex *executor) {
 	out.flushAll()
 	if ab != nil {
 		ab.flush()
+	}
+	if ec := r.epochs; ec != nil {
+		// Retire in-band behind the final flush: downstream alignment
+		// stops expecting this executor for epochs after its last pass.
+		ec.retireExec(ex, ec.align[ex.eid].passed)
 	}
 	for i, ts := range ex.tasks {
 		if !prepared[i] {

@@ -21,6 +21,7 @@ import (
 	"io"
 	"math/bits"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,6 +72,12 @@ type anchorRef struct{ ack, edge uint64 }
 // from a full kernel send buffer, now one queue earlier. A var so tests
 // can shrink the bound to force the blocking path.
 var peerQueueBytes = 1 << 20
+
+// peerCtrlHeadroom is the control-frame band reserved above peerQueueBytes
+// for trySendSmall: data enqueues block at the bound, so heartbeats (and
+// other fixed-size control frames) always find room even when the peer is
+// saturated with data — see trySendSmall.
+const peerCtrlHeadroom = 8 << 10
 
 // shutdownFlushTimeout bounds how long Close waits for a peer's writer to
 // flush its queue (eofs, final acks) before the connection is torn down.
@@ -229,16 +236,20 @@ func (p *tcpPeer) sendSmall(build func([]byte) []byte) error {
 	return nil
 }
 
-// trySendSmall is sendSmall minus the backpressure wait: when the queue is
-// over its bound the frame is skipped. Used for heartbeats — a full queue
-// means data frames are already flowing, which is a stronger liveness
-// signal than the heartbeat it displaces.
+// trySendSmall is sendSmall minus the backpressure wait, for heartbeats.
+// Control frames get a reserved headroom band above the data bound: data
+// enqueues block at peerQueueBytes, so the band is always available, and a
+// peer saturated with data for 4+ heartbeat intervals keeps proving its
+// liveness instead of silently skipping every beat until the remote's read
+// deadline declares it dead. Only a queue overfull into the band itself
+// (control-frame pile-up behind a stuck writer — the peer really is gone)
+// drops the frame.
 func (p *tcpPeer) trySendSmall(build func([]byte) []byte) {
 	if p.dead.Load() {
 		return
 	}
 	p.mu.Lock()
-	if p.qBytes >= peerQueueBytes || p.closing || p.dead.Load() {
+	if p.qBytes >= peerQueueBytes+peerCtrlHeadroom || p.closing || p.dead.Load() {
 		p.mu.Unlock()
 		return
 	}
@@ -743,6 +754,29 @@ func (t *tcpTransport) dispatch(peer int, typ byte, body []byte, dec *frameDecod
 			fw.arrive()
 		}
 		return nil
+	case frameEpochBarrier:
+		eid, rest, err := decodeUvarint(body)
+		if err != nil {
+			return err
+		}
+		epoch, rest, err := decodeUvarint(rest)
+		if err != nil {
+			return err
+		}
+		retire, _, err := decodeUvarint(rest)
+		if err != nil {
+			return err
+		}
+		if int(eid) >= len(t.r.execs) {
+			return fmt.Errorf("storm: epoch barrier for unknown executor %d", eid)
+		}
+		// Deliver on the readLoop, like data frames: the barrier slots into
+		// the executor channel behind every earlier delivery from this
+		// connection, which is the FIFO property alignment relies on.
+		b := t.r.getBatch()
+		b.epoch = epoch
+		b.epochRetire = retire != 0
+		return t.r.DeliverLocal(int(eid), b)
 	case frameControl:
 		cf, err := decodeControlFrame(body)
 		if err != nil {
@@ -1000,11 +1034,7 @@ func (r *Runtime) OnControl(h func(method string, payload []byte) ([]byte, error
 // handler, so callers need not special-case locality.
 func (r *Runtime) Control(worker int, method string, payload []byte) ([]byte, error) {
 	if worker == r.cfg.selfWorker || r.cfg.peers == nil {
-		h := r.ctrl.Load()
-		if h == nil {
-			return nil, fmt.Errorf("storm: no control handler registered")
-		}
-		return (*h)(method, payload)
+		return r.serveControl(method, payload)
 	}
 	<-r.trReady // wait for RunContext to settle the transport
 	t, ok := r.tr.(*tcpTransport)
@@ -1012,6 +1042,25 @@ func (r *Runtime) Control(worker int, method string, payload []byte) ([]byte, er
 		return nil, fmt.Errorf("storm: control requires the TCP transport")
 	}
 	return t.control(worker, method, payload)
+}
+
+// serveControl dispatches one control request on the serving worker:
+// runtime-internal methods (the epoch coordinator's protocol, see
+// epoch.go) are intercepted before the user's OnControl handler, so
+// topology code can install its own handler without forwarding — or even
+// knowing about — the internal namespace.
+func (r *Runtime) serveControl(method string, payload []byte) ([]byte, error) {
+	if strings.HasPrefix(method, epochMethodPrefix) {
+		if ec := r.epochs; ec != nil {
+			return ec.serve(method, payload)
+		}
+		return nil, fmt.Errorf("storm: %s without epoch mode on worker %d", method, r.cfg.selfWorker)
+	}
+	h := r.ctrl.Load()
+	if h == nil {
+		return nil, fmt.Errorf("storm: no control handler registered on worker %d", r.cfg.selfWorker)
+	}
+	return (*h)(method, payload)
 }
 
 func (t *tcpTransport) control(worker int, method string, payload []byte) ([]byte, error) {
@@ -1053,13 +1102,7 @@ func (t *tcpTransport) handleControl(peer int, cf controlFrame) {
 		t.wg.Add(1)
 		go func() {
 			defer t.wg.Done()
-			var resp []byte
-			var err error
-			if h := t.r.ctrl.Load(); h != nil {
-				resp, err = (*h)(cf.method, cf.payload)
-			} else {
-				err = fmt.Errorf("worker %d has no control handler", t.self)
-			}
+			resp, err := t.r.serveControl(cf.method, cf.payload)
 			kind, body := controlResponse, resp
 			if err != nil {
 				kind, body = controlError, []byte(err.Error())

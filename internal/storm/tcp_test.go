@@ -5,6 +5,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -350,4 +351,132 @@ func TestDistributedControlAndDrain(t *testing.T) {
 		}
 	}
 	rig.edgeReconciles(t, "src", "sink")
+}
+
+// TestDistributedHeartbeatHeadroomUnderFullQueue pins the control-frame
+// headroom band of trySendSmall: a peer whose queue sits at the data
+// bound (data enqueues blocked on backpressure) must still accept
+// heartbeats — skipping them for 4+ intervals makes the remote's read
+// deadline declare this worker dead in the middle of a healthy, merely
+// congested, run. Only a queue overfull into the band itself drops.
+func TestDistributedHeartbeatHeadroomUnderFullQueue(t *testing.T) {
+	p := &tcpPeer{}
+	p.cond = sync.NewCond(&p.mu)
+
+	p.qBytes = peerQueueBytes // exactly at the data bound: band available
+	p.trySendSmall(appendHeartbeatFrame)
+	if len(p.frames) != 1 {
+		t.Fatalf("full-queue heartbeat: %d frames queued, want 1 (headroom band must admit it)", len(p.frames))
+	}
+	p.qBytes = peerQueueBytes + peerCtrlHeadroom // band exhausted: drop
+	p.trySendSmall(appendHeartbeatFrame)
+	if len(p.frames) != 1 {
+		t.Fatalf("overfull-queue heartbeat: %d frames queued, want still 1 (band exhausted must drop)", len(p.frames))
+	}
+	// closing and dead peers drop regardless of headroom.
+	p.qBytes = 0
+	p.closing = true
+	p.trySendSmall(appendHeartbeatFrame)
+	if len(p.frames) != 1 {
+		t.Fatalf("closing peer accepted a heartbeat: %d frames", len(p.frames))
+	}
+}
+
+// TestDistributedHeartbeatSurvivesBackpressureSoak shrinks the per-peer
+// queue bound to a few KB and runs a cross-worker pipeline whose sink is
+// slower than its source, so the sender's queue sits pinned at the bound
+// for many heartbeat intervals. With heartbeats riding the headroom band
+// the run must drain cleanly — no worker declared dead, no tuple lost.
+func TestDistributedHeartbeatSurvivesBackpressureSoak(t *testing.T) {
+	oldQueue := peerQueueBytes
+	peerQueueBytes = 4 << 10
+	defer func() { peerQueueBytes = oldQueue }()
+
+	const n = 1500
+	var delivered atomic.Uint64
+	slowSink := func() Bolt {
+		return &funcBolt{exec: func(Tuple, Collector) error {
+			if delivered.Add(1)%16 == 0 {
+				time.Sleep(time.Millisecond) // sustained consumer lag
+			}
+			return nil
+		}}
+	}
+	build := func(int) *TopologyBuilder {
+		b := NewTopologyBuilder("soak")
+		b.SetSpout("src", func() Spout { return &seqSpout{n: n, keys: 8} }, 1, 1)
+		b.SetBolt("sink", slowSink, 2, 2).FieldsGrouping("src", "key")
+		return b
+	}
+	rig := newDistRig(t, 2, build, WithHeartbeat(20*time.Millisecond), WithBatchSize(16))
+	rig.run(t, 60*time.Second)
+	for i, err := range rig.errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v (peer declared dead under backpressure?)", i, err)
+		}
+	}
+	if got := delivered.Load(); got != n {
+		t.Fatalf("sink executed %d tuples, want %d", got, n)
+	}
+	rig.edgeReconciles(t, "src", "sink")
+}
+
+// TestDistributedConcurrentDrains fences overlapping components from both
+// workers at once: DrainComponent barriers for the same and for different
+// components must all complete without deadlock or fence-accounting
+// corruption while data keeps flowing (gated spout still emitting).
+func TestDistributedConcurrentDrains(t *testing.T) {
+	release := make(chan struct{})
+	build := func(int) *TopologyBuilder {
+		b := NewTopologyBuilder("t")
+		b.SetSpout("src", func() Spout { return &gatedSpout{n: 400, release: release} }, 1, 1)
+		b.SetBolt("mid", func() Bolt { return &passBolt{} }, 2, 2).ShuffleGrouping("src")
+		b.SetBolt("sink", func() Bolt { return &passBolt{} }, 2, 2).ShuffleGrouping("mid")
+		return b
+	}
+	rig := newDistRig(t, 2, build, WithHeartbeat(100*time.Millisecond))
+	var runWG sync.WaitGroup
+	for i, rt := range rig.rts {
+		runWG.Add(1)
+		go func(i int, rt *Runtime) {
+			defer runWG.Done()
+			rig.errs[i] = rt.Run()
+		}(i, rt)
+	}
+
+	// Both workers drain both components concurrently, repeatedly: same-
+	// component fences from two initiators overlap, as do fences of the
+	// upstream and downstream components of one edge.
+	var drainWG sync.WaitGroup
+	errCh := make(chan error, 2*2*4)
+	for _, rt := range rig.rts {
+		for _, comp := range []string{"mid", "sink"} {
+			rt, comp := rt, comp
+			drainWG.Add(1)
+			go func() {
+				defer drainWG.Done()
+				for i := 0; i < 4; i++ {
+					if err := rt.DrainComponent(comp, 10*time.Second); err != nil {
+						errCh <- fmt.Errorf("worker %d drain %s: %w", rt.WorkerID(), comp, err)
+						return
+					}
+				}
+			}()
+		}
+	}
+	drainWG.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	close(release)
+	runWG.Wait()
+	for i, err := range rig.errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	rig.edgeReconciles(t, "src", "mid")
+	rig.edgeReconciles(t, "mid", "sink")
 }

@@ -31,15 +31,16 @@ import (
 
 // Frame types.
 const (
-	frameHello     byte = iota + 1 // worker id handshake, dialer → acceptor
-	frameBatch                     // envelope batch for one executor
-	frameEOF                       // a sender-side executor exited
-	frameAckResult                 // a forwarded anchored subtree resolved
-	frameFence                     // drain barrier request for a component
-	frameFenceAck                  // drain barrier completion
-	frameHeartbeat                 // liveness keepalive
-	frameControl                   // control-plane request/response
-	frameAckBatch                  // coalesced XOR-acker checksum updates
+	frameHello        byte = iota + 1 // worker id handshake, dialer → acceptor
+	frameBatch                        // envelope batch for one executor
+	frameEOF                          // a sender-side executor exited
+	frameAckResult                    // a forwarded anchored subtree resolved
+	frameFence                        // drain barrier request for a component
+	frameFenceAck                     // drain barrier completion
+	frameHeartbeat                    // liveness keepalive
+	frameControl                      // control-plane request/response
+	frameAckBatch                     // coalesced XOR-acker checksum updates
+	frameEpochBarrier                 // aligned epoch barrier for one executor
 )
 
 const (
@@ -543,6 +544,22 @@ func appendFenceFrame(buf []byte, typ byte, epoch uint64, component string) []by
 
 func appendHeartbeatFrame(buf []byte) []byte {
 	return endFrame(beginFrame(buf, frameHeartbeat))
+}
+
+// appendEpochBarrierFrame encodes an epoch barrier for one remote
+// executor: its dense id, the epoch number, and a retire flag (a retiring
+// sender ships its last passed epoch instead of a new barrier). Barriers
+// ride the same per-peer FIFO queue as data frames, enqueued from the
+// passing executor's own goroutine after its flush, so a barrier on the
+// wire proves every earlier envelope from that executor is ahead of it.
+func appendEpochBarrierFrame(buf []byte, eid int, epoch uint64, retire bool) []byte {
+	buf = appendUvarint(beginFrame(buf, frameEpochBarrier), uint64(eid))
+	buf = appendUvarint(buf, epoch)
+	var fl uint64
+	if retire {
+		fl = 1
+	}
+	return endFrame(appendUvarint(buf, fl))
 }
 
 // Control frame kinds.

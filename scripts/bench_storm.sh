@@ -4,10 +4,12 @@
 # the batched data plane (batch size x telemetry x acking) over time, not
 # as a pass/fail gate. batch=1 is the ablation row: the pre-batching
 # one-channel-send-per-tuple transport. The ack dimension sweeps
-# off/tree/xor — tree is the retired per-tuple tracker kept as ablation,
-# xor the sharded checksum acker, which targets <= 1.5x ack=off at
-# batch=64/telemetry=off; the measured ratio is recorded under
-# "ack_xor_over_off_batch64" so the target stays machine-checkable.
+# off/tree/xor/epoch — tree is the retired per-tuple tracker kept as
+# ablation, xor the sharded checksum acker, which targets <= 1.5x ack=off
+# at batch=64/telemetry=off, and epoch the barrier-checkpointing mode,
+# which carries no per-tuple state and targets <= 1.15x ack=off there.
+# The measured ratios are recorded under "ack_xor_over_off_batch64" and
+# "ack_epoch_over_off_batch64" so the targets stay machine-checkable.
 #
 # Usage: scripts/bench_storm.sh [benchtime] [count]   (default 300000x 3)
 set -eu
@@ -41,9 +43,12 @@ awk -v benchtime="$benchtime" '
 		for (i = 0; i < n; i++) {
 			if (names[i] == base "off") off = best[names[i]]
 			if (names[i] == base "xor") xor = best[names[i]]
+			if (names[i] == base "epoch") epoch = best[names[i]]
 		}
 		if (off > 0 && xor > 0)
 			printf "  \"ack_xor_over_off_batch64\": %.3f,\n", xor / off
+		if (off > 0 && epoch > 0)
+			printf "  \"ack_epoch_over_off_batch64\": %.3f,\n", epoch / off
 		printf "  \"ns_per_op\": {\n"
 		for (i = 0; i < n; i++)
 			printf "    \"%s\": %s%s\n", names[i], best[names[i]], (i < n-1 ? "," : "")
@@ -51,12 +56,23 @@ awk -v benchtime="$benchtime" '
 	}
 ' "$raw" > "$out.tmp"
 
-# Preserve the distributed section maintained by bench_distributed.sh.
-# The merge must land in a third file: `jq ... "$out.tmp" > "$out"` with
-# $out also named via --slurpfile would truncate $out before jq reads it,
-# silently nulling the preserved section.
-if [ -f "$out" ] && jq -e '.distributed' "$out" > /dev/null 2>&1; then
-	jq --slurpfile old "$out" '.distributed = $old[0].distributed' "$out.tmp" > "$out.merged"
+# Preserve every top-level section maintained by other writers (the
+# "distributed" object and "dist_2w_over_1w" ratio from
+# bench_distributed.sh, plus anything added later): merge the old file
+# under the fresh results, fresh keys winning. Cherry-picking sections by
+# name here is how dist_2w_over_1w got silently dropped once. The merge
+# must land in a third file: `jq ... "$out.tmp" > "$out"` with $out also
+# named via --slurpfile would truncate $out before jq reads it, silently
+# nulling the preserved sections.
+if [ -f "$out" ] && jq -e 'type == "object"' "$out" > /dev/null 2>&1; then
+	jq --slurpfile old "$out" '$old[0] + .' "$out.tmp" > "$out.merged"
+	# Guard: the merge must not lose any top-level key the old file had.
+	missing="$(jq -r --slurpfile old "$out" '(($old[0] | keys) - keys)[]' "$out.merged")"
+	if [ -n "$missing" ]; then
+		echo "bench_storm.sh: merge dropped top-level section(s): $missing" >&2
+		rm -f "$out.tmp" "$out.merged"
+		exit 1
+	fi
 	mv "$out.merged" "$out"
 	rm -f "$out.tmp"
 else
