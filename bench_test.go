@@ -95,6 +95,49 @@ func BenchmarkListing1_RuleEvaluation(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationExprCompilation isolates the statement compiler: the
+// same Listing-1 rule at window 1000, once with compiled closures (the
+// default) and once forced onto the tree-walking interpreter. The ratio of
+// the two is the compiled_over_interpreted figure scripts/bench_cep.sh
+// records in BENCH_cep.json.
+func BenchmarkAblationExprCompilation(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		compiled bool
+	}{{"compiled", true}, {"interpreted", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			eng := cep.New(cep.WithCompiledExprs(mode.compiled))
+			r := core.Rule{Name: "bench", Attribute: busdata.AttrDelay, Kind: core.QuadtreeLeaves, Window: 1000}
+			if _, err := eng.AddStatement("bench", r.StreamEPL()); err != nil {
+				b.Fatal(err)
+			}
+			for loc := 0; loc < 24; loc++ {
+				for h := 0; h < 24; h++ {
+					err := eng.SendEvent(r.ThresholdStream(), map[string]cep.Value{
+						"location": fmt.Sprintf("a%02d", loc), "hour": float64(h),
+						"day": "weekday", "value": 1e12,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := eng.SendEvent(core.BusStream, map[string]cep.Value{
+					"leafArea": fmt.Sprintf("a%02d", i%24),
+					"hour":     float64(i % 24),
+					"day":      "weekday",
+					"delay":    float64(i % 300),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Listing 2: the threshold SQL query ---
 
 func BenchmarkListing2_ThresholdQuery(b *testing.B) {

@@ -1,0 +1,858 @@
+package cep
+
+import (
+	"fmt"
+
+	"trafficcep/internal/epl"
+)
+
+// This file is the statement compiler: a one-time pass at statement
+// registration that lowers epl.Expr trees into chained Go closures, so the
+// per-tuple hot path never walks the AST again. Standing statements are
+// compiled once and evaluated millions of times; everything resolvable at
+// registration is resolved here:
+//
+//   - field references become direct row[idx].Fields[name] accesses using
+//     the statement's bind table (PR 3) — no alias hashing, no map of refs;
+//   - aggregate references become slot reads (see evalContext.aggF) with a
+//     pre-rendered key for the map fallback — the interpreter re-rendered
+//     CallExpr.String() on every single access, the largest measured tax;
+//   - numeric comparison/arithmetic chains run unboxed through compiledNum
+//     when the type analysis (staticNum) can rule out the string arms;
+//   - AND/OR short-circuit through compiledBool without boxing booleans;
+//   - literal-only subtrees fold to constants.
+//
+// Eligibility is per expression: any node the compiler does not understand
+// (an alias outside the bind table, an aggregate the statement did not
+// collect) makes that one expression fall back to a closure over the
+// tree-walking interpreter, with identical semantics. The engine-level
+// ablation WithCompiledExprs(false) wraps *every* expression that way,
+// which is exactly the pre-compiler evaluation order.
+//
+// Equivalence contract: a compiled expression returns the same value as the
+// interpreter and errs exactly when the interpreter errs, but error
+// messages may differ and a type error may surface before sibling operands
+// are evaluated (the interpreter evaluates both operands first; compiled
+// numeric forms fail fast). The differential harness and
+// FuzzCompiledExprEquivalence compare value and error presence, not text.
+
+// compiledExpr evaluates an expression to a boxed Value.
+type compiledExpr func(ctx *evalContext) (Value, error)
+
+// compiledNum evaluates a numeric subtree unboxed. It fails exactly where
+// the interpreter's enclosing numeric operation would: non-numeric operand
+// (including NULL), unbound alias, failed sub-expression.
+type compiledNum func(ctx *evalContext) (float64, error)
+
+// compiledBool evaluates a predicate unboxed, with AND/OR short-circuit.
+type compiledBool func(ctx *evalContext) (bool, error)
+
+// stmtCompiled holds the compiled form of every expression a statement
+// evaluates at runtime. It is always non-nil on a compiled Statement; with
+// WithCompiledExprs(false) the closures are interpreter wrappers.
+type stmtCompiled struct {
+	compiled bool // specialized closures vs interpreter wrappers
+
+	// aggKeys/aggCalls are the statement's distinct aggregate calls in
+	// first-appearance order, deduplicated by rendering — the same dedup
+	// planAggSpecs performs, so slot i here is spec i there (verified at
+	// compile time, see compileIncremental). aggArgC[i] extracts the
+	// argument (nil for count(*) and arity errors); aggOf maps rendering
+	// to slot.
+	aggKeys  []string
+	aggCalls []*epl.CallExpr
+	aggArgC  []compiledExpr
+	aggOf    map[string]int
+
+	selectC  []compiledExpr // parallel to Query.Select; nil for SELECT *
+	groupByC []compiledExpr
+	havingC  compiledBool
+	orderC   []compiledExpr
+	filtersC [][]compiledBool // parallel to Statement.filters
+
+	// needAggMap is true when some evaluated expression reads aggregates
+	// through the keyed map (interpreter mode, a fallback expression
+	// containing an aggregate, or a slot misalignment): the incremental
+	// evaluators then box aggregate values into aggScratch instead of
+	// filling the unboxed slots.
+	needAggMap bool
+}
+
+// compileStatement lowers every expression of a fully-planned statement.
+// Called at the end of compile(), after the incremental planner ran.
+func compileStatement(st *Statement) *stmtCompiled {
+	comp := &stmtCompiled{
+		compiled: st.engine.compiledExprs,
+		aggOf:    make(map[string]int),
+	}
+	for _, call := range st.aggCalls {
+		key := call.String()
+		if _, dup := comp.aggOf[key]; dup {
+			continue
+		}
+		comp.aggOf[key] = len(comp.aggKeys)
+		comp.aggKeys = append(comp.aggKeys, key)
+		comp.aggCalls = append(comp.aggCalls, call)
+	}
+	c := &exprCompiler{bind: st.bind, aggOf: comp.aggOf, compiled: comp.compiled}
+
+	comp.aggArgC = make([]compiledExpr, len(comp.aggCalls))
+	for i, call := range comp.aggCalls {
+		if !call.Star && len(call.Args) == 1 {
+			comp.aggArgC[i] = c.value(call.Args[0])
+		}
+	}
+	q := st.Query
+	comp.selectC = make([]compiledExpr, len(q.Select))
+	for i, s := range q.Select {
+		if !s.Star {
+			comp.selectC[i] = c.value(s.Expr)
+		}
+	}
+	comp.groupByC = make([]compiledExpr, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		comp.groupByC[i] = c.value(g)
+	}
+	comp.havingC = c.boolean(q.Having)
+	comp.orderC = make([]compiledExpr, len(q.OrderBy))
+	for i, o := range q.OrderBy {
+		comp.orderC[i] = c.value(o.Expr)
+	}
+	comp.filtersC = make([][]compiledBool, len(st.filters))
+	for i, fs := range st.filters {
+		comp.filtersC[i] = c.booleans(fs)
+	}
+	for _, it := range st.items {
+		it.probeC = c.values(it.probeExprs)
+	}
+	if st.inc != nil {
+		compileIncremental(st.inc, c, comp)
+	}
+	comp.needAggMap = !comp.compiled || c.aggFallback
+	return comp
+}
+
+// compileIncremental attaches compiled forms to the armed incremental plan
+// and verifies the aggregate slot alignment the compiled references assume.
+func compileIncremental(inc *incState, c *exprCompiler, comp *stmtCompiled) {
+	var specs []*aggSpec
+	switch {
+	case inc.trig != nil:
+		p := inc.trig
+		p.emitFiltersC = c.booleans(p.emitFilters)
+		for _, ip := range p.items {
+			if ip != nil {
+				ip.filtersC = c.booleans(ip.filters)
+			}
+		}
+		specs = p.aggs
+	case inc.delta != nil:
+		specs = inc.delta.aggs
+	}
+	// The evaluators write slot i for spec i; compiled aggregate references
+	// read slot aggOf[key]. Both orderings come from the same in-order
+	// dedup of st.aggCalls — but verify rather than assume: silently
+	// reading the wrong slot would be far worse than the keyed-map path.
+	aligned := len(specs) == len(comp.aggKeys)
+	for i, spec := range specs {
+		if !spec.star && len(spec.call.Args) == 1 {
+			spec.argC = c.value(spec.call.Args[0])
+		}
+		if aligned && comp.aggKeys[i] != spec.key {
+			aligned = false
+		}
+	}
+	if !aligned {
+		c.aggFallback = true
+	}
+}
+
+// exprCompiler compiles one statement's expressions against its bind table
+// and aggregate slots.
+type exprCompiler struct {
+	bind        map[*epl.FieldRef]int
+	aggOf       map[string]int
+	compiled    bool
+	aggFallback bool // an interpreter-fallback expression reads an aggregate
+}
+
+func interpValue(e epl.Expr) compiledExpr {
+	return func(ctx *evalContext) (Value, error) { return eval(e, ctx) }
+}
+
+func interpBool(e epl.Expr) compiledBool {
+	return func(ctx *evalContext) (bool, error) { return evalBool(e, ctx) }
+}
+
+// value compiles e, falling back to the tree-walking interpreter for the
+// whole expression when any node is ineligible. Returns nil for nil input.
+func (c *exprCompiler) value(e epl.Expr) compiledExpr {
+	if e == nil {
+		return nil
+	}
+	if c.compiled {
+		if f := c.compileValue(e); f != nil {
+			return f
+		}
+		c.noteFallback(e)
+	}
+	return interpValue(e)
+}
+
+// boolean is value for predicate positions (WHERE/HAVING/filters).
+func (c *exprCompiler) boolean(e epl.Expr) compiledBool {
+	if e == nil {
+		return nil
+	}
+	if c.compiled {
+		if f := c.compileBool(e); f != nil {
+			return f
+		}
+		c.noteFallback(e)
+	}
+	return interpBool(e)
+}
+
+func (c *exprCompiler) values(es []epl.Expr) []compiledExpr {
+	if len(es) == 0 {
+		return nil
+	}
+	out := make([]compiledExpr, len(es))
+	for i, e := range es {
+		out[i] = c.value(e)
+	}
+	return out
+}
+
+func (c *exprCompiler) booleans(es []epl.Expr) []compiledBool {
+	if len(es) == 0 {
+		return nil
+	}
+	out := make([]compiledBool, len(es))
+	for i, e := range es {
+		out[i] = c.boolean(e)
+	}
+	return out
+}
+
+func (c *exprCompiler) noteFallback(e epl.Expr) {
+	if epl.HasAggregate(e) {
+		c.aggFallback = true
+	}
+}
+
+// constExpr reports whether e is built from literals and operators only, so
+// it can be folded at compile time.
+func constExpr(e epl.Expr) bool {
+	switch x := e.(type) {
+	case *epl.NumberLit, *epl.StringLit, *epl.BoolLit, *epl.DurationLit:
+		return true
+	case *epl.UnaryExpr:
+		return constExpr(x.Expr)
+	case *epl.BinaryExpr:
+		return constExpr(x.Left) && constExpr(x.Right)
+	}
+	return false
+}
+
+// foldConst evaluates a literal-only subtree once. Deterministic errors
+// (1/0) are folded too: the closure re-reports the same error the
+// interpreter would raise on every evaluation.
+func foldConst(e epl.Expr) compiledExpr {
+	v, err := eval(e, &evalContext{})
+	return func(*evalContext) (Value, error) { return v, err }
+}
+
+// compileValue lowers e to a boxed-result closure; nil means ineligible.
+func (c *exprCompiler) compileValue(e epl.Expr) compiledExpr {
+	if constExpr(e) {
+		return foldConst(e)
+	}
+	switch x := e.(type) {
+	case *epl.FieldRef:
+		return c.compileField(x)
+	case *epl.UnaryExpr:
+		switch x.Op {
+		case "NOT":
+			sub := c.compileBool(x.Expr)
+			if sub == nil {
+				return nil
+			}
+			return func(ctx *evalContext) (Value, error) {
+				b, err := sub(ctx)
+				if err != nil {
+					return nil, err
+				}
+				return !b, nil
+			}
+		case "-":
+			sub := c.compileNum(x.Expr)
+			if sub == nil {
+				return nil
+			}
+			return func(ctx *evalContext) (Value, error) {
+				n, err := sub(ctx)
+				if err != nil {
+					return nil, err
+				}
+				return -n, nil
+			}
+		}
+		return nil
+	case *epl.BinaryExpr:
+		switch x.Op {
+		case "AND", "OR", "=", "!=", "<", "<=", ">", ">=":
+			b := c.compileBool(x)
+			if b == nil {
+				return nil
+			}
+			return func(ctx *evalContext) (Value, error) {
+				v, err := b(ctx)
+				if err != nil {
+					return nil, err
+				}
+				return v, nil
+			}
+		case "+", "-", "*", "/":
+			return c.compileArith(x)
+		}
+		return nil
+	case *epl.CallExpr:
+		if epl.AggregateFuncs[x.Func] {
+			return c.compileAgg(x)
+		}
+		return c.compileScalarCall(x)
+	}
+	return nil
+}
+
+// compileField bakes the bind-table position into the closure. A qualified
+// reference the bind table does not know (unknown alias) stays on the
+// interpreter, which owns the aliasOrder-scan fallback and its error.
+func (c *exprCompiler) compileField(x *epl.FieldRef) compiledExpr {
+	field := x.Field
+	if x.Alias == "" {
+		errMissing := fmt.Errorf("cep: field %q not found in any bound stream", field)
+		return func(ctx *evalContext) (Value, error) {
+			for _, ev := range ctx.row {
+				if ev != nil {
+					if v, ok := ev.Fields[field]; ok {
+						return v, nil
+					}
+				}
+			}
+			return nil, errMissing
+		}
+	}
+	idx, ok := c.bind[x]
+	if !ok {
+		return nil
+	}
+	errUnbound := fmt.Errorf("cep: alias %q is not bound", x.Alias)
+	return func(ctx *evalContext) (Value, error) {
+		if ev := ctx.row[idx]; ev != nil {
+			return ev.Fields[field], nil
+		}
+		return nil, errUnbound
+	}
+}
+
+// fieldNum is compileField with the numeric conversion fused in — the
+// hottest leaf shape (aggregate arguments, comparison operands).
+func (c *exprCompiler) fieldNum(x *epl.FieldRef) compiledNum {
+	if x.Alias == "" {
+		g := c.compileField(x)
+		return numWrap(g)
+	}
+	idx, ok := c.bind[x]
+	if !ok {
+		return nil
+	}
+	field := x.Field
+	errUnbound := fmt.Errorf("cep: alias %q is not bound", x.Alias)
+	return func(ctx *evalContext) (float64, error) {
+		ev := ctx.row[idx]
+		if ev == nil {
+			return 0, errUnbound
+		}
+		v := ev.Fields[field]
+		if f, ok := v.(float64); ok {
+			return f, nil
+		}
+		n, ok := numeric(v)
+		if !ok {
+			return 0, fmt.Errorf("cep: value %v (%T) is not numeric", v, v)
+		}
+		return n, nil
+	}
+}
+
+// staticNum reports whether every successful evaluation of e yields a
+// numeric value or NULL — never a string or bool — letting comparisons and
+// `+` rule out their string arms at compile time. NULL is fine: it errors
+// inside compiledNum exactly as valueCompare/arithmetic reject it at
+// runtime. Scalar calls do not qualify even for built-ins: a user function
+// registered later under the same name shadows them and may return anything.
+func (c *exprCompiler) staticNum(e epl.Expr) bool {
+	switch x := e.(type) {
+	case *epl.NumberLit, *epl.DurationLit:
+		return true
+	case *epl.UnaryExpr:
+		return x.Op == "-"
+	case *epl.BinaryExpr:
+		switch x.Op {
+		case "-", "*", "/":
+			return true
+		case "+":
+			return c.staticNum(x.Left) || c.staticNum(x.Right)
+		}
+		return false
+	case *epl.CallExpr:
+		return epl.AggregateFuncs[x.Func]
+	}
+	return false
+}
+
+// compileNum lowers e to an unboxed float64 closure; nil means ineligible.
+func (c *exprCompiler) compileNum(e epl.Expr) compiledNum {
+	if constExpr(e) {
+		v, err := eval(e, &evalContext{})
+		if err == nil {
+			if f, ok := numeric(v); ok {
+				return func(*evalContext) (float64, error) { return f, nil }
+			}
+		}
+		// Non-numeric or erroring constant: the generic wrap below
+		// re-surfaces the same failure per evaluation.
+	}
+	switch x := e.(type) {
+	case *epl.FieldRef:
+		return c.fieldNum(x)
+	case *epl.UnaryExpr:
+		if x.Op == "-" {
+			sub := c.compileNum(x.Expr)
+			if sub == nil {
+				return nil
+			}
+			return func(ctx *evalContext) (float64, error) {
+				n, err := sub(ctx)
+				if err != nil {
+					return 0, err
+				}
+				return -n, nil
+			}
+		}
+	case *epl.BinaryExpr:
+		switch x.Op {
+		case "-", "*", "/":
+			return c.compileArithNum(x)
+		case "+":
+			if c.staticNum(x.Left) || c.staticNum(x.Right) {
+				return c.compileArithNum(x)
+			}
+			// Could be string concatenation: evaluate boxed, then convert.
+		}
+	case *epl.CallExpr:
+		if epl.AggregateFuncs[x.Func] {
+			return c.compileAggNum(x)
+		}
+	}
+	g := c.compileValue(e)
+	if g == nil {
+		return nil
+	}
+	return numWrap(g)
+}
+
+func numWrap(g compiledExpr) compiledNum {
+	return func(ctx *evalContext) (float64, error) {
+		v, err := g(ctx)
+		if err != nil {
+			return 0, err
+		}
+		n, ok := numeric(v)
+		if !ok {
+			return 0, fmt.Errorf("cep: value %v (%T) is not numeric", v, v)
+		}
+		return n, nil
+	}
+}
+
+// compileArith lowers +,-,*,/ to a boxed-result closure. The numeric arms
+// run unboxed; only `+` over two dynamically-typed sides keeps the boxed
+// numeric-else-concat dispatch of the interpreter.
+func (c *exprCompiler) compileArith(x *epl.BinaryExpr) compiledExpr {
+	if x.Op == "+" && !c.staticNum(x.Left) && !c.staticNum(x.Right) {
+		l, r := c.compileValue(x.Left), c.compileValue(x.Right)
+		if l == nil || r == nil {
+			return nil
+		}
+		return func(ctx *evalContext) (Value, error) {
+			lv, err := l(ctx)
+			if err != nil {
+				return nil, err
+			}
+			rv, err := r(ctx)
+			if err != nil {
+				return nil, err
+			}
+			ln, lok := numeric(lv)
+			rn, rok := numeric(rv)
+			if lok && rok {
+				return ln + rn, nil
+			}
+			if ls, ok := lv.(string); ok {
+				if rs, ok := rv.(string); ok {
+					return ls + rs, nil
+				}
+			}
+			return nil, fmt.Errorf("cep: arithmetic on non-numeric values %v + %v", lv, rv)
+		}
+	}
+	n := c.compileArithNum(x)
+	if n == nil {
+		return nil
+	}
+	return func(ctx *evalContext) (Value, error) {
+		f, err := n(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+}
+
+var errDivZero = fmt.Errorf("cep: division by zero")
+
+func (c *exprCompiler) compileArithNum(x *epl.BinaryExpr) compiledNum {
+	l := c.compileNum(x.Left)
+	r := c.compileNum(x.Right)
+	if l == nil || r == nil {
+		return nil
+	}
+	switch x.Op {
+	case "+":
+		return func(ctx *evalContext) (float64, error) {
+			a, err := l(ctx)
+			if err != nil {
+				return 0, err
+			}
+			b, err := r(ctx)
+			if err != nil {
+				return 0, err
+			}
+			return a + b, nil
+		}
+	case "-":
+		return func(ctx *evalContext) (float64, error) {
+			a, err := l(ctx)
+			if err != nil {
+				return 0, err
+			}
+			b, err := r(ctx)
+			if err != nil {
+				return 0, err
+			}
+			return a - b, nil
+		}
+	case "*":
+		return func(ctx *evalContext) (float64, error) {
+			a, err := l(ctx)
+			if err != nil {
+				return 0, err
+			}
+			b, err := r(ctx)
+			if err != nil {
+				return 0, err
+			}
+			return a * b, nil
+		}
+	case "/":
+		return func(ctx *evalContext) (float64, error) {
+			a, err := l(ctx)
+			if err != nil {
+				return 0, err
+			}
+			b, err := r(ctx)
+			if err != nil {
+				return 0, err
+			}
+			if b == 0 {
+				return 0, errDivZero
+			}
+			return a / b, nil
+		}
+	}
+	return nil
+}
+
+// compileBool lowers a predicate to an unboxed bool closure.
+func (c *exprCompiler) compileBool(e epl.Expr) compiledBool {
+	if constExpr(e) {
+		v, err := eval(e, &evalContext{})
+		b := false
+		if err == nil {
+			b, err = truthy(v)
+		}
+		return func(*evalContext) (bool, error) { return b, err }
+	}
+	switch x := e.(type) {
+	case *epl.UnaryExpr:
+		if x.Op == "NOT" {
+			sub := c.compileBool(x.Expr)
+			if sub == nil {
+				return nil
+			}
+			return func(ctx *evalContext) (bool, error) {
+				b, err := sub(ctx)
+				if err != nil {
+					return false, err
+				}
+				return !b, nil
+			}
+		}
+	case *epl.BinaryExpr:
+		switch x.Op {
+		case "AND":
+			l, r := c.compileBool(x.Left), c.compileBool(x.Right)
+			if l == nil || r == nil {
+				return nil
+			}
+			return func(ctx *evalContext) (bool, error) {
+				lb, err := l(ctx)
+				if err != nil || !lb {
+					return false, err
+				}
+				return r(ctx)
+			}
+		case "OR":
+			l, r := c.compileBool(x.Left), c.compileBool(x.Right)
+			if l == nil || r == nil {
+				return nil
+			}
+			return func(ctx *evalContext) (bool, error) {
+				lb, err := l(ctx)
+				if err != nil || lb {
+					return lb, err
+				}
+				return r(ctx)
+			}
+		case "=", "!=":
+			l, r := c.compileValue(x.Left), c.compileValue(x.Right)
+			if l == nil || r == nil {
+				return nil
+			}
+			want := x.Op == "="
+			return func(ctx *evalContext) (bool, error) {
+				lv, err := l(ctx)
+				if err != nil {
+					return false, err
+				}
+				rv, err := r(ctx)
+				if err != nil {
+					return false, err
+				}
+				return valueEq(lv, rv) == want, nil
+			}
+		case "<", "<=", ">", ">=":
+			return c.compileCompare(x)
+		}
+	}
+	g := c.compileValue(e)
+	if g == nil {
+		return nil
+	}
+	return func(ctx *evalContext) (bool, error) {
+		v, err := g(ctx)
+		if err != nil {
+			return false, err
+		}
+		return truthy(v)
+	}
+}
+
+// compileCompare lowers an ordered comparison. When one side is statically
+// numeric the string-vs-string arm of valueCompare is unreachable, so both
+// sides run unboxed; the numeric conversion on the dynamic side fails
+// exactly where valueCompare would have failed the comparison.
+//
+// NaN caution (found by FuzzCompiledExprEquivalence): valueCompare is a
+// three-way compare that answers 0 when neither a<b nor a>b holds, so a
+// NaN operand makes `<=` and `>=` TRUE through the interpreter. The
+// unboxed forms below use !(a>b) / !(a<b) — not IEEE a<=b — to reproduce
+// that exactly.
+func (c *exprCompiler) compileCompare(x *epl.BinaryExpr) compiledBool {
+	op := x.Op
+	if c.staticNum(x.Left) || c.staticNum(x.Right) {
+		l, r := c.compileNum(x.Left), c.compileNum(x.Right)
+		if l != nil && r != nil {
+			switch op {
+			case "<":
+				return func(ctx *evalContext) (bool, error) {
+					a, err := l(ctx)
+					if err != nil {
+						return false, err
+					}
+					b, err := r(ctx)
+					if err != nil {
+						return false, err
+					}
+					return a < b, nil
+				}
+			case "<=":
+				return func(ctx *evalContext) (bool, error) {
+					a, err := l(ctx)
+					if err != nil {
+						return false, err
+					}
+					b, err := r(ctx)
+					if err != nil {
+						return false, err
+					}
+					return !(a > b), nil
+				}
+			case ">":
+				return func(ctx *evalContext) (bool, error) {
+					a, err := l(ctx)
+					if err != nil {
+						return false, err
+					}
+					b, err := r(ctx)
+					if err != nil {
+						return false, err
+					}
+					return a > b, nil
+				}
+			default:
+				return func(ctx *evalContext) (bool, error) {
+					a, err := l(ctx)
+					if err != nil {
+						return false, err
+					}
+					b, err := r(ctx)
+					if err != nil {
+						return false, err
+					}
+					return !(a < b), nil
+				}
+			}
+		}
+	}
+	l, r := c.compileValue(x.Left), c.compileValue(x.Right)
+	if l == nil || r == nil {
+		return nil
+	}
+	return func(ctx *evalContext) (bool, error) {
+		lv, err := l(ctx)
+		if err != nil {
+			return false, err
+		}
+		rv, err := r(ctx)
+		if err != nil {
+			return false, err
+		}
+		cv, err := valueCompare(lv, rv)
+		if err != nil {
+			return false, err
+		}
+		switch op {
+		case "<":
+			return cv < 0, nil
+		case "<=":
+			return cv <= 0, nil
+		case ">":
+			return cv > 0, nil
+		default:
+			return cv >= 0, nil
+		}
+	}
+}
+
+// compileAgg lowers an aggregate reference: a slot read when the evaluator
+// filled the unboxed slots, a keyed-map lookup otherwise (recompute path,
+// ORDER BY over projected outputs) — with the key rendered once, here.
+func (c *exprCompiler) compileAgg(x *epl.CallExpr) compiledExpr {
+	key := x.String()
+	slot, ok := c.aggOf[key]
+	if !ok {
+		// An aggregate the statement did not collect (e.g. inside GROUP
+		// BY): the interpreter owns the runtime error for that.
+		return nil
+	}
+	fn := x.Func
+	return func(ctx *evalContext) (Value, error) {
+		if ctx.aggF != nil {
+			if ctx.aggNull[slot] {
+				return nil, nil
+			}
+			return ctx.aggF[slot], nil
+		}
+		if ctx.aggs == nil {
+			return nil, fmt.Errorf("cep: aggregate %s used outside aggregation context", fn)
+		}
+		v, ok := ctx.aggs[key]
+		if !ok {
+			return nil, fmt.Errorf("cep: aggregate %s was not pre-computed", key)
+		}
+		return v, nil
+	}
+}
+
+// compileAggNum is compileAgg in a numeric position: a NULL aggregate is an
+// error here, exactly as valueCompare/arithmetic reject nil at runtime.
+func (c *exprCompiler) compileAggNum(x *epl.CallExpr) compiledNum {
+	key := x.String()
+	slot, ok := c.aggOf[key]
+	if !ok {
+		return nil
+	}
+	fn := x.Func
+	return func(ctx *evalContext) (float64, error) {
+		if ctx.aggF != nil {
+			if ctx.aggNull[slot] {
+				return 0, fmt.Errorf("cep: aggregate %s is NULL in a numeric context", key)
+			}
+			return ctx.aggF[slot], nil
+		}
+		if ctx.aggs == nil {
+			return 0, fmt.Errorf("cep: aggregate %s used outside aggregation context", fn)
+		}
+		v, ok := ctx.aggs[key]
+		if !ok {
+			return 0, fmt.Errorf("cep: aggregate %s was not pre-computed", key)
+		}
+		n, okn := numeric(v)
+		if !okn {
+			return 0, fmt.Errorf("cep: value %v (%T) is not numeric", v, v)
+		}
+		return n, nil
+	}
+}
+
+// compileScalarCall resolves the function at evaluation time (matching the
+// interpreter: RegisterFunction after statement creation takes effect, and
+// user registrations shadow built-ins) but pre-compiles the arguments into
+// a per-call-site scratch buffer.
+func (c *exprCompiler) compileScalarCall(x *epl.CallExpr) compiledExpr {
+	name := x.Func
+	args := c.values(x.Args)
+	scratch := make([]Value, len(x.Args))
+	errUnknown := fmt.Errorf("cep: unknown function %q", name)
+	return func(ctx *evalContext) (Value, error) {
+		fn, ok := ctx.funcs[name]
+		if !ok {
+			fn, ok = builtinFuncs[name]
+		}
+		if !ok {
+			return nil, errUnknown
+		}
+		for i, ac := range args {
+			v, err := ac(ctx)
+			if err != nil {
+				return nil, err
+			}
+			scratch[i] = v
+		}
+		return fn(scratch)
+	}
+}

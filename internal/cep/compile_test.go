@@ -1,0 +1,152 @@
+package cep
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestCompiledIntrospection(t *testing.T) {
+	eng := New()
+	st, err := eng.AddStatement("r", `SELECT w.loc AS l, sum(w.x) AS s FROM s.win:length(5) AS w GROUP BY w.loc`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Compiled() {
+		t.Fatal("statement should compile under the default engine")
+	}
+
+	off := New(WithCompiledExprs(false))
+	st2, err := off.AddStatement("r", `SELECT w.loc AS l, sum(w.x) AS s FROM s.win:length(5) AS w GROUP BY w.loc`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Compiled() {
+		t.Fatal("WithCompiledExprs(false) must leave the statement interpreted")
+	}
+}
+
+// TestCompiledScalarFunctionShadowing pins the late-binding contract:
+// compiled call sites resolve the function registry at evaluation time, so
+// a RegisterFunction call AFTER AddStatement — including one that shadows
+// a builtin — affects already-compiled statements, exactly like the
+// interpreter.
+func TestCompiledScalarFunctionShadowing(t *testing.T) {
+	for _, compiled := range []bool{true, false} {
+		eng := New(WithCompiledExprs(compiled))
+		st, err := eng.AddStatement("r", `SELECT abs(w.x) AS a FROM s.std:lastevent() AS w`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last []Output
+		st.AddListener(func(_ *Statement, outs []Output) { last = outs })
+		send(t, eng, "s", map[string]Value{"x": -3.0})
+		if last[0].Fields["a"] != 3.0 {
+			t.Fatalf("compiled=%v: builtin abs = %v", compiled, last[0].Fields["a"])
+		}
+		eng.RegisterFunction("abs", func(args []Value) (Value, error) { return 42.0, nil })
+		send(t, eng, "s", map[string]Value{"x": -3.0})
+		if last[0].Fields["a"] != 42.0 {
+			t.Fatalf("compiled=%v: late-registered shadow not visible, got %v", compiled, last[0].Fields["a"])
+		}
+	}
+}
+
+// TestTriggerPlanBreakRebuildsIndexes is the regression test for the
+// index-maintenance skip: an armed trigger plan never probes the join hash
+// indexes, so process() stops maintaining them — but when the plan breaks
+// mid-stream, the recompute path it falls back to probes those very
+// indexes. disable() must rebuild them from window contents or every
+// subsequent join silently comes up empty.
+func TestTriggerPlanBreakRebuildsIndexes(t *testing.T) {
+	src := `SELECT bd2.loc AS loc, avg(bd2.a) AS cur, count(*) AS c
+		FROM bus.std:lastevent() AS bd UNIDIRECTIONAL,
+		     bus.std:groupwin(loc).win:length(4) AS bd2,
+		     thr.win:keepall() AS th
+		WHERE bd.loc = th.location AND bd.loc = bd2.loc
+		GROUP BY bd2.loc`
+
+	canon := func(outs []Output) []string {
+		batch := make([]string, len(outs))
+		for i, o := range outs {
+			batch[i] = canonFields(o.Fields)
+		}
+		sort.Strings(batch)
+		return batch
+	}
+
+	run := func(opts ...Option) (st *Statement, feedFn func(stream string, f map[string]Value) error, batches *[][]string) {
+		eng := New(opts...)
+		st, err := eng.AddStatement("r", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var collected [][]string
+		batches = &collected
+		st.AddListener(func(_ *Statement, outs []Output) {
+			collected = append(collected, canon(outs))
+		})
+		return st, func(stream string, f map[string]Value) error { return eng.SendEvent(stream, f) }, batches
+	}
+
+	stInc, sendInc, incBatches := run()
+	stRec, sendRec, recBatches := run(WithIncremental(false))
+
+	if got := stInc.IncrementalStrategy(); got != "trigger" {
+		t.Fatalf("precondition: strategy = %q, want trigger (the scenario exercises nothing otherwise)", got)
+	}
+	if stRec.IncrementalStrategy() != "" {
+		t.Fatal("reference rig must recompute")
+	}
+
+	feed := []struct {
+		stream string
+		fields map[string]Value
+	}{
+		{"thr", map[string]Value{"location": "L1", "value": 2.0}},
+		{"thr", map[string]Value{"location": "L2", "value": 5.0}},
+		{"bus", map[string]Value{"loc": "L1", "a": 3.0}},
+		{"bus", map[string]Value{"loc": "L1", "a": 4.0}},
+		{"bus", map[string]Value{"loc": "L2", "a": 6.0}},
+		// Poison: non-numeric aggregate input breaks trigger maintenance.
+		// win:length(4) evicts it after a few more events, so recompute
+		// recovers; until then both rigs error identically.
+		{"bus", map[string]Value{"loc": "L1", "a": "oops"}},
+		{"bus", map[string]Value{"loc": "L1", "a": 5.0}},
+		{"bus", map[string]Value{"loc": "L1", "a": 6.0}},
+		{"bus", map[string]Value{"loc": "L1", "a": 7.0}},
+		// Poison evicted: joins must flow again — through rebuilt indexes.
+		{"bus", map[string]Value{"loc": "L1", "a": 8.0}},
+		{"bus", map[string]Value{"loc": "L2", "a": 9.0}},
+	}
+	for i, ev := range feed {
+		errInc := sendInc(ev.stream, ev.fields)
+		errRec := sendRec(ev.stream, ev.fields)
+		if (errInc == nil) != (errRec == nil) {
+			t.Fatalf("event %d: error mismatch: inc=%v rec=%v", i, errInc, errRec)
+		}
+		if errInc != nil && !strings.Contains(errInc.Error(), "non-numeric") {
+			t.Fatalf("event %d: unexpected error %v", i, errInc)
+		}
+	}
+	if got := stInc.IncrementalStrategy(); got != "broken" {
+		t.Fatalf("poison should have broken the plan, strategy = %q", got)
+	}
+	if len(*incBatches) != len(*recBatches) {
+		t.Fatalf("batch counts diverged: inc=%d rec=%d", len(*incBatches), len(*recBatches))
+	}
+	if len(*incBatches) == 0 {
+		t.Fatal("scenario produced no outputs")
+	}
+	for bi := range *incBatches {
+		a, b := (*incBatches)[bi], (*recBatches)[bi]
+		if len(a) != len(b) {
+			t.Fatalf("batch %d: %d vs %d outputs\n inc: %v\n rec: %v", bi, len(a), len(b), a, b)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("batch %d output %d:\n inc: %s\n rec: %s", bi, j, a[j], b[j])
+			}
+		}
+	}
+}

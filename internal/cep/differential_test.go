@@ -9,8 +9,9 @@ import (
 )
 
 // Differential harness: every scenario drives the same random event feed
-// through two engines — incremental evaluation on (the default) and off —
-// and asserts the emitted outputs are identical batch by batch. Fields are
+// through four engines — the cross product of incremental evaluation
+// on/off and expression compilation on/off — and asserts the emitted
+// outputs are identical batch by batch across all rigs. Fields are
 // integer-valued so maintained sums cancel exactly under retraction and
 // the comparison can demand equality, not tolerance. Batches are compared
 // as sorted multisets: group emission order is documented to differ
@@ -72,34 +73,47 @@ type diffEvent struct {
 
 func runDifferential(t *testing.T, label string, stmts map[string]string, feed []diffEvent) {
 	t.Helper()
-	inc := newDiffRig(t, stmts)
-	rec := newDiffRig(t, stmts, WithIncremental(false))
+	// Rig 0 (incremental + compiled, the production default) is the
+	// reference; every other rig must match it event for event.
+	rigs := []struct {
+		name string
+		rig  *diffRig
+	}{
+		{"inc+compiled", newDiffRig(t, stmts)},
+		{"rec+compiled", newDiffRig(t, stmts, WithIncremental(false))},
+		{"inc+interp", newDiffRig(t, stmts, WithCompiledExprs(false))},
+		{"rec+interp", newDiffRig(t, stmts, WithIncremental(false), WithCompiledExprs(false))},
+	}
+	ref := rigs[0]
 	for i, ev := range feed {
-		errInc := inc.eng.SendEvent(ev.stream, ev.fields)
-		errRec := rec.eng.SendEvent(ev.stream, ev.fields)
-		if (errInc == nil) != (errRec == nil) {
-			t.Fatalf("%s: event %d error mismatch: inc=%v rec=%v", label, i, errInc, errRec)
-		}
-		if len(inc.batches) != len(rec.batches) {
-			t.Fatalf("%s: event %d: incremental emitted %d batches, recompute %d",
-				label, i, len(inc.batches), len(rec.batches))
-		}
-		for bi := len(inc.batches) - 1; bi >= 0; bi-- {
-			a, b := inc.batches[bi], rec.batches[bi]
-			if len(a) != len(b) {
-				t.Fatalf("%s: event %d batch %d: %d vs %d outputs\n inc: %v\n rec: %v",
-					label, i, bi, len(a), len(b), a, b)
+		errRef := ref.rig.eng.SendEvent(ev.stream, ev.fields)
+		for _, other := range rigs[1:] {
+			errOther := other.rig.eng.SendEvent(ev.stream, ev.fields)
+			if (errRef == nil) != (errOther == nil) {
+				t.Fatalf("%s: event %d error mismatch: %s=%v %s=%v",
+					label, i, ref.name, errRef, other.name, errOther)
 			}
-			for j := range a {
-				if a[j] != b[j] {
-					t.Fatalf("%s: event %d batch %d output %d:\n inc: %s\n rec: %s",
-						label, i, bi, j, a[j], b[j])
+			if len(ref.rig.batches) != len(other.rig.batches) {
+				t.Fatalf("%s: event %d: %s emitted %d batches, %s %d",
+					label, i, ref.name, len(ref.rig.batches), other.name, len(other.rig.batches))
+			}
+			for bi := len(ref.rig.batches) - 1; bi >= 0; bi-- {
+				a, b := ref.rig.batches[bi], other.rig.batches[bi]
+				if len(a) != len(b) {
+					t.Fatalf("%s: event %d batch %d: %d vs %d outputs\n %s: %v\n %s: %v",
+						label, i, bi, len(a), len(b), ref.name, a, other.name, b)
+				}
+				for j := range a {
+					if a[j] != b[j] {
+						t.Fatalf("%s: event %d batch %d output %d:\n %s: %s\n %s: %s",
+							label, i, bi, j, ref.name, a[j], other.name, b[j])
+					}
 				}
 			}
 		}
 	}
 	total := 0
-	for _, b := range inc.batches {
+	for _, b := range ref.rig.batches {
 		total += len(b)
 	}
 	if total == 0 {

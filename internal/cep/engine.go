@@ -35,6 +35,11 @@ type Engine struct {
 	// of window length. Ineligible statements recompute as before.
 	incremental bool
 
+	// compiledExprs lowers statement expressions to specialized closures
+	// at registration (the default); off, every expression is evaluated by
+	// the tree-walking interpreter — the expression-compilation ablation.
+	compiledExprs bool
+
 	// name prefixes this engine's metric names in the telemetry registry;
 	// latHist records per-event processing latency when a registry is
 	// attached.
@@ -62,6 +67,16 @@ func WithIncremental(enabled bool) Option {
 	return func(e *Engine) { e.incremental = enabled }
 }
 
+// WithCompiledExprs enables or disables the statement compiler for
+// statements registered after New. It is on by default; disabling it
+// evaluates expression trees with the tree-walking interpreter on every
+// tuple (the expression-compilation ablation). Results are identical
+// either way — the differential harness and FuzzCompiledExprEquivalence
+// enforce it.
+func WithCompiledExprs(enabled bool) Option {
+	return func(e *Engine) { e.compiledExprs = enabled }
+}
+
 // WithRegistry attaches a telemetry registry: the engine records a
 // per-event processing-latency histogram on the hot path and can be
 // registered as a telemetry.Source publishing engine and statement
@@ -80,11 +95,12 @@ func WithName(name string) Option {
 // New creates an engine configured by options.
 func New(opts ...Option) *Engine {
 	e := &Engine{
-		stmts:    make(map[string]*Statement),
-		byStream: make(map[string][]*Statement),
-		funcs:       make(map[string]ScalarFunc),
-		name:        "cep",
-		incremental: true,
+		stmts:         make(map[string]*Statement),
+		byStream:      make(map[string][]*Statement),
+		funcs:         make(map[string]ScalarFunc),
+		name:          "cep",
+		incremental:   true,
+		compiledExprs: true,
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -193,9 +209,12 @@ func (e *Engine) StatementCount() int {
 	return len(e.stmts)
 }
 
-// SendEvent delivers an event with the current wall-clock timestamp.
+// SendEvent delivers an event with the current wall-clock timestamp. The
+// same clock read serves as the event timestamp and the latency-sample
+// start, saving a clock read per event on the hot path.
 func (e *Engine) SendEvent(stream string, fields map[string]Value) error {
-	return e.SendEventAt(stream, time.Now(), fields)
+	now := time.Now()
+	return e.sendEventAt(stream, now, now, fields)
 }
 
 // maxDerivedEvents bounds the INSERT INTO cascade one external event may
@@ -209,8 +228,13 @@ const maxDerivedEvents = 10000
 // first evaluation error is returned, but every statement still sees the
 // event.
 func (e *Engine) SendEventAt(stream string, ts time.Time, fields map[string]Value) error {
+	// An explicit (possibly historical) event time must not pollute the
+	// latency measurement, so processing start is read separately here.
+	return e.sendEventAt(stream, ts, time.Now(), fields)
+}
+
+func (e *Engine) sendEventAt(stream string, ts, start time.Time, fields map[string]Value) error {
 	ev := NewEvent(stream, ts, fields)
-	start := time.Now()
 
 	e.mu.Lock()
 	defer e.mu.Unlock()

@@ -10,6 +10,9 @@ import (
 // ScalarFunc is a user-registered scalar function callable from EPL
 // expressions. The engine uses this for the join-with-database threshold
 // retrieval strategy (§4.3.1), where a rule calls into the storage medium.
+// The args slice is only valid for the duration of the call: compiled
+// statements reuse a per-call-site scratch buffer, so a function that needs
+// the arguments later must copy them.
 type ScalarFunc func(args []Value) (Value, error)
 
 // builtinFuncs are always available scalar functions.
@@ -70,6 +73,16 @@ type evalContext struct {
 	bind       map[*epl.FieldRef]int
 	aggs       map[string]Value
 	funcs      map[string]ScalarFunc
+
+	// aggF/aggNull are the unboxed aggregate slots filled by the
+	// incremental evaluators when the statement compiled cleanly: slot i
+	// holds the value of the statement's i-th distinct aggregate (the
+	// ordering of stmtCompiled.aggKeys), aggNull[i] marking SQL NULL.
+	// Compiled aggregate references read the slots when aggF is non-nil
+	// and fall back to the aggs map otherwise; the tree-walking
+	// interpreter only ever reads the map.
+	aggF    []float64
+	aggNull []bool
 }
 
 // eval evaluates an expression tree.
@@ -257,16 +270,14 @@ func evalBool(e epl.Expr, ctx *evalContext) (bool, error) {
 	return truthy(v)
 }
 
-// computeAggregates evaluates every aggregate call in aggCalls over the
-// given group of rows and returns expr-rendering → value.
-func computeAggregates(aggCalls []*epl.CallExpr, rows [][]*Event, base *evalContext) (map[string]Value, error) {
-	out := make(map[string]Value, len(aggCalls))
-	for _, call := range aggCalls {
-		key := call.String()
-		if _, done := out[key]; done {
-			continue
-		}
-		v, err := computeAggregate(call, rows, base)
+// computeAggregates evaluates the statement's distinct aggregate calls over
+// the given group of rows and returns expr-rendering → value. Aggregate
+// keys were rendered once at statement compilation (stmtCompiled.aggKeys),
+// so the recompute path never calls CallExpr.String per evaluation.
+func computeAggregates(comp *stmtCompiled, rows [][]*Event, base *evalContext) (map[string]Value, error) {
+	out := make(map[string]Value, len(comp.aggKeys))
+	for i, key := range comp.aggKeys {
+		v, err := computeAggregate(comp.aggCalls[i], comp.aggArgC[i], rows, base)
 		if err != nil {
 			return nil, err
 		}
@@ -275,11 +286,14 @@ func computeAggregates(aggCalls []*epl.CallExpr, rows [][]*Event, base *evalCont
 	return out, nil
 }
 
-func computeAggregate(call *epl.CallExpr, rows [][]*Event, base *evalContext) (Value, error) {
+// computeAggregate folds one aggregate over a group of rows. arg is the
+// compiled argument extractor; it is nil exactly when the call is count(*)
+// or has the wrong arity.
+func computeAggregate(call *epl.CallExpr, arg compiledExpr, rows [][]*Event, base *evalContext) (Value, error) {
 	if call.Func == "count" && call.Star {
 		return float64(len(rows)), nil
 	}
-	if len(call.Args) != 1 {
+	if arg == nil {
 		return nil, fmt.Errorf("cep: aggregate %s takes 1 argument", call.Func)
 	}
 	var (
@@ -290,7 +304,7 @@ func computeAggregate(call *epl.CallExpr, rows [][]*Event, base *evalContext) (V
 	ctx := &evalContext{aliasOrder: base.aliasOrder, bind: base.bind, funcs: base.funcs}
 	for _, row := range rows {
 		ctx.row = row
-		v, err := eval(call.Args[0], ctx)
+		v, err := arg(ctx)
 		if err != nil {
 			return nil, err
 		}

@@ -112,8 +112,10 @@ func TestValueEqCoercion(t *testing.T) {
 		{1, 1.0, true},
 		{int64(2), 2, true},
 		{float32(1.5), 1.5, true},
-		{true, 1.0, true}, // booleans are numeric 0/1
-		{false, 0, true},
+		{true, 1.0, false}, // booleans are not numeric (see TestBoolIsNotNumeric)
+		{false, 0, false},
+		{true, true, true}, // bool = bool still compares directly
+		{true, false, false},
 		{"a", "a", true},
 		{"a", "b", false},
 		{"1", 1.0, false}, // no string→number coercion
@@ -275,5 +277,122 @@ func TestShortCircuitEvaluation(t *testing.T) {
 	v, err = evalStr(t, "a > 0 OR s < 1", row)
 	if err != nil || v != true {
 		t.Fatalf("OR short circuit: %v, %v", v, err)
+	}
+}
+
+// TestBoolIsNotNumeric pins the coercion contract fixed in this revision:
+// booleans are NOT silently coerced to 0/1. A boolean participates in
+// equality against another boolean and in truthiness, nothing else —
+// exactly like SQL's boolean type. Previously numeric() mapped
+// true→1/false→0, so `true = 1` held and `(a < b) * 2` evaluated; both now
+// fail, for both the interpreter and compiled closures.
+func TestBoolIsNotNumeric(t *testing.T) {
+	if _, ok := numeric(true); ok {
+		t.Fatal("numeric(true) must fail")
+	}
+	if _, ok := numeric(false); ok {
+		t.Fatal("numeric(false) must fail")
+	}
+	if _, err := valueCompare(true, 1.0); err == nil {
+		t.Fatal("ordering bool against number must error")
+	}
+	row := map[string]Value{"a": 1.0, "b": 2.0, "f": true}
+	// Arithmetic on a boolean errors.
+	if _, err := evalStr(t, "(a < b) * 2", row); err == nil {
+		t.Fatal("(a < b) * 2 must error: comparisons yield booleans, not 0/1")
+	}
+	if _, err := evalStr(t, "f + 1", row); err == nil {
+		t.Fatal("bool + number must error")
+	}
+	// Aggregating booleans errors (engine-level, non-numeric input).
+	e := New()
+	if _, err := e.AddStatement("r", `SELECT sum(w.f) AS s FROM s.win:keepall() AS w`); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SendEvent("s", map[string]Value{"f": true}); err == nil ||
+		!strings.Contains(err.Error(), "non-numeric") {
+		t.Fatalf("sum(bool) err = %v", err)
+	}
+	// What still works: bool = bool, truthiness, NOT.
+	for src, want := range map[string]Value{
+		"f = true":   true,
+		"f != false": true,
+		"NOT f":      false,
+		"f AND a<b":  true,
+	} {
+		got, err := evalStr(t, src, row)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if got != want {
+			t.Fatalf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+// TestScalarCoercionEdges covers the narrow-type corners of numeric
+// coercion through full expression evaluation.
+func TestScalarCoercionEdges(t *testing.T) {
+	// float32 widens exactly for representable values.
+	v, err := evalStr(t, "a * 2", map[string]Value{"a": float32(1.5)})
+	if err != nil || v != 3.0 {
+		t.Fatalf("float32 widen: %v, %v", v, err)
+	}
+	// int64 beyond 2^53 loses precision on conversion to float64; the
+	// engine's numeric domain is float64, so equality follows float64.
+	big := int64(1) << 60
+	v, err = evalStr(t, "a + 0", map[string]Value{"a": big})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != float64(big) {
+		t.Fatalf("int64 2^60 = %v, want %v", v, float64(big))
+	}
+	if !valueEq(big, big+1) == (float64(big) == float64(big+1)) {
+		// Both sides collapse to the same float64: valueEq must agree
+		// with float64 equality, not integer equality.
+		t.Fatalf("valueEq(2^60, 2^60+1) disagrees with float64 collapse")
+	}
+	// nil propagation: qualified missing field is nil; nil is absorbed by
+	// `=` (false) but poisons ordering and arithmetic.
+	if v, err := evalStr(t, "r.gone = 1", map[string]Value{}); err != nil || v != false {
+		t.Fatalf("nil = 1: %v, %v", v, err)
+	}
+	if _, err := evalStr(t, "r.gone + 1", map[string]Value{}); err == nil {
+		t.Fatal("nil + 1 must error")
+	}
+	if _, err := evalStr(t, "-r.gone", map[string]Value{}); err == nil {
+		t.Fatal("-nil must error")
+	}
+}
+
+// TestEvalScalarParity verifies EvalScalar and EvalScalarBool agree with
+// each other (bool = truthy(scalar)) across value- and error-producing
+// expressions.
+func TestEvalScalarParity(t *testing.T) {
+	row := map[string]Value{"a": 2.0, "s": "x", "f": true}
+	for _, src := range []string{
+		"a > 1", "a < 1", "f", "NOT f", "a = 2 AND s = 'x'",
+		"a + 1", "s", "r.gone", "s < 1", "a / 0",
+	} {
+		e, err := parseExprString(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, verr := EvalScalar(e, "r", row, nil)
+		b, berr := EvalScalarBool(e, "r", row, nil)
+		if verr != nil {
+			if berr == nil {
+				t.Fatalf("%q: scalar errored (%v) but bool did not", src, verr)
+			}
+			continue
+		}
+		tb, terr := truthy(v)
+		if (terr == nil) != (berr == nil) {
+			t.Fatalf("%q: truthy err %v vs bool err %v", src, terr, berr)
+		}
+		if terr == nil && tb != b {
+			t.Fatalf("%q: truthy(%v) = %v but EvalScalarBool = %v", src, v, tb, b)
+		}
 	}
 }

@@ -1,0 +1,155 @@
+package cep
+
+import (
+	"testing"
+	"time"
+
+	"trafficcep/internal/epl"
+)
+
+// FuzzCompiledExprEquivalence drives randomly shaped expression trees
+// through both evaluators — the tree-walking interpreter and the closure
+// compiler — against randomly typed rows, and asserts the equivalence
+// contract the compiler documents: identical values (under the engine's
+// valueKey rendering, which owns cross-type numeric equality) and
+// identical error presence. Error TEXT may differ, and the compiled form
+// may fail fast before a sibling operand is evaluated; both are inside
+// the contract, so only presence is compared.
+//
+// The input bytes are an instruction stream: each byte picks the next
+// node kind or leaf value, so the fuzzer mutates tree shapes and row
+// contents at the same time.
+type fuzzReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *fuzzReader) byte() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+var fuzzFieldNames = [4]string{"f0", "f1", "f2", "f3"}
+
+// fuzzValue decodes one typed field value; the bool result is false for
+// "field absent".
+func fuzzValue(r *fuzzReader) (Value, bool) {
+	switch r.byte() % 8 {
+	case 0:
+		return float64(int(r.byte()%9) - 4), true
+	case 1:
+		return int(r.byte()%9) - 4, true
+	case 2:
+		return int64(r.byte()%9) - 4, true
+	case 3:
+		return float32(r.byte()%5) / 2, true
+	case 4:
+		return string([]byte{'a' + r.byte()%3}), true
+	case 5:
+		return r.byte()%2 == 0, true
+	case 6:
+		return nil, true // present but NULL
+	default:
+		return nil, false // absent
+	}
+}
+
+// fuzzExpr builds one expression tree, depth-bounded.
+func fuzzExpr(r *fuzzReader, depth int) epl.Expr {
+	if depth <= 0 {
+		switch r.byte() % 6 {
+		case 0:
+			return &epl.NumberLit{Value: float64(int(r.byte()%7) - 3)}
+		case 1:
+			return &epl.StringLit{Value: string([]byte{'a' + r.byte()%3})}
+		case 2:
+			return &epl.BoolLit{Value: r.byte()%2 == 0}
+		case 3:
+			return &epl.FieldRef{Alias: "r", Field: fuzzFieldNames[r.byte()%4]}
+		case 4:
+			return &epl.FieldRef{Field: fuzzFieldNames[r.byte()%4]}
+		default:
+			return &epl.DurationLit{Value: time.Duration(1+r.byte()%5) * time.Second}
+		}
+	}
+	switch r.byte() % 8 {
+	case 0:
+		op := []string{"+", "-", "*", "/"}[r.byte()%4]
+		return &epl.BinaryExpr{Op: op, Left: fuzzExpr(r, depth-1), Right: fuzzExpr(r, depth-1)}
+	case 1:
+		op := []string{"=", "!=", "<", "<=", ">", ">="}[r.byte()%6]
+		return &epl.BinaryExpr{Op: op, Left: fuzzExpr(r, depth-1), Right: fuzzExpr(r, depth-1)}
+	case 2:
+		op := []string{"AND", "OR"}[r.byte()%2]
+		return &epl.BinaryExpr{Op: op, Left: fuzzExpr(r, depth-1), Right: fuzzExpr(r, depth-1)}
+	case 3:
+		return &epl.UnaryExpr{Op: "NOT", Expr: fuzzExpr(r, depth-1)}
+	case 4:
+		return &epl.UnaryExpr{Op: "-", Expr: fuzzExpr(r, depth-1)}
+	case 5:
+		fn := []string{"abs", "sqrt", "floor", "ceil"}[r.byte()%4]
+		return &epl.CallExpr{Func: fn, Args: []epl.Expr{fuzzExpr(r, depth-1)}}
+	case 6:
+		// Aggregate outside an aggregation context: both evaluators must
+		// report the error.
+		return &epl.CallExpr{Func: "avg", Args: []epl.Expr{fuzzExpr(r, depth-1)}}
+	default:
+		return fuzzExpr(r, 0)
+	}
+}
+
+func FuzzCompiledExprEquivalence(f *testing.F) {
+	f.Add([]byte{0, 3, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{1, 3, 1, 0, 0, 3, 0, 4, 1, 1, 2, 2})
+	f.Add([]byte{2, 0, 2, 5, 3, 0, 0, 0, 1, 0, 0, 0})
+	f.Add([]byte{3, 2, 4, 0, 0, 0, 5, 0, 6, 0, 7, 0, 8, 0, 9, 0})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7})
+	f.Add([]byte("differential seed: mixed types"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &fuzzReader{data: data}
+
+		fields := make(map[string]Value, len(fuzzFieldNames))
+		for _, name := range fuzzFieldNames {
+			if v, present := fuzzValue(r); present {
+				fields[name] = v
+			}
+		}
+		ev := &Event{Stream: "s", Fields: fields}
+
+		expr := fuzzExpr(r, int(r.byte()%4))
+
+		// Bind every qualified reference to position 0, exactly as a
+		// single-item statement's bind table would.
+		bind := make(map[*epl.FieldRef]int)
+		epl.WalkExpr(expr, func(x epl.Expr) {
+			if ref, ok := x.(*epl.FieldRef); ok && ref.Alias == "r" {
+				bind[ref] = 0
+			}
+		})
+		c := &exprCompiler{bind: bind, compiled: true}
+		compiled := c.value(expr)
+
+		mkCtx := func() *evalContext {
+			return &evalContext{
+				row:        []*Event{ev},
+				aliasOrder: []string{"r"},
+				bind:       bind,
+			}
+		}
+		vi, erri := eval(expr, mkCtx())
+		vc, errc := compiled(mkCtx())
+
+		if (erri == nil) != (errc == nil) {
+			t.Fatalf("error presence diverged for %v over %v:\n interp: v=%v err=%v\n compiled: v=%v err=%v",
+				expr, fields, vi, erri, vc, errc)
+		}
+		if erri == nil && valueKey(vi) != valueKey(vc) {
+			t.Fatalf("value diverged for %v over %v:\n interp: %#v\n compiled: %#v",
+				expr, fields, vi, vc)
+		}
+	})
+}

@@ -62,6 +62,13 @@ type incState struct {
 	groupVals  []Value
 	keyBufA    []byte
 	keyBufB    []byte
+
+	// aggF/aggNull are the unboxed aggregate slots handed to compiled
+	// expressions via the eval context (slot i = plan spec i = compiled
+	// aggKeys i); used instead of aggScratch when the statement compiled
+	// without aggregate fallbacks.
+	aggF    []float64
+	aggNull []bool
 }
 
 // aggSpec is one distinct aggregate call (deduplicated by rendering).
@@ -73,6 +80,10 @@ type aggSpec struct {
 	track     bool // min/max: keep value counts for eviction rescans
 	anchor    int  // trigger strategy: item the argument reads; -1 = emit-time
 	slot      int  // trigger strategy: accumulator position within the anchor item
+
+	// argC is the compiled argument extractor (nil for count(*)),
+	// attached by compileStatement after planning.
+	argC compiledExpr
 }
 
 // aggAcc is one maintained aggregate accumulator.
@@ -135,35 +146,36 @@ func (a *aggAcc) remove(f float64, track bool) {
 	}
 }
 
-// anchoredAggValue derives sum/avg/min/max/stddev from an accumulator whose
+// anchoredAggFloat derives sum/avg/min/max/stddev from an accumulator whose
 // rows each appear m times in the join (m multiplies counts and sums; it
-// cancels out of avg/min/max).
-func anchoredAggValue(spec *aggSpec, a *aggAcc, m float64) Value {
+// cancels out of avg/min/max). The unboxed (value, isNull) form feeds both
+// the compiled aggregate slots and, boxed by the caller, the keyed map.
+func anchoredAggFloat(spec *aggSpec, a *aggAcc, m float64) (float64, bool) {
 	if a.n == 0 {
-		return nil
+		return 0, true
 	}
 	switch spec.call.Func {
 	case "sum":
-		return a.sum * m
+		return a.sum * m, false
 	case "avg":
-		return a.sum / float64(a.n)
+		return a.sum / float64(a.n), false
 	case "min":
-		return a.min
+		return a.min, false
 	case "max":
-		return a.max
+		return a.max, false
 	case "stddev":
 		nTot := float64(a.n) * m
 		if nTot < 2 {
-			return nil
+			return 0, true
 		}
 		mean := a.sum / float64(a.n)
 		variance := (m*a.sumSq - nTot*mean*mean) / (nTot - 1)
 		if variance < 0 {
 			variance = 0
 		}
-		return math.Sqrt(variance)
+		return math.Sqrt(variance), false
 	}
-	return nil
+	return 0, true
 }
 
 // fieldNode identifies one (FROM item, field) endpoint of an equi-join.
@@ -366,11 +378,18 @@ func newIncState(st *Statement, trig *incTriggerPlan, delta *incDeltaPlan) *incS
 	return s
 }
 
-// disable drops the maintained state; evaluate() then recomputes.
+// disable drops the maintained state; evaluate() then recomputes. A broken
+// trigger plan ran with join-index maintenance skipped (indexesIdle), so
+// the indexes the recompute path is about to probe must be rebuilt from the
+// windows' current contents first.
 func (s *incState) disable() {
+	rebuild := s.trig != nil
 	s.broken = true
 	s.trig = nil
 	s.delta = nil
+	if rebuild {
+		s.st.rebuildIndexes()
+	}
 }
 
 // strategy names the armed plan, for tests and diagnostics.
@@ -456,17 +475,20 @@ type incTriggerPlan struct {
 	pairChecks [][2]string
 	// emitFilters are conjuncts over the trigger item only (or with no
 	// field references); they are checked once per evaluation.
-	emitFilters []epl.Expr
-	items       []*incItemState // indexed by FROM position; nil at trigIdx
-	aggs        []*aggSpec
+	// emitFiltersC is the compiled form.
+	emitFilters  []epl.Expr
+	emitFiltersC []compiledBool
+	items        []*incItemState // indexed by FROM position; nil at trigIdx
+	aggs         []*aggSpec
 }
 
 // incItemState is one non-trigger item's maintained accumulators.
 type incItemState struct {
 	idx       int
-	filters   []epl.Expr // pure, item-local conjuncts applied on maintenance
-	keyFields []string   // this item's fields forming the accumulator key
-	srcFields []string   // trigger fields probing each keyField
+	filters   []epl.Expr     // pure, item-local conjuncts applied on maintenance
+	filtersC  []compiledBool // compiled form of filters
+	keyFields []string       // this item's fields forming the accumulator key
+	srcFields []string       // trigger fields probing each keyField
 	aggIdx    []int      // positions in plan.aggs anchored at this item
 	accs      map[string]*itemAcc
 	keyBuf    []byte
@@ -699,11 +721,17 @@ func planTrigger(st *Statement, aliasToIdx map[string]int, aggs []*aggSpec) *inc
 
 // trigApply folds one added/removed event into an item's accumulators.
 func (s *incState) trigApply(ip *incItemState, ev *Event, sign int) error {
-	if len(ip.filters) > 0 {
+	// s.ctx is shared with trigEvaluate: drop any aggregate bindings left
+	// from a prior evaluation so a (mis-typed) aggregate reference in a
+	// filter or aggregate argument errors exactly like the interpreter
+	// instead of silently reading stale slots.
+	s.ctx.aggs = nil
+	s.ctx.aggF, s.ctx.aggNull = nil, nil
+	if len(ip.filtersC) > 0 {
 		s.row[ip.idx] = ev
 		pass := true
-		for _, f := range ip.filters {
-			okf, err := evalBool(f, s.ctx)
+		for _, f := range ip.filtersC {
+			okf, err := f(s.ctx)
 			if err != nil {
 				s.row[ip.idx] = nil
 				return err
@@ -737,7 +765,7 @@ func (s *incState) trigApply(ip *incItemState, ev *Event, sign int) error {
 	for j, ai := range ip.aggIdx {
 		spec := s.trig.aggs[ai]
 		s.row[ip.idx] = ev
-		v, err := eval(spec.call.Args[0], s.ctx)
+		v, err := spec.argC(s.ctx)
 		s.row[ip.idx] = nil
 		if err != nil {
 			return err
@@ -780,8 +808,9 @@ func (s *incState) trigEvaluate() ([]Output, error) {
 	row[p.trigIdx] = e
 	ctx := s.ctx
 	ctx.aggs = nil
-	for _, f := range p.emitFilters {
-		pass, err := evalBool(f, ctx)
+	ctx.aggF, ctx.aggNull = nil, nil
+	for _, f := range p.emitFiltersC {
+		pass, err := f(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -808,46 +837,44 @@ func (s *incState) trigEvaluate() ([]Output, error) {
 		row[ip.idx] = acc.last
 	}
 
-	if s.aggScratch == nil {
-		s.aggScratch = make(map[string]Value, len(p.aggs))
-	}
-	for _, spec := range p.aggs {
-		var v Value
-		switch {
-		case spec.star:
-			v = rowsTotal
-		case spec.anchor < 0:
-			// The argument reads only the trigger event (or constants):
-			// every join row carries the same value.
-			av, err := eval(spec.call.Args[0], ctx)
+	comp := s.st.comp
+	if comp.needAggMap {
+		// Keyed-map delivery: interpreter mode, or a fallback expression
+		// reads aggregates through the map.
+		if s.aggScratch == nil {
+			s.aggScratch = make(map[string]Value, len(p.aggs))
+		}
+		for _, spec := range p.aggs {
+			f, null, err := s.trigAggFloat(spec, ctx, rowsTotal)
 			if err != nil {
 				return nil, err
 			}
-			v, err = constAggValue(spec, av, rowsTotal)
-			if err != nil {
-				return nil, err
-			}
-		default:
-			ip := p.items[spec.anchor]
-			m := 1.0
-			for _, other := range p.items {
-				if other != nil && other != ip {
-					m *= float64(other.probed.rows)
-				}
-			}
-			a := &ip.probed.aggs[spec.slot]
-			if spec.countOnly {
-				v = float64(a.n) * m
+			if null {
+				s.aggScratch[spec.key] = nil
 			} else {
-				v = anchoredAggValue(spec, a, m)
+				s.aggScratch[spec.key] = f
 			}
 		}
-		s.aggScratch[spec.key] = v
+		ctx.aggs = s.aggScratch
+	} else {
+		// Unboxed slot delivery: compiled aggregate references read
+		// ctx.aggF directly, no per-evaluation map or boxing.
+		if s.aggF == nil {
+			s.aggF = make([]float64, len(p.aggs))
+			s.aggNull = make([]bool, len(p.aggs))
+		}
+		for i, spec := range p.aggs {
+			f, null, err := s.trigAggFloat(spec, ctx, rowsTotal)
+			if err != nil {
+				return nil, err
+			}
+			s.aggF[i], s.aggNull[i] = f, null
+		}
+		ctx.aggF, ctx.aggNull = s.aggF, s.aggNull
 	}
-	ctx.aggs = s.aggScratch
 
-	if s.st.Query.Having != nil {
-		pass, err := evalBool(s.st.Query.Having, ctx)
+	if comp.havingC != nil {
+		pass, err := comp.havingC(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -868,34 +895,66 @@ func (s *incState) trigEvaluate() ([]Output, error) {
 	return outputs, nil
 }
 
-// constAggValue derives an aggregate whose argument is identical on every
-// join row (value av, rowsTotal rows).
-func constAggValue(spec *aggSpec, av Value, rowsTotal float64) (Value, error) {
+// trigAggFloat computes one aggregate for the trigger-factorized emit row as
+// an unboxed (value, isNull) pair. rowsTotal is the join-row count.
+func (s *incState) trigAggFloat(spec *aggSpec, ctx *evalContext, rowsTotal float64) (float64, bool, error) {
+	p := s.trig
+	switch {
+	case spec.star:
+		return rowsTotal, false, nil
+	case spec.anchor < 0:
+		// The argument reads only the trigger event (or constants):
+		// every join row carries the same value.
+		av, err := spec.argC(ctx)
+		if err != nil {
+			return 0, false, err
+		}
+		return constAggFloat(spec, av, rowsTotal)
+	default:
+		ip := p.items[spec.anchor]
+		m := 1.0
+		for _, other := range p.items {
+			if other != nil && other != ip {
+				m *= float64(other.probed.rows)
+			}
+		}
+		a := &ip.probed.aggs[spec.slot]
+		if spec.countOnly {
+			return float64(a.n) * m, false, nil
+		}
+		f, null := anchoredAggFloat(spec, a, m)
+		return f, null, nil
+	}
+}
+
+// constAggFloat derives an aggregate whose argument is identical on every
+// join row (value av, rowsTotal rows). The bool result marks SQL NULL.
+func constAggFloat(spec *aggSpec, av Value, rowsTotal float64) (float64, bool, error) {
 	if av == nil {
 		if spec.countOnly {
-			return 0.0, nil
+			return 0, false, nil
 		}
-		return nil, nil
+		return 0, true, nil
 	}
 	if spec.countOnly {
-		return rowsTotal, nil
+		return rowsTotal, false, nil
 	}
 	f, ok := numeric(av)
 	if !ok {
-		return nil, fmt.Errorf("cep: aggregate %s over non-numeric value %v", spec.call.Func, av)
+		return 0, false, fmt.Errorf("cep: aggregate %s over non-numeric value %v", spec.call.Func, av)
 	}
 	switch spec.call.Func {
 	case "sum":
-		return f * rowsTotal, nil
+		return f * rowsTotal, false, nil
 	case "avg", "min", "max":
-		return f, nil
+		return f, false, nil
 	case "stddev":
 		if rowsTotal < 2 {
-			return nil, nil
+			return 0, true, nil
 		}
-		return 0.0, nil
+		return 0, false, nil
 	}
-	return nil, fmt.Errorf("cep: unknown aggregate %q", spec.call.Func)
+	return 0, false, fmt.Errorf("cep: unknown aggregate %q", spec.call.Func)
 }
 
 // ---------------------------------------------------------------------------
@@ -1046,8 +1105,8 @@ func (s *incState) deltaJoin(pin int, pinEv *Event, sign int) error {
 			if it.index != nil {
 				// The pinned event stands in for an index probe: verify it
 				// matches what the probe would have looked up.
-				for k, pe := range it.probeExprs {
-					v, err := eval(pe, ctx)
+				for k, pe := range it.probeC {
+					v, err := pe(ctx)
 					if err != nil {
 						return err
 					}
@@ -1062,8 +1121,8 @@ func (s *incState) deltaJoin(pin int, pinEv *Event, sign int) error {
 			candidates = s.pinScratch[:]
 		} else if it.index != nil {
 			buf := st.keyBuf[:0]
-			for i, pe := range it.probeExprs {
-				v, err := eval(pe, ctx)
+			for i, pe := range it.probeC {
+				v, err := pe(ctx)
 				if err != nil {
 					return err
 				}
@@ -1080,8 +1139,8 @@ func (s *incState) deltaJoin(pin int, pinEv *Event, sign int) error {
 		for _, ev := range candidates {
 			row[level] = ev
 			pass := true
-			for _, f := range st.filters[level] {
-				okf, err := evalBool(f, ctx)
+			for _, f := range st.comp.filtersC[level] {
+				okf, err := f(ctx)
 				if err != nil {
 					row[level] = nil
 					return err
@@ -1110,8 +1169,8 @@ func (s *incState) deltaRow(row []*Event, sign int) error {
 	st := s.st
 	buf := s.keyBufA[:0]
 	if len(st.Query.GroupBy) > 0 {
-		for i, g := range st.Query.GroupBy {
-			v, err := eval(g, s.deltaCtx)
+		for i, g := range st.comp.groupByC {
+			v, err := g(s.deltaCtx)
 			if err != nil {
 				return err
 			}
@@ -1140,7 +1199,7 @@ func (s *incState) deltaRow(row []*Event, sign int) error {
 		if spec.star {
 			continue
 		}
-		v, err := eval(spec.call.Args[0], s.deltaCtx)
+		v, err := spec.argC(s.deltaCtx)
 		if err != nil {
 			return err
 		}
@@ -1189,29 +1248,52 @@ func (s *incState) deltaEvaluate() ([]Output, error) {
 	if len(p.order) == p.deadCount {
 		return nil, nil
 	}
-	if s.aggScratch == nil {
-		s.aggScratch = make(map[string]Value, len(p.aggs))
-	}
+	comp := st.comp
+	useSlots := !comp.needAggMap
 	ctx := s.ctx
-	ctx.aggs = s.aggScratch
+	if useSlots {
+		if s.aggF == nil {
+			s.aggF = make([]float64, len(p.aggs))
+			s.aggNull = make([]bool, len(p.aggs))
+		}
+		ctx.aggs = nil
+	} else {
+		if s.aggScratch == nil {
+			s.aggScratch = make(map[string]Value, len(p.aggs))
+		}
+		ctx.aggs = s.aggScratch
+	}
+	ctx.aggF, ctx.aggNull = nil, nil
 	var outputs []Output
 	for _, gs := range p.order {
 		if gs.dead {
 			continue
 		}
 		for j, spec := range p.aggs {
+			var f float64
+			var null bool
 			switch {
 			case spec.star:
-				s.aggScratch[spec.key] = float64(gs.rows)
+				f = float64(gs.rows)
 			case spec.countOnly:
-				s.aggScratch[spec.key] = float64(gs.aggs[j].n)
+				f = float64(gs.aggs[j].n)
 			default:
-				s.aggScratch[spec.key] = anchoredAggValue(spec, &gs.aggs[j], 1)
+				f, null = anchoredAggFloat(spec, &gs.aggs[j], 1)
+			}
+			if useSlots {
+				s.aggF[j], s.aggNull[j] = f, null
+			} else if null {
+				s.aggScratch[spec.key] = nil
+			} else {
+				s.aggScratch[spec.key] = f
 			}
 		}
+		if useSlots {
+			ctx.aggF, ctx.aggNull = s.aggF, s.aggNull
+		}
 		ctx.row = gs.lastRow
-		if st.Query.Having != nil {
-			pass, err := evalBool(st.Query.Having, ctx)
+		if comp.havingC != nil {
+			pass, err := comp.havingC(ctx)
 			if err != nil {
 				ctx.row = s.row
 				return nil, err

@@ -50,6 +50,11 @@ type Statement struct {
 	// uses features the incremental path cannot prove correct.
 	inc *incState
 
+	// comp holds the compiled (or interpreter-wrapped, with
+	// WithCompiledExprs(false)) form of every expression the statement
+	// evaluates; always non-nil after compile().
+	comp *stmtCompiled
+
 	// rowScratch and keyBuf are reusable buffers for the join hot path.
 	rowScratch []*Event
 	keyBuf     []byte
@@ -80,9 +85,11 @@ type fromItemState struct {
 
 	// Join indexing: when probeExprs is non-empty, the item's window is
 	// additionally indexed on indexFields; candidates are found by
-	// evaluating probeExprs against the already-bound row.
+	// evaluating probeExprs (compiled form: probeC) against the
+	// already-bound row.
 	indexFields []string
 	probeExprs  []epl.Expr
+	probeC      []compiledExpr
 	index       map[string][]*Event
 	keyBuf      []byte
 }
@@ -173,8 +180,14 @@ func compile(name string, q *epl.Query, eng *Engine) (*Statement, error) {
 	if eng.incremental {
 		st.inc = planIncremental(st, aliasToIdx)
 	}
+	st.comp = compileStatement(st)
 	return st, nil
 }
+
+// Compiled reports whether the statement's expressions were lowered to
+// specialized closures at registration, or run through the tree-walking
+// interpreter (the engine was built with WithCompiledExprs(false)).
+func (st *Statement) Compiled() bool { return st.comp.compiled }
 
 // splitConjuncts flattens a WHERE tree into AND-connected conjuncts.
 func splitConjuncts(e epl.Expr) []epl.Expr {
@@ -272,7 +285,10 @@ func (st *Statement) process(ev *Event, derive func(*Event)) error {
 	for _, idx := range st.itemsByStream[ev.Stream] {
 		it := st.items[idx]
 		added, removed := it.win.insert(ev)
-		if it.index != nil {
+		// Checked per item, not hoisted: applyDelta below can break the
+		// incremental plan mid-loop, after which later items must resume
+		// maintenance (disable() rebuilt their indexes up to this point).
+		if it.index != nil && !st.indexesIdle() {
 			for _, r := range removed {
 				it.indexRemove(r)
 			}
@@ -321,6 +337,32 @@ func (st *Statement) process(ev *Event, derive func(*Event)) error {
 		st.metrics.ProcTime += time.Since(start)
 	}
 	return err
+}
+
+// indexesIdle reports whether join-index maintenance can be skipped: an
+// armed trigger plan never probes the hash indexes (it keeps its own
+// per-item accumulators), so maintaining them per insert would be pure
+// overhead — ~10% of the Listing-1 hot path, all in the O(bucket) remove
+// scan. Delta plans do probe the indexes (deltaJoin), and a broken plan
+// recomputes through them, so both keep maintenance on; when a trigger
+// plan breaks, disable() rebuilds the indexes from window contents.
+func (st *Statement) indexesIdle() bool {
+	return st.inc != nil && !st.inc.broken && st.inc.trig != nil
+}
+
+// rebuildIndexes repopulates every join index from its window's current
+// contents — the recovery path when a trigger plan breaks after running
+// with index maintenance skipped.
+func (st *Statement) rebuildIndexes() {
+	for _, it := range st.items {
+		if it.index == nil {
+			continue
+		}
+		it.index = make(map[string][]*Event, len(it.index))
+		for _, ev := range it.win.contents() {
+			it.indexAdd(ev)
+		}
+	}
 }
 
 func (it *fromItemState) indexKey(ev *Event) []byte {
@@ -420,8 +462,8 @@ func (st *Statement) joinRows() ([][]*Event, error) {
 		var candidates []*Event
 		if it.index != nil {
 			buf := st.keyBuf[:0]
-			for i, pe := range it.probeExprs {
-				v, err := eval(pe, probeCtx)
+			for i, pe := range it.probeC {
+				v, err := pe(probeCtx)
 				if err != nil {
 					return err
 				}
@@ -438,8 +480,8 @@ func (st *Statement) joinRows() ([][]*Event, error) {
 		for _, ev := range candidates {
 			row[level] = ev
 			ok := true
-			for _, f := range st.filters[level] {
-				pass, err := evalBool(f, probeCtx)
+			for _, f := range st.comp.filtersC[level] {
+				pass, err := f(probeCtx)
 				if err != nil {
 					row[level] = nil
 					return err
@@ -481,8 +523,8 @@ func (st *Statement) evaluateGrouped(rows [][]*Event, base *evalContext) ([]Outp
 		buf := st.keyBuf[:0]
 		if len(st.Query.GroupBy) > 0 {
 			keyCtx.row = row
-			for i, g := range st.Query.GroupBy {
-				v, err := eval(g, keyCtx)
+			for i, g := range st.comp.groupByC {
+				v, err := g(keyCtx)
 				if err != nil {
 					return nil, err
 				}
@@ -502,7 +544,7 @@ func (st *Statement) evaluateGrouped(rows [][]*Event, base *evalContext) ([]Outp
 
 	var outputs []Output
 	for _, grp := range order {
-		aggs, err := computeAggregates(st.aggCalls, grp.rows, base)
+		aggs, err := computeAggregates(st.comp, grp.rows, base)
 		if err != nil {
 			return nil, err
 		}
@@ -510,8 +552,8 @@ func (st *Statement) evaluateGrouped(rows [][]*Event, base *evalContext) ([]Outp
 		// most recent row of the group.
 		repr := grp.rows[len(grp.rows)-1]
 		ctx := &evalContext{row: repr, aliasOrder: st.aliasOrder, bind: st.bind, aggs: aggs, funcs: st.engine.funcs}
-		if st.Query.Having != nil {
-			pass, err := evalBool(st.Query.Having, ctx)
+		if st.comp.havingC != nil {
+			pass, err := st.comp.havingC(ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -535,8 +577,8 @@ func (st *Statement) evaluateRows(rows [][]*Event, base *evalContext) ([]Output,
 	for _, row := range rows {
 		ctx.row = row
 		ctx.aggs = nil
-		if st.Query.Having != nil {
-			pass, err := evalBool(st.Query.Having, ctx)
+		if st.comp.havingC != nil {
+			pass, err := st.comp.havingC(ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -568,12 +610,12 @@ func (st *Statement) rowMap(row []*Event) map[string]*Event {
 // project builds one output from the SELECT clause.
 func (st *Statement) project(ctx *evalContext, row []*Event) (Output, error) {
 	fields := make(map[string]Value)
-	for _, s := range st.Query.Select {
+	for i, s := range st.Query.Select {
 		if s.Star {
 			st.projectStar(fields, row)
 			continue
 		}
-		v, err := eval(s.Expr, ctx)
+		v, err := st.comp.selectC[i](ctx)
 		if err != nil {
 			return Output{}, err
 		}
@@ -651,8 +693,8 @@ func (st *Statement) orderOutputs(outputs []Output) error {
 			row[j] = o.Row[alias]
 		}
 		ctx.aggs = outputAggs(o)
-		for _, item := range st.Query.OrderBy {
-			v, err := eval(item.Expr, ctx)
+		for _, oc := range st.comp.orderC {
+			v, err := oc(ctx)
 			if err != nil {
 				return err
 			}

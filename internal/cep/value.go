@@ -16,7 +16,12 @@ import (
 // coerced to float64 for arithmetic.
 type Value = any
 
-// numeric converts v to a float64 if possible.
+// numeric converts v to a float64 if possible. Booleans are deliberately
+// not numeric: `true = 1`, `b < 2` and `sum(flag)` are type errors, exactly
+// like strings in arithmetic. (They coerced to 0/1 before PR 10, which let
+// the boxed interpreter and any specialized evaluator silently disagree;
+// TestBoolIsNotNumeric pins the rejection.) Boolean equality still works
+// through valueEq's default case, and truthy() is unchanged.
 func numeric(v Value) (float64, bool) {
 	switch x := v.(type) {
 	case float64:
@@ -27,11 +32,6 @@ func numeric(v Value) (float64, bool) {
 		return float64(x), true
 	case float32:
 		return float64(x), true
-	case bool:
-		if x {
-			return 1, true
-		}
-		return 0, true
 	default:
 		return 0, false
 	}

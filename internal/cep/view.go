@@ -19,6 +19,12 @@ import (
 // prior insert reported it added. Incremental evaluation retracts removed
 // events from running sums before folding in added ones, so a window that
 // under- or over-reports deltas silently corrupts aggregates.
+//
+// The returned slices are only valid until the next insert on the same
+// window: implementations reuse per-window scratch buffers to keep the
+// steady-state hot path allocation-free. Callers (statement.process and
+// the incremental delta appliers) consume the deltas before inserting
+// again; a caller that needs to retain them must copy.
 type window interface {
 	insert(ev *Event) (added, removed []*Event)
 	contents() []*Event
@@ -137,15 +143,19 @@ func durationArg(v epl.ViewSpec, i int) (time.Duration, error) {
 
 // lastEventWin retains only the most recent event (std:lastevent).
 type lastEventWin struct {
-	ev *Event
+	ev     *Event
+	addBuf [1]*Event
+	rmBuf  [1]*Event
 }
 
 func (w *lastEventWin) insert(ev *Event) (added, removed []*Event) {
 	if w.ev != nil {
-		removed = []*Event{w.ev}
+		w.rmBuf[0] = w.ev
+		removed = w.rmBuf[:]
 	}
 	w.ev = ev
-	return []*Event{ev}, removed
+	w.addBuf[0] = ev
+	return w.addBuf[:], removed
 }
 
 func (w *lastEventWin) contents() []*Event {
@@ -164,12 +174,14 @@ func (w *lastEventWin) size() int {
 
 // keepAllWin retains every event (win:keepall).
 type keepAllWin struct {
-	evs []*Event
+	evs    []*Event
+	addBuf [1]*Event
 }
 
 func (w *keepAllWin) insert(ev *Event) (added, removed []*Event) {
 	w.evs = append(w.evs, ev)
-	return []*Event{ev}, nil
+	w.addBuf[0] = ev
+	return w.addBuf[:], nil
 }
 
 func (w *keepAllWin) contents() []*Event { return w.evs }
@@ -177,10 +189,12 @@ func (w *keepAllWin) size() int          { return len(w.evs) }
 
 // lengthWin is a sliding window over the last n events (win:length).
 type lengthWin struct {
-	n     int
-	buf   []*Event // ring buffer, capacity n
-	start int
-	count int
+	n      int
+	buf    []*Event // ring buffer, capacity n
+	start  int
+	count  int
+	addBuf [1]*Event
+	rmBuf  [1]*Event
 }
 
 func newLengthWin(n int) *lengthWin {
@@ -189,14 +203,16 @@ func newLengthWin(n int) *lengthWin {
 
 func (w *lengthWin) insert(ev *Event) (added, removed []*Event) {
 	if w.count == w.n {
-		removed = []*Event{w.buf[w.start]}
+		w.rmBuf[0] = w.buf[w.start]
+		removed = w.rmBuf[:]
 		w.buf[w.start] = ev
 		w.start = (w.start + 1) % w.n
 	} else {
 		w.buf[(w.start+w.count)%w.n] = ev
 		w.count++
 	}
-	return []*Event{ev}, removed
+	w.addBuf[0] = ev
+	return w.addBuf[:], removed
 }
 
 func (w *lengthWin) contents() []*Event {
@@ -213,17 +229,21 @@ func (w *lengthWin) size() int { return w.count }
 // window fills to n events; the insert after a full batch evicts the whole
 // batch and starts a new one.
 type lengthBatchWin struct {
-	n   int
-	buf []*Event
+	n      int
+	buf    []*Event
+	addBuf [1]*Event
 }
 
 func (w *lengthBatchWin) insert(ev *Event) (added, removed []*Event) {
 	if len(w.buf) >= w.n {
+		// Ownership of the evicted batch transfers to the caller; a fresh
+		// buffer starts the next batch.
 		removed = w.buf
 		w.buf = nil
 	}
 	w.buf = append(w.buf, ev)
-	return []*Event{ev}, removed
+	w.addBuf[0] = ev
+	return w.addBuf[:], removed
 }
 
 func (w *lengthBatchWin) contents() []*Event { return w.buf }
@@ -234,8 +254,10 @@ func (w *lengthBatchWin) size() int          { return len(w.buf) }
 // the timestamps of arriving events, so replays behave identically to live
 // runs.
 type timeWin struct {
-	d   time.Duration
-	buf []*Event
+	d      time.Duration
+	buf    []*Event
+	addBuf [1]*Event
+	rmBuf  []*Event
 }
 
 func (w *timeWin) insert(ev *Event) (added, removed []*Event) {
@@ -245,11 +267,20 @@ func (w *timeWin) insert(ev *Event) (added, removed []*Event) {
 		idx++
 	}
 	if idx > 0 {
-		removed = append(removed, w.buf[:idx]...)
-		w.buf = append([]*Event(nil), w.buf[idx:]...)
+		// Evicted events go into the reusable scratch slice; survivors
+		// shift down in place (clearing the tail so the evicted events
+		// are not pinned by the backing array).
+		w.rmBuf = append(w.rmBuf[:0], w.buf[:idx]...)
+		removed = w.rmBuf
+		n := copy(w.buf, w.buf[idx:])
+		for i := n; i < len(w.buf); i++ {
+			w.buf[i] = nil
+		}
+		w.buf = w.buf[:n]
 	}
 	w.buf = append(w.buf, ev)
-	return []*Event{ev}, removed
+	w.addBuf[0] = ev
+	return w.addBuf[:], removed
 }
 
 func (w *timeWin) contents() []*Event { return w.buf }
@@ -260,13 +291,15 @@ func (w *timeWin) size() int          { return len(w.buf) }
 // after the batch period evicts the whole batch and starts a new one. Like
 // win:time it is event-time driven.
 type timeBatchWin struct {
-	d     time.Duration
-	start time.Time
-	buf   []*Event
+	d      time.Duration
+	start  time.Time
+	buf    []*Event
+	addBuf [1]*Event
 }
 
 func (w *timeBatchWin) insert(ev *Event) (added, removed []*Event) {
 	if len(w.buf) > 0 && ev.Ts.Sub(w.start) >= w.d {
+		// Ownership of the evicted batch transfers to the caller.
 		removed = w.buf
 		w.buf = nil
 	}
@@ -274,7 +307,8 @@ func (w *timeBatchWin) insert(ev *Event) (added, removed []*Event) {
 		w.start = ev.Ts
 	}
 	w.buf = append(w.buf, ev)
-	return []*Event{ev}, removed
+	w.addBuf[0] = ev
+	return w.addBuf[:], removed
 }
 
 func (w *timeBatchWin) contents() []*Event { return w.buf }
@@ -282,39 +316,53 @@ func (w *timeBatchWin) size() int          { return len(w.buf) }
 
 // uniqueWin retains the most recent event per distinct key (std:unique):
 // a new event with an already-seen key replaces the previous holder.
+// Entries are slot pointers so that the steady state — replacing the
+// holder of an existing key — mutates the slot in place and never
+// materializes the key string (the map lookup on a []byte-to-string
+// conversion does not allocate; only first-seen keys do).
 type uniqueWin struct {
 	fields []string
-	byKey  map[string]*Event
-	order  []string // key creation order for deterministic contents
+	byKey  map[string]*uniqueSlot
+	order  []*uniqueSlot // slot creation order for deterministic contents
+	keyBuf []byte
+	valBuf []Value
+	addBuf [1]*Event
+	rmBuf  [1]*Event
 }
+
+type uniqueSlot struct{ ev *Event }
 
 func newUniqueWin(fields []string) *uniqueWin {
-	return &uniqueWin{fields: fields, byKey: make(map[string]*Event)}
-}
-
-func (w *uniqueWin) keyOf(ev *Event) string {
-	vals := make([]Value, len(w.fields))
-	for i, f := range w.fields {
-		vals[i] = ev.Get(f)
+	return &uniqueWin{
+		fields: fields,
+		byKey:  make(map[string]*uniqueSlot),
+		valBuf: make([]Value, len(fields)),
 	}
-	return compositeKey(vals)
 }
 
 func (w *uniqueWin) insert(ev *Event) (added, removed []*Event) {
-	k := w.keyOf(ev)
-	if prev, ok := w.byKey[k]; ok {
-		removed = []*Event{prev}
-	} else {
-		w.order = append(w.order, k)
+	for i, f := range w.fields {
+		w.valBuf[i] = ev.Get(f)
 	}
-	w.byKey[k] = ev
-	return []*Event{ev}, removed
+	w.keyBuf = appendCompositeKey(w.keyBuf[:0], w.valBuf)
+	slot, ok := w.byKey[string(w.keyBuf)]
+	if ok {
+		w.rmBuf[0] = slot.ev
+		removed = w.rmBuf[:]
+	} else {
+		slot = &uniqueSlot{}
+		w.byKey[string(w.keyBuf)] = slot
+		w.order = append(w.order, slot)
+	}
+	slot.ev = ev
+	w.addBuf[0] = ev
+	return w.addBuf[:], removed
 }
 
 func (w *uniqueWin) contents() []*Event {
 	out := make([]*Event, 0, len(w.byKey))
-	for _, k := range w.order {
-		out = append(out, w.byKey[k])
+	for _, slot := range w.order {
+		out = append(out, slot.ev)
 	}
 	return out
 }
@@ -330,22 +378,32 @@ type groupWin struct {
 	groups  map[string]window
 	order   []string
 	total   int
+	keyBuf  []byte
+	valBuf  []Value
 }
 
 func newGroupWin(fields []string, factory func() (window, error)) *groupWin {
-	return &groupWin{fields: fields, factory: factory, groups: make(map[string]window)}
+	return &groupWin{
+		fields:  fields,
+		factory: factory,
+		groups:  make(map[string]window),
+		valBuf:  make([]Value, len(fields)),
+	}
 }
 
 func (w *groupWin) insert(ev *Event) (added, removed []*Event) {
-	vals := make([]Value, len(w.fields))
 	for i, f := range w.fields {
-		vals[i] = ev.Get(f)
+		w.valBuf[i] = ev.Get(f)
 	}
-	key := compositeKey(vals)
-	sub, ok := w.groups[key]
+	// Render the group key into the reusable buffer; the key string is
+	// only materialized when a new group is created — the lookup on a
+	// hit does not allocate.
+	w.keyBuf = appendCompositeKey(w.keyBuf[:0], w.valBuf)
+	sub, ok := w.groups[string(w.keyBuf)]
 	if !ok {
 		// The factory was validated at build time; it cannot fail here.
 		sub, _ = w.factory()
+		key := string(w.keyBuf)
 		w.groups[key] = sub
 		w.order = append(w.order, key)
 	}
